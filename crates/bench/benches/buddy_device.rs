@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the functional Buddy device: entry write
+//! (compress + place) and read (translate + decompress) throughput, per
+//! target ratio.
+
+use bpc::ENTRY_BYTES;
+use buddy_core::{BuddyDevice, DeviceConfig, TargetRatio};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn mixed_entry(i: u64) -> [u8; ENTRY_BYTES] {
+    let mut e = [0u8; ENTRY_BYTES];
+    match i % 3 {
+        0 => {}
+        1 => {
+            for (j, c) in e.chunks_exact_mut(4).enumerate() {
+                c.copy_from_slice(&(i as u32 + 3 * j as u32).to_le_bytes());
+            }
+        }
+        _ => {
+            let mut s = i;
+            for b in e.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (s >> 33) as u8;
+            }
+        }
+    }
+    e
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy-device");
+    group.throughput(Throughput::Bytes(ENTRY_BYTES as u64));
+    for target in [TargetRatio::R1_33, TargetRatio::R2, TargetRatio::R4] {
+        group.bench_with_input(
+            BenchmarkId::new("write", target.to_string()),
+            &target,
+            |b, &t| {
+                let mut dev = BuddyDevice::new(DeviceConfig {
+                    device_capacity: 4 << 20,
+                    carve_out_factor: 3,
+                });
+                let alloc = dev.alloc("bench", 4096, t).expect("allocation fits");
+                let mut i = 0u64;
+                b.iter(|| {
+                    let entry = mixed_entry(i);
+                    dev.write_entry(alloc, i % 4096, &entry).expect("write succeeds");
+                    i += 1;
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("read", target.to_string()),
+            &target,
+            |b, &t| {
+                let mut dev = BuddyDevice::new(DeviceConfig {
+                    device_capacity: 4 << 20,
+                    carve_out_factor: 3,
+                });
+                let alloc = dev.alloc("bench", 4096, t).expect("allocation fits");
+                for i in 0..4096u64 {
+                    dev.write_entry(alloc, i, &mixed_entry(i)).expect("write succeeds");
+                }
+                let mut i = 0u64;
+                b.iter(|| {
+                    let entry = dev.read_entry(alloc, i % 4096).expect("read succeeds");
+                    i += 1;
+                    entry
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_device
+}
+criterion_main!(benches);

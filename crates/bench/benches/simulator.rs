@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the performance simulator: simulated
+//! accesses per wall-clock second in fast and detailed fidelity (the
+//! Figure 10 speed claim, as a tracked regression metric).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{
+    Engine, EntryPlacement, ExecConfig, Fidelity, GpuConfig, MemRequest, MemoryMode,
+    UniformLayout,
+};
+
+fn trace(entries: u64) -> impl Iterator<Item = MemRequest> {
+    (0..).map(move |i| MemRequest {
+        entry: (i * 17) % entries,
+        sector_mask: 0b1111,
+        write: i % 4 == 0,
+        to_host: false,
+    })
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let accesses = 20_000u64;
+    group.throughput(Throughput::Elements(accesses));
+    let entries = 512 * 1024;
+    let layout = UniformLayout {
+        entries,
+        placement: EntryPlacement { device_sectors: 2, buddy_sectors: 1 },
+    };
+    for (fidelity, name) in [(Fidelity::Fast, "fast"), (Fidelity::Detailed, "detailed")] {
+        group.bench_with_input(BenchmarkId::new("buddy", name), &fidelity, |b, &f| {
+            b.iter(|| {
+                let cfg = GpuConfig::p100();
+                let exec = ExecConfig { lanes: 1792, compute_cycles: 30.0, accesses };
+                Engine::new(cfg, exec, MemoryMode::Buddy, f, &layout)
+                    .run(&mut trace(entries))
+            })
+        });
+    }
+    group.bench_function("uncompressed/fast", |b| {
+        b.iter(|| {
+            let cfg = GpuConfig::p100();
+            let exec = ExecConfig { lanes: 1792, compute_cycles: 30.0, accesses };
+            Engine::new(cfg, exec, MemoryMode::Uncompressed, Fidelity::Fast, &layout)
+                .run(&mut trace(entries))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the §2.4 algorithm-comparison ablation. Pass --quick for a
+//! smoke run.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::ablation::ablation(&cfg)
+}

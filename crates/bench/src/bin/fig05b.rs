@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig05b (see DESIGN.md §5). Pass --quick for a smoke run.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::performance::fig05b(&cfg)?;
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates every table and figure of the paper into `results/`.
+//! Pass --quick for a reduced smoke run.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::reproduce_all(&cfg)
+}

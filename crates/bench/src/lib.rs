@@ -1,0 +1,45 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §5 for the experiment index).
+//!
+//! Each figure has a binary (`cargo run -p buddy-bench --release --bin
+//! fig11`) and all of them run together via `--bin reproduce-all`. Every
+//! harness prints an aligned table with the paper's reported numbers next
+//! to the measured ones and writes a CSV under `results/`. Pass `--quick`
+//! for a reduced smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod capacity;
+pub mod dlfig;
+pub mod performance;
+pub mod report;
+pub mod tables;
+pub mod umfig;
+
+pub use report::RunConfig;
+
+use std::io;
+
+/// Runs every table and figure in order (the `reproduce-all` binary).
+pub fn reproduce_all(cfg: &RunConfig) -> io::Result<()> {
+    tables::table1(cfg)?;
+    tables::table2(cfg)?;
+    capacity::fig03(cfg)?;
+    performance::fig05b(cfg)?;
+    capacity::fig06(cfg)?;
+    capacity::fig07(cfg)?;
+    capacity::fig08(cfg)?;
+    capacity::fig09(cfg)?;
+    performance::fig10(cfg)?;
+    performance::fig11(cfg)?;
+    umfig::fig12(cfg)?;
+    dlfig::fig13a(cfg)?;
+    dlfig::fig13b(cfg)?;
+    dlfig::fig13c(cfg)?;
+    dlfig::fig13d(cfg)?;
+    ablation::ablation(cfg)?;
+    println!("\nAll tables and figures regenerated into {:?}.", cfg.results_dir);
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Result reporting: aligned console tables and CSV files under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Run configuration shared by all figure harnesses.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Reduced trace/sample sizes for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Output directory for CSV/PGM artifacts.
+    pub results_dir: PathBuf,
+    /// Master seed (all randomness derives from it).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { quick: false, results_dir: PathBuf::from("results"), seed: 0xB0DD_7 }
+    }
+}
+
+impl RunConfig {
+    /// Builds the configuration from process arguments (`--quick`).
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Self { quick, ..Self::default() }
+    }
+
+    /// Scales an iteration/access count down in quick mode.
+    pub fn scaled(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 10).max(1000)
+        } else {
+            full
+        }
+    }
+}
+
+/// Writes rows of display-able cells as CSV into `results/<name>.csv`.
+pub fn write_csv<C: Display>(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<C>],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Writes a raw text artifact (e.g. a PGM heat map).
+pub fn write_text(dir: &Path, name: &str, content: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Prints an aligned table to stdout.
+pub fn print_table<C: Display>(title: &str, header: &[&str], rows: &[Vec<C>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in &rendered {
+        line(row);
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", 100.0 * v)
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    assert!(xs.len() >= 2, "correlation needs at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("buddy-bench-test");
+        let rows = vec![vec!["a".to_string(), "1".to_string()]];
+        let path = write_csv(&dir, "t", &["name", "value"], &rows).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "name,value\na,1\n");
+    }
+
+    #[test]
+    fn correlation_of_linear_data_is_one() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_mode_scales_down() {
+        let cfg = RunConfig { quick: true, ..Default::default() };
+        assert_eq!(cfg.scaled(100_000), 10_000);
+        assert_eq!(cfg.scaled(100), 1000);
+        let full = RunConfig::default();
+        assert_eq!(full.scaled(100_000), 100_000);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.0421), "4.21%");
+    }
+}

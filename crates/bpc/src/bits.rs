@@ -1,0 +1,192 @@
+//! MSB-first bitstream reader and writer used by all encoders in this crate.
+
+use crate::DecodeError;
+
+/// An append-only bit buffer. Bits are packed MSB-first within each byte,
+/// matching how hardware serializers are usually drawn in the compression
+/// literature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty bit buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit buffer with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self { buf: Vec::with_capacity(bits.div_ceil(8)), len_bits: 0 }
+    }
+
+    /// Appends the low `n` bits of `value`, most-significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn push_bits(&mut self, value: u64, n: usize) {
+        assert!(n <= 64, "cannot push more than 64 bits at once");
+        for i in (0..n).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let byte_idx = self.len_bits / 8;
+        if byte_idx == self.buf.len() {
+            self.buf.push(0);
+        }
+        if bit {
+            self.buf[byte_idx] |= 0x80 >> (self.len_bits % 8);
+        }
+        self.len_bits += 1;
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Whether no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// Consumes the writer, returning the packed bytes and the bit length.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.buf, self.len_bits)
+    }
+}
+
+/// Reads bits MSB-first from a byte slice produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    len_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`, limited to `len_bits` valid bits.
+    pub fn new(data: &'a [u8], len_bits: usize) -> Self {
+        Self { data, pos: 0, len_bits: len_bits.min(data.len() * 8) }
+    }
+
+    /// Current read position in bits from the start of the stream.
+    pub fn bit_offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len_bits - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
+        if self.pos >= self.len_bits {
+            return Err(DecodeError::Truncated);
+        }
+        let bit = (self.data[self.pos / 8] >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: usize) -> Result<u64, DecodeError> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let mut value = 0u64;
+        for _ in 0..n {
+            value = (value << 1) | self.read_bit()? as u64;
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        w.push_bits(0xDEAD_BEEF, 32);
+        w.push_bit(true);
+        w.push_bits(0x1_FFFF_FFFF, 33);
+        let (bytes, bits) = w.into_parts();
+        assert_eq!(bits, 3 + 32 + 1 + 33);
+
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(33).unwrap(), 0x1_FFFF_FFFF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn msb_first_packing() {
+        let mut w = BitWriter::new();
+        w.push_bit(true); // 1000_0000
+        w.push_bits(0b01, 2); // 1010_0000
+        let (bytes, bits) = w.into_parts();
+        assert_eq!(bits, 3);
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn read_past_end_is_truncated() {
+        let mut r = BitReader::new(&[0xFF], 3);
+        assert_eq!(r.read_bits(3).unwrap(), 0b111);
+        assert_eq!(r.read_bit(), Err(DecodeError::Truncated));
+        assert_eq!(r.read_bits(1), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn reader_tracks_offset() {
+        let mut r = BitReader::new(&[0xAA, 0xAA], 16);
+        assert_eq!(r.bit_offset(), 0);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.bit_offset(), 5);
+        assert_eq!(r.remaining(), 11);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = BitWriter::with_capacity(100);
+        let mut b = BitWriter::new();
+        a.push_bits(0x3F, 7);
+        b.push_bits(0x3F, 7);
+        assert_eq!(a.into_parts(), b.into_parts());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len_bits(), 0);
+        let (bytes, bits) = w.into_parts();
+        assert!(bytes.is_empty());
+        assert_eq!(bits, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Hardware memory-compression algorithms for 128-byte GPU memory-entries.
+//!
+//! This crate implements the compression substrate of the *Buddy Compression*
+//! reproduction (Choukse et al., ISCA 2020):
+//!
+//! * [`BitPlane`] — Bit-Plane Compression (BPC) after Kim, Sullivan, Choukse
+//!   and Erez (ISCA 2016). This is the algorithm the paper selects for Buddy
+//!   Compression after "comparing several algorithms" (§2.4).
+//! * [`BaseDeltaImmediate`] — BDI after Pekhimenko et al. (PACT 2012), one of
+//!   the compared baselines.
+//! * [`FrequentPattern`] — FPC after Alameldeen and Wood (UW-Madison TR 1500),
+//!   another compared baseline.
+//! * [`ZeroRle`] — the trivial all-zero detector, a lower bound used for
+//!   ablation.
+//!
+//! All algorithms operate on one 128 B *memory-entry* — the compression
+//! granularity the paper chooses for GPUs (§2.4) — and round-trip losslessly.
+//! Compressed sizes are quantized by [`SizeClass`] into the eight capacity
+//! classes the paper's Figure 3 assumes (0, 8, 16, 32, 64, 80, 96, 128 bytes)
+//! and into 32 B *sectors*, the GPU DRAM access granularity that Buddy
+//! Compression stripes entries by (Figure 4).
+//!
+//! # Example
+//!
+//! ```
+//! use bpc::{BitPlane, BlockCompressor, SizeClass, ENTRY_BYTES};
+//!
+//! // A smooth ramp of 32-bit integers compresses extremely well under BPC.
+//! let mut entry = [0u8; ENTRY_BYTES];
+//! for (i, w) in entry.chunks_exact_mut(4).enumerate() {
+//!     w.copy_from_slice(&(1000u32 + 3 * i as u32).to_le_bytes());
+//! }
+//! let codec = BitPlane::new();
+//! let compressed = codec.compress(&entry);
+//! assert!(compressed.bits() < 8 * ENTRY_BYTES);
+//! assert_eq!(codec.decompress(&compressed).unwrap(), entry);
+//!
+//! let class = SizeClass::for_bits(compressed.bits());
+//! assert!(class.bytes() <= 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdi;
+pub mod bitplane;
+pub mod bits;
+pub mod fpc;
+pub mod size_class;
+pub mod zero;
+
+pub use bdi::BaseDeltaImmediate;
+pub use bitplane::BitPlane;
+pub use fpc::FrequentPattern;
+pub use size_class::{SizeClass, SizeHistogram};
+pub use zero::ZeroRle;
+
+use std::error::Error;
+use std::fmt;
+
+/// Size in bytes of one memory-entry, the compression granularity.
+///
+/// The paper fixes this to 128 B following the micro-benchmark study of Jia
+/// et al. and the GPU cache-line size (§2.4).
+pub const ENTRY_BYTES: usize = 128;
+
+/// Size in bytes of one sector, the GPU DRAM access granularity.
+///
+/// 32 B matches GDDR5/GDDR5X/GDDR6/HBM2 access granularity (§3.2).
+pub const SECTOR_BYTES: usize = 32;
+
+/// Number of sectors per memory-entry (4).
+pub const SECTORS_PER_ENTRY: usize = ENTRY_BYTES / SECTOR_BYTES;
+
+/// One uncompressed 128-byte memory-entry.
+pub type Entry = [u8; ENTRY_BYTES];
+
+/// The result of compressing one [`Entry`].
+///
+/// Holds the encoded bitstream and its exact length in bits. The bitstream is
+/// only meaningful to the algorithm that produced it; capacity accounting via
+/// [`SizeClass`] is algorithm-independent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Compressed {
+    algorithm: &'static str,
+    bits: usize,
+    data: Vec<u8>,
+}
+
+impl Compressed {
+    /// Creates a compressed block from raw encoder output.
+    pub fn new(algorithm: &'static str, bits: usize, data: Vec<u8>) -> Self {
+        debug_assert!(data.len() * 8 >= bits, "bitstream shorter than declared");
+        Self { algorithm, bits, data }
+    }
+
+    /// Name of the algorithm that produced this block.
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// Exact compressed size in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Compressed size rounded up to whole bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.div_ceil(8)
+    }
+
+    /// The encoded bitstream (MSB-first within each byte).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The capacity size class this block falls into.
+    pub fn size_class(&self) -> SizeClass {
+        SizeClass::for_bits(self.bits)
+    }
+
+    /// Number of 32 B sectors needed to store this block, between 1 and 4.
+    ///
+    /// Incompressible blocks (more than 96 B) are stored raw and occupy all
+    /// four sectors.
+    pub fn sectors(&self) -> u8 {
+        self.size_class().sectors().max(1)
+    }
+}
+
+impl fmt::Display for Compressed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} bits ({})", self.algorithm, self.bits, self.size_class())
+    }
+}
+
+/// Error returned when a compressed bitstream cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bitstream ended before the decoder finished.
+    Truncated,
+    /// The bitstream contained an invalid code word.
+    InvalidCode {
+        /// Bit offset at which the invalid code was encountered.
+        bit_offset: usize,
+    },
+    /// The block was compressed by a different algorithm.
+    WrongAlgorithm {
+        /// Algorithm that produced the block.
+        found: &'static str,
+        /// Algorithm attempting the decode.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "bitstream ended before decoding finished"),
+            DecodeError::InvalidCode { bit_offset } => {
+                write!(f, "invalid code word at bit offset {bit_offset}")
+            }
+            DecodeError::WrongAlgorithm { found, expected } => {
+                write!(f, "block was compressed with {found}, not {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// A lossless compressor for 128-byte memory-entries.
+///
+/// Implementations must satisfy `decompress(compress(e)) == e` for every
+/// entry `e`; this invariant is property-tested for every algorithm in this
+/// crate.
+pub trait BlockCompressor {
+    /// Short stable name of the algorithm (used in reports and metadata).
+    fn name(&self) -> &'static str;
+
+    /// Compresses one memory-entry into a bitstream.
+    fn compress(&self, entry: &Entry) -> Compressed;
+
+    /// Decompresses a bitstream produced by [`compress`](Self::compress).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the block was produced by a different
+    /// algorithm or the bitstream is malformed.
+    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError>;
+
+    /// Convenience: the exact compressed size of `entry` in bits.
+    fn compressed_bits(&self, entry: &Entry) -> usize {
+        self.compress(entry).bits()
+    }
+
+    /// Convenience: the capacity size class of `entry` under this algorithm.
+    ///
+    /// All-zero entries map to [`SizeClass::B0`]: the paper's capacity study
+    /// (Figure 3) counts tracked-zero entries as occupying no data storage.
+    fn size_class_of(&self, entry: &Entry) -> SizeClass {
+        if entry.iter().all(|&b| b == 0) {
+            SizeClass::B0
+        } else {
+            SizeClass::for_bits(self.compressed_bits(entry))
+        }
+    }
+}
+
+/// Interprets a 128-byte entry as 32 little-endian 32-bit symbols.
+pub(crate) fn to_symbols(entry: &Entry) -> [u32; 32] {
+    let mut symbols = [0u32; 32];
+    for (symbol, chunk) in symbols.iter_mut().zip(entry.chunks_exact(4)) {
+        *symbol = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    symbols
+}
+
+/// Reassembles 32 little-endian 32-bit symbols into a 128-byte entry.
+pub(crate) fn from_symbols(symbols: &[u32; 32]) -> Entry {
+    let mut entry = [0u8; ENTRY_BYTES];
+    for (chunk, symbol) in entry.chunks_exact_mut(4).zip(symbols.iter()) {
+        chunk.copy_from_slice(&symbol.to_le_bytes());
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_round_trip() {
+        let mut entry = [0u8; ENTRY_BYTES];
+        for (i, byte) in entry.iter_mut().enumerate() {
+            *byte = (i * 7 + 3) as u8;
+        }
+        assert_eq!(from_symbols(&to_symbols(&entry)), entry);
+    }
+
+    #[test]
+    fn compressed_accessors() {
+        let c = Compressed::new("test", 12, vec![0xAB, 0xC0]);
+        assert_eq!(c.algorithm(), "test");
+        assert_eq!(c.bits(), 12);
+        assert_eq!(c.bytes(), 2);
+        assert_eq!(c.size_class(), SizeClass::B8);
+        assert_eq!(c.sectors(), 1);
+        assert_eq!(c.to_string(), "test: 12 bits (8B)");
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert_eq!(
+            DecodeError::Truncated.to_string(),
+            "bitstream ended before decoding finished"
+        );
+        assert_eq!(
+            DecodeError::InvalidCode { bit_offset: 5 }.to_string(),
+            "invalid code word at bit offset 5"
+        );
+        assert_eq!(
+            DecodeError::WrongAlgorithm { found: "a", expected: "b" }.to_string(),
+            "block was compressed with a, not b"
+        );
+    }
+}

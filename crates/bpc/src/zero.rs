@@ -1,0 +1,109 @@
+//! Trivial zero-detection "compression", the lower bound among the compared
+//! algorithms: an entry is either entirely zero (1-bit code) or stored raw.
+//!
+//! The paper notes that many discarded benchmarks "seemed to have large
+//! portions of their working sets be zero" (§2.1); this codec quantifies how
+//! much of a workload's compressibility is explained by zeros alone, which
+//! the ablation benches use to contextualize BPC's advantage.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::{BlockCompressor, Compressed, DecodeError, Entry, ENTRY_BYTES};
+
+/// The zero-run codec: 1 bit for an all-zero entry, `1 + 1024` bits otherwise.
+///
+/// # Example
+///
+/// ```
+/// use bpc::{ZeroRle, BlockCompressor};
+///
+/// let codec = ZeroRle::new();
+/// assert_eq!(codec.compress(&[0u8; 128]).bits(), 1);
+/// assert_eq!(codec.compress(&[1u8; 128]).bits(), 1 + 1024);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroRle;
+
+impl ZeroRle {
+    /// Algorithm name used in [`Compressed::algorithm`].
+    pub const NAME: &'static str = "zero";
+
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BlockCompressor for ZeroRle {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn compress(&self, entry: &Entry) -> Compressed {
+        let mut w = BitWriter::with_capacity(8);
+        if entry.iter().all(|&b| b == 0) {
+            w.push_bit(false);
+        } else {
+            w.push_bit(true);
+            for &b in entry.iter() {
+                w.push_bits(b as u64, 8);
+            }
+        }
+        let (data, bits) = w.into_parts();
+        Compressed::new(Self::NAME, bits, data)
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError> {
+        if compressed.algorithm() != Self::NAME {
+            return Err(DecodeError::WrongAlgorithm {
+                found: compressed.algorithm(),
+                expected: Self::NAME,
+            });
+        }
+        let mut r = BitReader::new(compressed.data(), compressed.bits());
+        let mut entry = [0u8; ENTRY_BYTES];
+        if r.read_bit()? {
+            for b in entry.iter_mut() {
+                *b = r.read_bits(8)? as u8;
+            }
+        }
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_round_trip() {
+        let codec = ZeroRle::new();
+        let c = codec.compress(&[0u8; 128]);
+        assert_eq!(c.bits(), 1);
+        assert_eq!(codec.decompress(&c).unwrap(), [0u8; 128]);
+    }
+
+    #[test]
+    fn nonzero_round_trip() {
+        let codec = ZeroRle::new();
+        let mut entry = [0u8; 128];
+        entry[127] = 1;
+        let c = codec.compress(&entry);
+        assert_eq!(c.bits(), 1025);
+        assert_eq!(codec.decompress(&c).unwrap(), entry);
+    }
+
+    #[test]
+    fn wrong_algorithm_rejected() {
+        let c = Compressed::new("bpc", 1, vec![0]);
+        assert!(matches!(
+            ZeroRle::new().decompress(&c),
+            Err(DecodeError::WrongAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let c = Compressed::new(ZeroRle::NAME, 0, vec![]);
+        assert!(matches!(ZeroRle::new().decompress(&c), Err(DecodeError::Truncated)));
+    }
+}

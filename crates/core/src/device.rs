@@ -1,0 +1,707 @@
+//! The functional model of a Buddy-Compression GPU device: real compressed
+//! storage split between device memory and the buddy carve-out.
+//!
+//! This module implements the data path of Figures 1 and 4. Every 128 B
+//! memory-entry of an allocation with target ratio *r* owns
+//! `128/r` bytes of device memory and a fixed, pre-reserved slot in the
+//! buddy carve-out. Writes recompress the entry and update only that entry's
+//! own storage — the design's central invariant is that compressibility
+//! changes never move any *other* data (§3.3, "No Page-Faulting Expense"),
+//! which `tests/no_movement.rs` verifies.
+
+use crate::metadata::{EntryState, Gbbr, MetadataStore};
+use crate::target::TargetRatio;
+use bpc::{BitPlane, BlockCompressor, Compressed, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by allocation and access operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The requested allocation does not fit in the remaining device memory.
+    OutOfDeviceMemory {
+        /// Bytes requested from device memory.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// The requested allocation does not fit in the remaining carve-out.
+    OutOfBuddyMemory {
+        /// Bytes requested from buddy memory.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// An allocation id that was never returned by `alloc`.
+    BadAllocation,
+    /// An entry index beyond the allocation size.
+    BadIndex {
+        /// Offending index.
+        index: u64,
+        /// Entries in the allocation.
+        entries: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfDeviceMemory { requested, available } => {
+                write!(f, "out of device memory: need {requested} B, {available} B free")
+            }
+            DeviceError::OutOfBuddyMemory { requested, available } => {
+                write!(f, "out of buddy memory: need {requested} B, {available} B free")
+            }
+            DeviceError::BadAllocation => write!(f, "unknown allocation id"),
+            DeviceError::BadIndex { index, entries } => {
+                write!(f, "entry index {index} out of range (allocation has {entries})")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+/// Handle to one compressed allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(usize);
+
+/// Traffic counters for one device (sector granularity, matching the HBM2
+/// access unit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Entry reads served entirely from device memory.
+    pub reads_device_only: u64,
+    /// Entry reads that needed the buddy memory.
+    pub reads_with_buddy: u64,
+    /// Entry writes contained in device memory.
+    pub writes_device_only: u64,
+    /// Entry writes that spilled to buddy memory.
+    pub writes_with_buddy: u64,
+    /// 32 B sectors moved to/from device DRAM.
+    pub device_sectors: u64,
+    /// 32 B sectors moved over the interconnect to/from buddy memory.
+    pub buddy_sectors: u64,
+}
+
+impl AccessStats {
+    /// Fraction of entry accesses that touched the buddy memory — the
+    /// quantity plotted in Figures 7, 8 and 9.
+    pub fn buddy_access_fraction(&self) -> f64 {
+        let total = self.reads_device_only
+            + self.reads_with_buddy
+            + self.writes_device_only
+            + self.writes_with_buddy;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.reads_with_buddy + self.writes_with_buddy) as f64 / total as f64
+    }
+
+    /// Total entry accesses recorded.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads_device_only
+            + self.reads_with_buddy
+            + self.writes_device_only
+            + self.writes_with_buddy
+    }
+}
+
+/// Internal bookkeeping for one allocation.
+#[derive(Debug, Clone)]
+struct Allocation {
+    name: String,
+    target: TargetRatio,
+    entries: u64,
+    /// Byte offset of this allocation's region in device memory.
+    device_base: u64,
+    /// Byte offset of this allocation's slots in the buddy carve-out.
+    buddy_base: u64,
+    /// Index of this allocation's first entry in the global metadata array.
+    metadata_base: u64,
+}
+
+impl Allocation {
+    fn device_stride(&self) -> u64 {
+        self.target.device_bytes_per_entry() as u64
+    }
+
+    fn buddy_stride(&self) -> u64 {
+        self.target.buddy_bytes_per_entry() as u64
+    }
+
+    fn device_offset(&self, index: u64) -> u64 {
+        self.device_base + index * self.device_stride()
+    }
+
+    fn buddy_offset(&self, index: u64) -> u64 {
+        self.buddy_base + index * self.buddy_stride()
+    }
+}
+
+/// Configuration of a Buddy-Compression device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Usable device memory in bytes.
+    pub device_capacity: u64,
+    /// Carve-out size as a multiple of device capacity. The paper uses 3×,
+    /// "to support a 4× maximum compression ratio" (§3.5).
+    pub carve_out_factor: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        // A scaled-down GPU for tests and harnesses; figure binaries size
+        // this from the workload instead.
+        Self { device_capacity: 64 << 20, carve_out_factor: 3 }
+    }
+}
+
+/// A GPU device with Buddy Compression enabled.
+///
+/// Storage is modeled functionally: compressed bitstreams really live in a
+/// device byte array and overflow really lives in a buddy byte array, so
+/// read-after-write returns exactly the written entry (property-tested).
+///
+/// # Example
+///
+/// ```
+/// use buddy_core::{BuddyDevice, DeviceConfig, TargetRatio};
+///
+/// let mut dev = BuddyDevice::new(DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 });
+/// let alloc = dev.alloc("tensor", 1024, TargetRatio::R2)?;
+/// let entry = [0u8; 128];
+/// dev.write_entry(alloc, 0, &entry)?;
+/// assert_eq!(dev.read_entry(alloc, 0)?, entry);
+/// # Ok::<(), buddy_core::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyDevice {
+    codec: BitPlane,
+    config: DeviceConfig,
+    device: Vec<u8>,
+    buddy: Vec<u8>,
+    metadata: MetadataStore,
+    gbbr: Gbbr,
+    allocations: Vec<Allocation>,
+    device_used: u64,
+    buddy_used: u64,
+    metadata_used: u64,
+    stats: AccessStats,
+}
+
+impl BuddyDevice {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        let buddy_capacity = config.device_capacity * config.carve_out_factor;
+        let metadata_entries = config.device_capacity / 8; // worst case: 16x entries
+        Self {
+            codec: BitPlane::new(),
+            config,
+            device: vec![0u8; config.device_capacity as usize],
+            buddy: vec![0u8; buddy_capacity as usize],
+            metadata: MetadataStore::new(metadata_entries),
+            gbbr: Gbbr(0),
+            allocations: Vec::new(),
+            device_used: 0,
+            buddy_used: 0,
+            metadata_used: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> DeviceConfig {
+        self.config
+    }
+
+    /// The Global Buddy Base-address Register.
+    pub fn gbbr(&self) -> Gbbr {
+        self.gbbr
+    }
+
+    /// Device bytes consumed by allocations so far.
+    pub fn device_used(&self) -> u64 {
+        self.device_used
+    }
+
+    /// Buddy carve-out bytes reserved so far.
+    pub fn buddy_used(&self) -> u64 {
+        self.buddy_used
+    }
+
+    /// Uncompressed bytes represented by all allocations.
+    pub fn logical_bytes(&self) -> u64 {
+        self.allocations.iter().map(|a| a.entries * ENTRY_BYTES as u64).sum()
+    }
+
+    /// Effective device compression ratio achieved by the current
+    /// allocations (logical bytes / device bytes).
+    pub fn effective_ratio(&self) -> f64 {
+        if self.device_used == 0 {
+            return 1.0;
+        }
+        self.logical_bytes() as f64 / self.device_used as f64
+    }
+
+    /// Traffic counters accumulated since the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: Self::reset_stats
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Clears the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Allocates `entries` 128 B memory-entries with the given target ratio.
+    ///
+    /// Device memory is charged `entries × 128/r` bytes; the buddy carve-out
+    /// is charged the complementary slot space. All entries start as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfDeviceMemory`] or
+    /// [`DeviceError::OutOfBuddyMemory`] if either region is exhausted.
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        entries: u64,
+        target: TargetRatio,
+    ) -> Result<AllocId, DeviceError> {
+        let device_need = entries * target.device_bytes_per_entry() as u64;
+        let buddy_need = entries * target.buddy_bytes_per_entry() as u64;
+        let device_avail = self.config.device_capacity - self.device_used;
+        if device_need > device_avail {
+            return Err(DeviceError::OutOfDeviceMemory {
+                requested: device_need,
+                available: device_avail,
+            });
+        }
+        let buddy_capacity = self.config.device_capacity * self.config.carve_out_factor;
+        let buddy_avail = buddy_capacity - self.buddy_used;
+        if buddy_need > buddy_avail {
+            return Err(DeviceError::OutOfBuddyMemory {
+                requested: buddy_need,
+                available: buddy_avail,
+            });
+        }
+        if self.metadata_used + entries > self.metadata.entries() {
+            // Grow the metadata region (functional model only; the 0.4%
+            // overhead accounting is reported separately).
+            let mut grown = MetadataStore::new((self.metadata_used + entries).next_power_of_two());
+            for i in 0..self.metadata_used {
+                grown.set(i, self.metadata.get(i));
+            }
+            self.metadata = grown;
+        }
+
+        let alloc = Allocation {
+            name: name.to_owned(),
+            target,
+            entries,
+            device_base: self.device_used,
+            buddy_base: self.buddy_used,
+            metadata_base: self.metadata_used,
+        };
+        self.device_used += device_need;
+        self.buddy_used += buddy_need;
+        self.metadata_used += entries;
+        self.allocations.push(alloc);
+        Ok(AllocId(self.allocations.len() - 1))
+    }
+
+    fn allocation(&self, id: AllocId) -> Result<&Allocation, DeviceError> {
+        self.allocations.get(id.0).ok_or(DeviceError::BadAllocation)
+    }
+
+    fn check_index(alloc: &Allocation, index: u64) -> Result<(), DeviceError> {
+        if index >= alloc.entries {
+            Err(DeviceError::BadIndex { index, entries: alloc.entries })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Name and target of an allocation (for reports).
+    pub fn allocation_info(&self, id: AllocId) -> Result<(&str, TargetRatio, u64), DeviceError> {
+        let a = self.allocation(id)?;
+        Ok((&a.name, a.target, a.entries))
+    }
+
+    /// Writes one 128 B entry, compressing it and updating only this entry's
+    /// device bytes, buddy slot and metadata nibble.
+    ///
+    /// Returns the [`EntryState`] recorded in metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// for invalid handles.
+    pub fn write_entry(
+        &mut self,
+        id: AllocId,
+        index: u64,
+        entry: &Entry,
+    ) -> Result<EntryState, DeviceError> {
+        let alloc = self.allocation(id)?.clone();
+        Self::check_index(&alloc, index)?;
+
+        let state = if entry.iter().all(|&b| b == 0) {
+            EntryState::Zero
+        } else {
+            let compressed = self.codec.compress(entry);
+            match alloc.target {
+                TargetRatio::ZeroPage16 => {
+                    if compressed.bytes() <= 8 {
+                        self.store_zero_page(&alloc, index, &compressed);
+                        EntryState::ZeroPageFit
+                    } else {
+                        self.store_zero_page_overflow(&alloc, index, entry);
+                        EntryState::ZeroPageOverflow
+                    }
+                }
+                _ => {
+                    let class = compressed.size_class();
+                    if class == SizeClass::B128 {
+                        // Incompressible: store the raw entry across the
+                        // four sectors.
+                        self.store_sectors(&alloc, index, entry, 4);
+                        EntryState::Compressed { sectors: 4 }
+                    } else {
+                        let sectors = class.sectors().max(1);
+                        let mut padded = vec![0u8; sectors as usize * SECTOR_BYTES];
+                        padded[..compressed.data().len()].copy_from_slice(compressed.data());
+                        self.store_sectors(&alloc, index, &padded, sectors);
+                        EntryState::Compressed { sectors }
+                    }
+                }
+            }
+        };
+
+        self.metadata.set(alloc.metadata_base + index, state);
+        self.record_write(&alloc, state);
+        Ok(state)
+    }
+
+    /// Reads one 128 B entry, decompressing from device and (if the entry
+    /// overflowed its target) buddy memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// for invalid handles.
+    pub fn read_entry(&mut self, id: AllocId, index: u64) -> Result<Entry, DeviceError> {
+        let alloc = self.allocation(id)?.clone();
+        Self::check_index(&alloc, index)?;
+        let state = self.metadata.get(alloc.metadata_base + index);
+        self.record_read(&alloc, state);
+
+        match state {
+            EntryState::Zero => Ok([0u8; ENTRY_BYTES]),
+            EntryState::ZeroPageFit => {
+                let off = alloc.device_offset(index) as usize;
+                let data = self.device[off..off + 8].to_vec();
+                self.decode(data, 8)
+            }
+            EntryState::ZeroPageOverflow => {
+                let off = alloc.buddy_offset(index) as usize;
+                let mut entry = [0u8; ENTRY_BYTES];
+                entry.copy_from_slice(&self.buddy[off..off + ENTRY_BYTES]);
+                Ok(entry)
+            }
+            EntryState::Compressed { sectors } => {
+                let data = self.load_sectors(&alloc, index, sectors);
+                if sectors == 4 {
+                    // Raw storage.
+                    let mut entry = [0u8; ENTRY_BYTES];
+                    entry.copy_from_slice(&data);
+                    Ok(entry)
+                } else {
+                    self.decode(data, sectors as usize * SECTOR_BYTES)
+                }
+            }
+        }
+    }
+
+    /// Per-entry state without touching traffic counters (for analysis).
+    pub fn entry_state(&self, id: AllocId, index: u64) -> Result<EntryState, DeviceError> {
+        let alloc = self.allocation(id)?;
+        Self::check_index(alloc, index)?;
+        Ok(self.metadata.get(alloc.metadata_base + index))
+    }
+
+    /// Raw storage fingerprint of an entry: the device and buddy byte ranges
+    /// it owns. Used by tests to prove that writes never move other entries.
+    pub fn storage_ranges(
+        &self,
+        id: AllocId,
+        index: u64,
+    ) -> Result<((u64, u64), (u64, u64)), DeviceError> {
+        let alloc = self.allocation(id)?;
+        Self::check_index(alloc, index)?;
+        Ok((
+            (alloc.device_offset(index), alloc.device_stride()),
+            (alloc.buddy_offset(index), alloc.buddy_stride()),
+        ))
+    }
+
+    fn decode(&self, data: Vec<u8>, bytes: usize) -> Result<Entry, DeviceError> {
+        let compressed = Compressed::new(BitPlane::NAME, bytes * 8, data);
+        Ok(self
+            .codec
+            .decompress(&compressed)
+            .expect("stored streams always decode: write path produced them"))
+    }
+
+    fn store_zero_page(&mut self, alloc: &Allocation, index: u64, compressed: &Compressed) {
+        let off = alloc.device_offset(index) as usize;
+        self.device[off..off + 8].fill(0);
+        self.device[off..off + compressed.data().len()].copy_from_slice(compressed.data());
+    }
+
+    fn store_zero_page_overflow(&mut self, alloc: &Allocation, index: u64, entry: &Entry) {
+        let off = alloc.buddy_offset(index) as usize;
+        self.buddy[off..off + ENTRY_BYTES].copy_from_slice(entry);
+    }
+
+    /// Stores `sectors` sectors of `data`, the first `device_sectors` in
+    /// device memory and the remainder in the entry's buddy slot.
+    fn store_sectors(&mut self, alloc: &Allocation, index: u64, data: &[u8], sectors: u8) {
+        let device_sectors = alloc.target.device_sectors().min(sectors);
+        let split = device_sectors as usize * SECTOR_BYTES;
+        let device_off = alloc.device_offset(index) as usize;
+        self.device[device_off..device_off + split].copy_from_slice(&data[..split]);
+        if (sectors as usize) * SECTOR_BYTES > split {
+            let buddy_off = alloc.buddy_offset(index) as usize;
+            let rest = &data[split..sectors as usize * SECTOR_BYTES];
+            self.buddy[buddy_off..buddy_off + rest.len()].copy_from_slice(rest);
+        }
+    }
+
+    fn load_sectors(&self, alloc: &Allocation, index: u64, sectors: u8) -> Vec<u8> {
+        let device_sectors = alloc.target.device_sectors().min(sectors);
+        let split = device_sectors as usize * SECTOR_BYTES;
+        let total = sectors as usize * SECTOR_BYTES;
+        let mut data = Vec::with_capacity(total);
+        let device_off = alloc.device_offset(index) as usize;
+        data.extend_from_slice(&self.device[device_off..device_off + split]);
+        if total > split {
+            let buddy_off = alloc.buddy_offset(index) as usize;
+            data.extend_from_slice(&self.buddy[buddy_off..buddy_off + (total - split)]);
+        }
+        data
+    }
+
+    fn buddy_sectors_of(alloc: &Allocation, state: EntryState) -> u64 {
+        match state {
+            EntryState::Zero | EntryState::ZeroPageFit => 0,
+            EntryState::ZeroPageOverflow => 4,
+            EntryState::Compressed { sectors } => {
+                sectors.saturating_sub(alloc.target.device_sectors()) as u64
+            }
+        }
+    }
+
+    fn device_sectors_of(alloc: &Allocation, state: EntryState) -> u64 {
+        match state {
+            EntryState::Zero => 0,
+            // The 8 B granule still costs one sector access.
+            EntryState::ZeroPageFit => 1,
+            EntryState::ZeroPageOverflow => 0,
+            EntryState::Compressed { sectors } => {
+                sectors.min(alloc.target.device_sectors()) as u64
+            }
+        }
+    }
+
+    fn record_read(&mut self, alloc: &Allocation, state: EntryState) {
+        let buddy = Self::buddy_sectors_of(alloc, state);
+        self.stats.device_sectors += Self::device_sectors_of(alloc, state);
+        self.stats.buddy_sectors += buddy;
+        if buddy > 0 {
+            self.stats.reads_with_buddy += 1;
+        } else {
+            self.stats.reads_device_only += 1;
+        }
+    }
+
+    fn record_write(&mut self, alloc: &Allocation, state: EntryState) {
+        let buddy = Self::buddy_sectors_of(alloc, state);
+        self.stats.device_sectors += Self::device_sectors_of(alloc, state);
+        self.stats.buddy_sectors += buddy;
+        if buddy > 0 {
+            self.stats.writes_with_buddy += 1;
+        } else {
+            self.stats.writes_device_only += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_of_words(mut f: impl FnMut(usize) -> u32) -> Entry {
+        let mut e = [0u8; ENTRY_BYTES];
+        for (i, c) in e.chunks_exact_mut(4).enumerate() {
+            c.copy_from_slice(&f(i).to_le_bytes());
+        }
+        e
+    }
+
+    fn small_device() -> BuddyDevice {
+        BuddyDevice::new(DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 })
+    }
+
+    #[test]
+    fn zero_entries_cost_nothing_to_read() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 16, TargetRatio::R2).unwrap();
+        dev.write_entry(a, 3, &[0u8; 128]).unwrap();
+        dev.reset_stats();
+        assert_eq!(dev.read_entry(a, 3).unwrap(), [0u8; 128]);
+        let s = dev.stats();
+        assert_eq!(s.device_sectors, 0);
+        assert_eq!(s.buddy_sectors, 0);
+        assert_eq!(s.reads_device_only, 1);
+    }
+
+    #[test]
+    fn compressible_entry_stays_in_device() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 16, TargetRatio::R2).unwrap();
+        let entry = entry_of_words(|i| 1000 + i as u32); // ramp → 1 sector
+        let state = dev.write_entry(a, 0, &entry).unwrap();
+        assert_eq!(state, EntryState::Compressed { sectors: 1 });
+        dev.reset_stats();
+        assert_eq!(dev.read_entry(a, 0).unwrap(), entry);
+        assert_eq!(dev.stats().buddy_sectors, 0);
+    }
+
+    #[test]
+    fn incompressible_entry_overflows_to_buddy() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 16, TargetRatio::R2).unwrap();
+        let mut state = 1u64;
+        let entry = entry_of_words(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 32) as u32
+        });
+        let st = dev.write_entry(a, 5, &entry).unwrap();
+        assert_eq!(st, EntryState::Compressed { sectors: 4 });
+        dev.reset_stats();
+        assert_eq!(dev.read_entry(a, 5).unwrap(), entry);
+        let s = dev.stats();
+        assert_eq!(s.device_sectors, 2); // target 2x keeps 2 sectors local
+        assert_eq!(s.buddy_sectors, 2); // and 2 come over the link
+        assert_eq!(s.reads_with_buddy, 1);
+        assert!((s.buddy_access_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewrite_changes_only_own_slot() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 8, TargetRatio::R2).unwrap();
+        let ramp = entry_of_words(|i| 7 * i as u32);
+        for i in 0..8 {
+            dev.write_entry(a, i, &ramp).unwrap();
+        }
+        // Make entry 4 incompressible; neighbours must read back unchanged.
+        let mut x = 99u64;
+        let noisy = entry_of_words(|_| {
+            x = x.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7EF767814F);
+            (x >> 30) as u32
+        });
+        dev.write_entry(a, 4, &noisy).unwrap();
+        for i in 0..8 {
+            let expect = if i == 4 { noisy } else { ramp };
+            assert_eq!(dev.read_entry(a, i).unwrap(), expect, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn zero_page_mode_fit_and_overflow() {
+        let mut dev = small_device();
+        let a = dev.alloc("zp", 8, TargetRatio::ZeroPage16).unwrap();
+        // Constant entry: 41 bits → 6 bytes → fits the 8 B granule.
+        let constant = entry_of_words(|_| 0xABCD_1234);
+        assert_eq!(dev.write_entry(a, 0, &constant).unwrap(), EntryState::ZeroPageFit);
+        assert_eq!(dev.read_entry(a, 0).unwrap(), constant);
+        // A ramp costs more than 8 B? No — still tiny. Use noisy data.
+        let mut x = 3u64;
+        let noisy = entry_of_words(|_| {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(13);
+            (x >> 24) as u32
+        });
+        assert_eq!(dev.write_entry(a, 1, &noisy).unwrap(), EntryState::ZeroPageOverflow);
+        assert_eq!(dev.read_entry(a, 1).unwrap(), noisy);
+        // Overflow reads are pure buddy traffic.
+        dev.reset_stats();
+        dev.read_entry(a, 1).unwrap();
+        assert_eq!(dev.stats().buddy_sectors, 4);
+        assert_eq!(dev.stats().device_sectors, 0);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut dev = BuddyDevice::new(DeviceConfig { device_capacity: 4096, carve_out_factor: 3 });
+        // 2x target: 64 B device per entry → 64 entries max.
+        let a = dev.alloc("a", 32, TargetRatio::R2).unwrap();
+        assert_eq!(dev.device_used(), 32 * 64);
+        assert_eq!(dev.buddy_used(), 32 * 64);
+        assert_eq!(dev.logical_bytes(), 32 * 128);
+        assert!((dev.effective_ratio() - 2.0).abs() < 1e-12);
+        let err = dev.alloc("too-big", 1000, TargetRatio::R1).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfDeviceMemory { .. }));
+        let _ = a;
+    }
+
+    #[test]
+    fn buddy_exhaustion_detected() {
+        // Carve-out factor 0: no buddy at all — only 1x allocations succeed.
+        let mut dev = BuddyDevice::new(DeviceConfig { device_capacity: 4096, carve_out_factor: 0 });
+        assert!(dev.alloc("plain", 4, TargetRatio::R1).is_ok());
+        let err = dev.alloc("compressed", 4, TargetRatio::R2).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfBuddyMemory { .. }));
+    }
+
+    #[test]
+    fn bad_handles_are_rejected() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 4, TargetRatio::R1).unwrap();
+        assert!(matches!(
+            dev.read_entry(AllocId(7), 0),
+            Err(DeviceError::BadAllocation)
+        ));
+        assert!(matches!(
+            dev.read_entry(a, 4),
+            Err(DeviceError::BadIndex { index: 4, entries: 4 })
+        ));
+    }
+
+    #[test]
+    fn fresh_allocation_reads_zero() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 4, TargetRatio::R4).unwrap();
+        assert_eq!(dev.read_entry(a, 2).unwrap(), [0u8; 128]);
+    }
+
+    #[test]
+    fn allocation_info() {
+        let mut dev = small_device();
+        let a = dev.alloc("weights", 10, TargetRatio::R1_33).unwrap();
+        let (name, target, entries) = dev.allocation_info(a).unwrap();
+        assert_eq!(name, "weights");
+        assert_eq!(target, TargetRatio::R1_33);
+        assert_eq!(entries, 10);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DeviceError::OutOfDeviceMemory { requested: 10, available: 5 };
+        assert_eq!(e.to_string(), "out of device memory: need 10 B, 5 B free");
+    }
+}

@@ -1,0 +1,235 @@
+//! Compression metadata: the 4-bit per-entry state array, the Global Buddy
+//! Base-address Register (GBBR), and the page-table extension accounting.
+//!
+//! §3.2: "To know the actual compressed size of each 128B memory-entry,
+//! there are 4 bits of metadata per cache block, stored in a dedicated
+//! region of device memory, amounting to a 0.4% overhead in storage." The
+//! page table carries 24 extra bits per PTE (compressed flag, target ratio,
+//! buddy-page offset), and a single GBBR holds the base of the carve-out.
+
+use std::fmt;
+
+/// Decoded 4-bit per-entry metadata state.
+///
+/// The encoding covers everything the memory controller needs on an access:
+/// how many device sectors hold the entry, whether the buddy slot is in use,
+/// and the two zero-page sub-states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryState {
+    /// The entry is all zeros — no data sectors need to be read at all.
+    Zero,
+    /// The entry is stored compressed in `sectors` (1–4) sectors, starting
+    /// in device memory and spilling to the buddy slot beyond the target.
+    Compressed {
+        /// Total 32 B sectors occupied (1–4).
+        sectors: u8,
+    },
+    /// Zero-page-mode entry that fits its 8 B device granule.
+    ZeroPageFit,
+    /// Zero-page-mode entry that overflowed: the full 128 B raw entry lives
+    /// in the buddy slot.
+    ZeroPageOverflow,
+}
+
+impl EntryState {
+    /// Encodes into the 4-bit on-chip representation.
+    pub fn encode(self) -> u8 {
+        match self {
+            EntryState::Zero => 0,
+            EntryState::Compressed { sectors } => {
+                debug_assert!((1..=4).contains(&sectors));
+                sectors
+            }
+            EntryState::ZeroPageFit => 5,
+            EntryState::ZeroPageOverflow => 6,
+        }
+    }
+
+    /// Decodes the 4-bit representation.
+    ///
+    /// Returns `None` for the reserved encodings 7–15.
+    pub fn decode(nibble: u8) -> Option<Self> {
+        match nibble {
+            0 => Some(EntryState::Zero),
+            s @ 1..=4 => Some(EntryState::Compressed { sectors: s }),
+            5 => Some(EntryState::ZeroPageFit),
+            6 => Some(EntryState::ZeroPageOverflow),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EntryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryState::Zero => write!(f, "zero"),
+            EntryState::Compressed { sectors } => write!(f, "{sectors}s"),
+            EntryState::ZeroPageFit => write!(f, "zp-fit"),
+            EntryState::ZeroPageOverflow => write!(f, "zp-ovf"),
+        }
+    }
+}
+
+/// The dedicated device-memory region holding 4 bits per 128 B entry.
+///
+/// Packed two entries per byte. One 32 B metadata cache line covers 64
+/// consecutive entries (8 KB of data) — the prefetch granularity §3.2
+/// describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataStore {
+    nibbles: Vec<u8>,
+    entries: u64,
+}
+
+/// Number of 128 B entries covered by one 32 B metadata line.
+pub const ENTRIES_PER_METADATA_LINE: u64 = 64;
+
+impl MetadataStore {
+    /// Creates metadata for `entries` memory-entries, all initially zero.
+    pub fn new(entries: u64) -> Self {
+        Self { nibbles: vec![0u8; entries.div_ceil(2) as usize], entries }
+    }
+
+    /// Number of entries tracked.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Size of the metadata region in bytes (the 0.4% overhead).
+    pub fn storage_bytes(&self) -> u64 {
+        self.nibbles.len() as u64
+    }
+
+    /// Reads the state of entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or holds a reserved encoding
+    /// (impossible through [`set`](Self::set)).
+    pub fn get(&self, index: u64) -> EntryState {
+        assert!(index < self.entries, "metadata index {index} out of range");
+        let byte = self.nibbles[(index / 2) as usize];
+        let nibble = if index % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        EntryState::decode(nibble).expect("stored nibble is always valid")
+    }
+
+    /// Writes the state of entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: u64, state: EntryState) {
+        assert!(index < self.entries, "metadata index {index} out of range");
+        let slot = &mut self.nibbles[(index / 2) as usize];
+        let nibble = state.encode();
+        if index % 2 == 0 {
+            *slot = (*slot & 0xF0) | nibble;
+        } else {
+            *slot = (*slot & 0x0F) | (nibble << 4);
+        }
+    }
+
+    /// The metadata line index covering entry `index` (the unit cached by
+    /// the metadata cache).
+    pub fn line_of(index: u64) -> u64 {
+        index / ENTRIES_PER_METADATA_LINE
+    }
+}
+
+/// The Global Buddy Base-address Register: base physical address of this
+/// GPU's carve-out in the buddy memory (§3.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Gbbr(pub u64);
+
+impl Gbbr {
+    /// Translates a buddy-page offset (from the extended PTE) plus an
+    /// in-page byte offset into a buddy physical address — the paper's
+    /// "simple GBBR-offset based addressing".
+    pub fn translate(self, buddy_page_offset: u64, byte_in_region: u64) -> u64 {
+        self.0 + buddy_page_offset + byte_in_region
+    }
+}
+
+/// Extra bits Buddy Compression adds to each page-table entry: compressed
+/// flag (1), target ratio (3, covering the 16× encoding §3.4 adds), and
+/// buddy-page offset (20) — "a total overhead of 24 bits per page-table
+/// entry" (§3.2).
+pub const PTE_EXTENSION_BITS: u32 = 24;
+
+/// Metadata storage overhead as a fraction of data storage: 4 bits per
+/// 128 B entry.
+pub const METADATA_OVERHEAD: f64 = 4.0 / (128.0 * 8.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_round_trip_through_nibbles() {
+        let states = [
+            EntryState::Zero,
+            EntryState::Compressed { sectors: 1 },
+            EntryState::Compressed { sectors: 2 },
+            EntryState::Compressed { sectors: 3 },
+            EntryState::Compressed { sectors: 4 },
+            EntryState::ZeroPageFit,
+            EntryState::ZeroPageOverflow,
+        ];
+        for s in states {
+            assert_eq!(EntryState::decode(s.encode()), Some(s));
+        }
+        for reserved in 7..=15u8 {
+            assert_eq!(EntryState::decode(reserved), None);
+        }
+    }
+
+    #[test]
+    fn store_set_get_adjacent_nibbles() {
+        let mut store = MetadataStore::new(10);
+        store.set(0, EntryState::Compressed { sectors: 3 });
+        store.set(1, EntryState::ZeroPageOverflow);
+        assert_eq!(store.get(0), EntryState::Compressed { sectors: 3 });
+        assert_eq!(store.get(1), EntryState::ZeroPageOverflow);
+        // Overwrite one half; the other is untouched.
+        store.set(0, EntryState::Zero);
+        assert_eq!(store.get(0), EntryState::Zero);
+        assert_eq!(store.get(1), EntryState::ZeroPageOverflow);
+    }
+
+    #[test]
+    fn overhead_is_0_4_percent() {
+        let store = MetadataStore::new(1 << 20);
+        let data_bytes = (1u64 << 20) * 128;
+        let overhead = store.storage_bytes() as f64 / data_bytes as f64;
+        assert!((overhead - 0.00390625).abs() < 1e-9);
+        assert!((METADATA_OVERHEAD - overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_covers_64_entries() {
+        assert_eq!(MetadataStore::line_of(0), 0);
+        assert_eq!(MetadataStore::line_of(63), 0);
+        assert_eq!(MetadataStore::line_of(64), 1);
+        assert_eq!(ENTRIES_PER_METADATA_LINE * 4 / 8, 32); // 32 B per line
+    }
+
+    #[test]
+    fn gbbr_translation_is_offset_based() {
+        let gbbr = Gbbr(0x1_0000_0000);
+        assert_eq!(gbbr.translate(0x2000, 96), 0x1_0000_2060);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        MetadataStore::new(4).get(4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntryState::Zero.to_string(), "zero");
+        assert_eq!(EntryState::Compressed { sectors: 2 }.to_string(), "2s");
+        assert_eq!(EntryState::ZeroPageFit.to_string(), "zp-fit");
+        assert_eq!(EntryState::ZeroPageOverflow.to_string(), "zp-ovf");
+    }
+}

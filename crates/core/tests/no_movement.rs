@@ -1,0 +1,171 @@
+//! Tests for the central design invariant of Buddy Compression (§3.3):
+//! *"the compressibility of each memory-entry affects only its own
+//! allocation, thereby never having to cause page movement."*
+//!
+//! We verify this at two levels: storage ranges are fixed functions of
+//! (allocation, index) regardless of data, and rewriting any entry with
+//! data of any compressibility leaves every other entry byte-identical on
+//! read-back.
+
+use bpc::ENTRY_BYTES;
+use buddy_core::{BuddyDevice, DeviceConfig, EntryState, TargetRatio};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+type Entry = [u8; ENTRY_BYTES];
+
+/// Entries spanning the whole compressibility range.
+fn entry_of_kind(kind: u8, seed: u64) -> Entry {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut entry = [0u8; ENTRY_BYTES];
+    match kind % 4 {
+        0 => {} // zero
+        1 => {
+            // constant word — highly compressible
+            let w: u32 = rng.gen();
+            for c in entry.chunks_exact_mut(4) {
+                c.copy_from_slice(&w.to_le_bytes());
+            }
+        }
+        2 => {
+            // small-noise ints — mid compressibility
+            let base: u32 = rng.gen_range(1 << 28..1 << 29);
+            for c in entry.chunks_exact_mut(4) {
+                let v = base + rng.gen_range(0u32..1 << 10);
+                c.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        _ => rng.fill(&mut entry[..]), // incompressible
+    }
+    entry
+}
+
+fn device() -> BuddyDevice {
+    BuddyDevice::new(DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 })
+}
+
+#[test]
+fn storage_ranges_are_data_independent() {
+    let mut dev = device();
+    let a = dev.alloc("a", 64, TargetRatio::R2).unwrap();
+    let before: Vec<_> = (0..64).map(|i| dev.storage_ranges(a, i).unwrap()).collect();
+    // Write wildly different data everywhere.
+    for i in 0..64 {
+        dev.write_entry(a, i, &entry_of_kind(i as u8, i)).unwrap();
+    }
+    let after: Vec<_> = (0..64).map(|i| dev.storage_ranges(a, i).unwrap()).collect();
+    assert_eq!(before, after, "storage mapping must not depend on data");
+    // Ranges are disjoint and strided.
+    for i in 1..64usize {
+        let ((d_prev, d_len), (b_prev, b_len)) = before[i - 1];
+        let ((d_cur, _), (b_cur, _)) = before[i];
+        assert_eq!(d_cur, d_prev + d_len);
+        assert_eq!(b_cur, b_prev + b_len);
+    }
+}
+
+#[test]
+fn compressibility_change_never_disturbs_neighbors() {
+    for target in [
+        TargetRatio::R1,
+        TargetRatio::R1_33,
+        TargetRatio::R2,
+        TargetRatio::R4,
+        TargetRatio::ZeroPage16,
+    ] {
+        let mut dev = device();
+        let a = dev.alloc("a", 32, target).unwrap();
+        let initial: Vec<Entry> = (0..32).map(|i| entry_of_kind(i as u8, 1000 + i)).collect();
+        for (i, e) in initial.iter().enumerate() {
+            dev.write_entry(a, i as u64, e).unwrap();
+        }
+        // Cycle entry 7 through every compressibility kind.
+        for kind in 0..8u8 {
+            let update = entry_of_kind(kind, 7777 + kind as u64);
+            dev.write_entry(a, 7, &update).unwrap();
+            for (i, e) in initial.iter().enumerate() {
+                if i == 7 {
+                    assert_eq!(dev.read_entry(a, 7).unwrap(), update, "{target}: self");
+                } else {
+                    assert_eq!(dev.read_entry(a, i as u64).unwrap(), *e, "{target}: entry {i}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allocations_do_not_interfere() {
+    let mut dev = device();
+    let a = dev.alloc("a", 16, TargetRatio::R4).unwrap();
+    let b = dev.alloc("b", 16, TargetRatio::R2).unwrap();
+    let c = dev.alloc("c", 16, TargetRatio::ZeroPage16).unwrap();
+    for i in 0..16u64 {
+        dev.write_entry(a, i, &entry_of_kind(i as u8, i)).unwrap();
+        dev.write_entry(b, i, &entry_of_kind((i + 1) as u8, 100 + i)).unwrap();
+        dev.write_entry(c, i, &entry_of_kind((i + 2) as u8, 200 + i)).unwrap();
+    }
+    for i in 0..16u64 {
+        assert_eq!(dev.read_entry(a, i).unwrap(), entry_of_kind(i as u8, i));
+        assert_eq!(dev.read_entry(b, i).unwrap(), entry_of_kind((i + 1) as u8, 100 + i));
+        assert_eq!(dev.read_entry(c, i).unwrap(), entry_of_kind((i + 2) as u8, 200 + i));
+    }
+}
+
+#[test]
+fn buddy_fraction_tracks_overflow_rate() {
+    let mut dev = device();
+    let a = dev.alloc("a", 100, TargetRatio::R4).unwrap();
+    // Half the entries compress to one sector, half do not.
+    for i in 0..100u64 {
+        let kind = if i % 2 == 0 { 1 } else { 3 };
+        dev.write_entry(a, i, &entry_of_kind(kind, i)).unwrap();
+    }
+    dev.reset_stats();
+    for i in 0..100u64 {
+        dev.read_entry(a, i).unwrap();
+    }
+    let frac = dev.stats().buddy_access_fraction();
+    assert!((frac - 0.5).abs() < 0.01, "expected ~50% buddy accesses, got {frac}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Read-after-write returns the written entry for every target ratio and
+    /// any mix of compressibilities, including repeated rewrites.
+    #[test]
+    fn read_after_write_round_trips(
+        target_idx in 0usize..5,
+        ops in proptest::collection::vec((0u64..24, 0u8..8, any::<u64>()), 1..80)
+    ) {
+        let target = TargetRatio::DESCENDING[target_idx];
+        let mut dev = device();
+        let a = dev.alloc("pt", 24, target).unwrap();
+        let mut shadow: Vec<Entry> = vec![[0u8; ENTRY_BYTES]; 24];
+        for (idx, kind, seed) in ops {
+            let entry = entry_of_kind(kind, seed);
+            dev.write_entry(a, idx, &entry).unwrap();
+            shadow[idx as usize] = entry;
+        }
+        for (i, expect) in shadow.iter().enumerate() {
+            prop_assert_eq!(&dev.read_entry(a, i as u64).unwrap(), expect);
+        }
+    }
+
+    /// Metadata state is always consistent with what the entry needs.
+    #[test]
+    fn metadata_matches_fit(kind in 0u8..8, seed in any::<u64>()) {
+        let mut dev = device();
+        let a = dev.alloc("m", 4, TargetRatio::R2).unwrap();
+        let entry = entry_of_kind(kind, seed);
+        let state = dev.write_entry(a, 0, &entry).unwrap();
+        prop_assert_eq!(dev.entry_state(a, 0).unwrap(), state);
+        match state {
+            EntryState::Zero => prop_assert!(entry.iter().all(|&b| b == 0)),
+            EntryState::Compressed { sectors } => prop_assert!((1..=4).contains(&sectors)),
+            _ => prop_assert!(false, "zero-page states impossible under R2"),
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The six DL training workloads of the paper (Table 1 / §4.1): AlexNet,
+//! Inception v2, SqueezeNet v1.1, VGG16, ResNet50 (Caffe + ImageNet), and
+//! BigLSTM (2-layer, 8192 hidden + 1024 projection, English LM).
+//!
+//! Architectures are written out at the block level (branches of an
+//! inception module or a residual block are summed into equivalent layers —
+//! exact per-branch shapes do not change footprint/FLOP totals
+//! meaningfully). Each network's `overhead_bytes` is calibrated so its
+//! footprint at the paper's reference batch size reproduces the Table 1
+//! footprint; the calibration is asserted by tests.
+
+use crate::layers::{LayerKind, Network, NetworkBuilder};
+
+/// Fractional GiB to bytes.
+fn gib(x: f64) -> u64 {
+    (x * (1u64 << 30) as f64) as u64
+}
+
+fn conv(out_ch: u64, kernel: u64, stride: u64, pad: u64) -> LayerKind {
+    LayerKind::Conv { out_ch, kernel, stride, pad }
+}
+
+fn pool(kernel: u64, stride: u64) -> LayerKind {
+    LayerKind::Pool { kernel, stride }
+}
+
+fn fc(outputs: u64) -> LayerKind {
+    LayerKind::Fc { outputs }
+}
+
+/// AlexNet (Krizhevsky et al., 2012). Reference batch 512 → 8.85 GB.
+pub fn alexnet() -> Network {
+    NetworkBuilder::image_input("AlexNet", 3, 227)
+        .layer("conv1", conv(96, 11, 4, 0))
+        .layer("pool1", pool(3, 2))
+        .layer("conv2", conv(256, 5, 1, 2))
+        .layer("pool2", pool(3, 2))
+        .layer("conv3", conv(384, 3, 1, 1))
+        .layer("conv4", conv(384, 3, 1, 1))
+        .layer("conv5", conv(256, 3, 1, 1))
+        .layer("pool5", pool(3, 2))
+        .layer("fc6", fc(4096))
+        .layer("fc7", fc(4096))
+        .layer("fc8", fc(1000))
+        .build_calibrated(gib(8.85), 512)
+}
+
+/// VGG16 (Simonyan & Zisserman, 2014). Reference batch 64 → 11.08 GB.
+pub fn vgg16() -> Network {
+    NetworkBuilder::image_input("VGG16", 3, 224)
+        .layer("conv1_1", conv(64, 3, 1, 1))
+        .layer("conv1_2", conv(64, 3, 1, 1))
+        .layer("pool1", pool(2, 2))
+        .layer("conv2_1", conv(128, 3, 1, 1))
+        .layer("conv2_2", conv(128, 3, 1, 1))
+        .layer("pool2", pool(2, 2))
+        .layer("conv3_1", conv(256, 3, 1, 1))
+        .layer("conv3_2", conv(256, 3, 1, 1))
+        .layer("conv3_3", conv(256, 3, 1, 1))
+        .layer("pool3", pool(2, 2))
+        .layer("conv4_1", conv(512, 3, 1, 1))
+        .layer("conv4_2", conv(512, 3, 1, 1))
+        .layer("conv4_3", conv(512, 3, 1, 1))
+        .layer("pool4", pool(2, 2))
+        .layer("conv5_1", conv(512, 3, 1, 1))
+        .layer("conv5_2", conv(512, 3, 1, 1))
+        .layer("conv5_3", conv(512, 3, 1, 1))
+        .layer("pool5", pool(2, 2))
+        .layer("fc6", fc(4096))
+        .layer("fc7", fc(4096))
+        .layer("fc8", fc(1000))
+        .build_calibrated(gib(11.08), 64)
+}
+
+/// ResNet50 (He et al., 2016), bottleneck blocks summed per stage.
+/// Reference batch 32 → 4.50 GB.
+pub fn resnet50() -> Network {
+    let mut b = NetworkBuilder::image_input("ResNet50", 3, 224)
+        .layer("conv1", conv(64, 7, 2, 3))
+        .layer("pool1", pool(3, 2));
+    // Stage (out_ch of the bottleneck 1x1-3x3-1x1 triple), blocks, stride.
+    let stages: [(u64, u64, u64, u64); 4] =
+        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    for (stage_idx, (mid, out, blocks, stride)) in stages.into_iter().enumerate() {
+        for block in 0..blocks {
+            let s = if block == 0 { stride } else { 1 };
+            let name = format!("res{}_{}", stage_idx + 2, block);
+            b = b
+                .layer(&format!("{name}_1x1a"), conv(mid, 1, s, 0))
+                .layer(&format!("{name}_3x3"), conv(mid, 3, 1, 1))
+                .layer(&format!("{name}_1x1b"), conv(out, 1, 1, 0));
+        }
+    }
+    b.layer("pool5", pool(7, 7)).layer("fc", fc(1000)).build_calibrated(gib(4.50), 32)
+}
+
+/// Inception v2 (Szegedy et al., 2016), modules summed into equivalent
+/// convolutions. Reference batch 32 → 3.21 GB.
+pub fn inception_v2() -> Network {
+    NetworkBuilder::image_input("Inception_V2", 3, 224)
+        .layer("conv1", conv(64, 7, 2, 3))
+        .layer("pool1", pool(3, 2))
+        .layer("conv2", conv(192, 3, 1, 1))
+        .layer("pool2", pool(3, 2))
+        // 3 inception modules at 28x28 (equivalent channel sums).
+        .layer("inc3a", conv(256, 3, 1, 1))
+        .layer("inc3b", conv(320, 3, 1, 1))
+        .layer("inc3c", conv(576, 3, 2, 1))
+        // 5 modules at 14x14.
+        .layer("inc4a", conv(576, 3, 1, 1))
+        .layer("inc4b", conv(576, 3, 1, 1))
+        .layer("inc4c", conv(608, 3, 1, 1))
+        .layer("inc4d", conv(608, 3, 1, 1))
+        .layer("inc4e", conv(1056, 3, 2, 1))
+        // 2 modules at 7x7.
+        .layer("inc5a", conv(1024, 3, 1, 1))
+        .layer("inc5b", conv(1024, 3, 1, 1))
+        .layer("pool5", pool(7, 7))
+        .layer("fc", fc(1000))
+        .build_calibrated(gib(3.21), 32)
+}
+
+/// SqueezeNet v1.1 (Iandola et al., 2016), fire modules summed.
+/// Reference batch 32 → 2.03 GB.
+pub fn squeezenet() -> Network {
+    NetworkBuilder::image_input("SqueezeNet", 3, 227)
+        .layer("conv1", conv(64, 3, 2, 0))
+        .layer("pool1", pool(3, 2))
+        .layer("fire2", conv(128, 3, 1, 1))
+        .layer("fire3", conv(128, 3, 1, 1))
+        .layer("pool3", pool(3, 2))
+        .layer("fire4", conv(256, 3, 1, 1))
+        .layer("fire5", conv(256, 3, 1, 1))
+        .layer("pool5", pool(3, 2))
+        .layer("fire6", conv(384, 3, 1, 1))
+        .layer("fire7", conv(384, 3, 1, 1))
+        .layer("fire8", conv(512, 3, 1, 1))
+        .layer("fire9", conv(512, 3, 1, 1))
+        .layer("conv10", conv(1000, 1, 1, 0))
+        .layer("pool10", pool(13, 13))
+        .build_calibrated(gib(2.03), 32)
+}
+
+/// BigLSTM (Jozefowicz et al., 2016): 2-layer LSTM with 8192 hidden units
+/// and a 1024-dimensional recurrent projection.
+///
+/// The full model shards its 800k-word softmax across GPUs; we model the
+/// per-GPU partition (10k words) with a long unroll (256 steps), which
+/// makes BigLSTM capacity-limited at small batches — the property §4.4
+/// relies on ("unable to fit the mini-batch size of 64"). Reference batch
+/// 4 → 2.71 GB (Table 1); the layer model alone slightly exceeds Table 1,
+/// so the calibrated overhead clamps to zero (documented in DESIGN.md).
+pub fn biglstm() -> Network {
+    NetworkBuilder::flat_input("BigLSTM", 1024)
+        .layer("embedding", LayerKind::Embedding { vocab: 10_000, dim: 1024, steps: 256 })
+        .layer("lstm1", LayerKind::Lstm { hidden: 8192, proj: 1024, steps: 256 })
+        .layer("lstm2", LayerKind::Lstm { hidden: 8192, proj: 1024, steps: 256 })
+        .layer("softmax", LayerKind::SoftmaxLm { vocab: 10_000, proj: 1024, steps: 256 })
+        .build_calibrated(gib(2.71), 4)
+}
+
+/// All six DL networks with their Table 1 footprints and reference batches.
+pub fn all_networks() -> Vec<(Network, u64, f64)> {
+    vec![
+        (biglstm(), 4, 2.71),
+        (alexnet(), 512, 8.85),
+        (inception_v2(), 32, 3.21),
+        (squeezenet(), 32, 2.03),
+        (vgg16(), 64, 11.08),
+        (resnet50(), 32, 4.50),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_literature() {
+        // Well-known totals (±5% for the block-summed approximations).
+        let alex = alexnet().params() as f64;
+        assert!((alex - 61e6).abs() / 61e6 < 0.05, "AlexNet params {alex}");
+        let vgg = vgg16().params() as f64;
+        assert!((vgg - 138e6).abs() / 138e6 < 0.05, "VGG16 params {vgg}");
+        let res = resnet50().params() as f64;
+        assert!((15e6..40e6).contains(&res), "ResNet50 params {res}");
+    }
+
+    #[test]
+    fn footprints_match_table_1_at_reference_batch() {
+        for (net, batch, table1_gb) in all_networks() {
+            let gb = net.footprint_bytes(batch) as f64 / (1u64 << 30) as f64;
+            let rel = (gb - table1_gb).abs() / table1_gb;
+            assert!(
+                rel < 0.15,
+                "{}: footprint {gb:.2} GB at batch {batch} vs Table 1 {table1_gb} GB",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn alexnet_transition_is_late_vgg_early() {
+        // Figure 13a: AlexNet's parameters dominate until batch ~96; VGG16
+        // and the rest become activation-dominated by batch 32.
+        let alex = alexnet();
+        let weights_fraction =
+            |n: &Network, b: u64| 3.0 * n.params() as f64 * 4.0 / n.footprint_bytes(b) as f64;
+        assert!(weights_fraction(&alex, 64) > 0.20, "AlexNet is parameter-heavy");
+        let vgg = vgg16();
+        assert!(
+            weights_fraction(&vgg, 64) < weights_fraction(&alex, 64),
+            "VGG16 is more activation-dominated than AlexNet"
+        );
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = all_networks().iter().map(|(n, _, _)| n.name).collect();
+        assert_eq!(
+            names,
+            ["BigLSTM", "AlexNet", "Inception_V2", "SqueezeNet", "VGG16", "ResNet50"]
+        );
+    }
+
+    #[test]
+    fn flops_are_plausible() {
+        // VGG16 forward ≈ 15.5 GFLOPs/image; AlexNet ≈ 0.7; ResNet50 ≈ 4.
+        let vgg = vgg16().flops_per_sample() as f64 / 1e9;
+        assert!((10.0..40.0).contains(&vgg), "VGG16 {vgg:.1} GFLOPs");
+        let alex = alexnet().flops_per_sample() as f64 / 1e9;
+        assert!((0.5..3.0).contains(&alex), "AlexNet {alex:.1} GFLOPs");
+    }
+}

@@ -1,0 +1,203 @@
+//! Roofline-style training throughput model (Figures 13b and 13c).
+//!
+//! Per layer and iteration: compute time is `3 × forward FLOPs` (forward
+//! plus the two backward GEMMs) divided by peak throughput derated by a
+//! batch-dependent efficiency; memory time is the layer's weight and
+//! activation traffic over DRAM bandwidth; the layer takes the max of the
+//! two (roofline) plus a fixed kernel-launch overhead. Small batches
+//! under-utilize the GPU (efficiency rises with batch and saturates), which
+//! produces the throughput plateau of Figure 13b.
+
+use crate::layers::{Network, BYTES_PER_ELEM};
+
+/// GPU throughput parameters (defaults model the paper's Titan Xp).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPerf {
+    /// Peak fp32 throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Fixed overhead per kernel launch, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Batch size at which GEMM efficiency reaches half its maximum.
+    pub efficiency_half_batch: f64,
+    /// Maximum achievable fraction of peak.
+    pub max_efficiency: f64,
+    /// Device memory capacity in bytes (12 GB Titan Xp).
+    pub memory_bytes: u64,
+}
+
+impl Default for GpuPerf {
+    fn default() -> Self {
+        Self {
+            peak_gflops: 12_150.0,
+            dram_gbps: 547.0,
+            launch_overhead_us: 6.0,
+            // GEMM/conv efficiency keeps improving well past batch 64 —
+            // the §4.4 observation that "most DL networks require a
+            // mini-batch of at least 64 or 128 … to achieve near-maximum
+            // throughput".
+            efficiency_half_batch: 48.0,
+            max_efficiency: 0.62,
+            // 12 GB Titan Xp minus ~1 GB CUDA context and reserved memory.
+            memory_bytes: 11 << 30,
+        }
+    }
+}
+
+impl GpuPerf {
+    /// Fraction of peak compute achieved at a mini-batch size.
+    pub fn efficiency(&self, batch: u64) -> f64 {
+        let b = batch as f64;
+        self.max_efficiency * b / (b + self.efficiency_half_batch)
+    }
+}
+
+/// Estimated time of one training iteration, in microseconds.
+pub fn iteration_time_us(net: &Network, batch: u64, gpu: &GpuPerf) -> f64 {
+    let eff = gpu.efficiency(batch).max(1e-6);
+    let mut total_us = 0.0;
+    for layer in &net.layers {
+        // Forward + backward-data + backward-weights.
+        let flops = 3.0 * layer.flops as f64 * batch as f64;
+        let compute_us = flops / (gpu.peak_gflops * 1e3 * eff);
+        let bytes = (layer.params as f64 * 3.0
+            + layer.act_elems as f64 * batch as f64 * 2.0)
+            * BYTES_PER_ELEM as f64;
+        let memory_us = bytes / (gpu.dram_gbps * 1e3);
+        total_us += compute_us.max(memory_us) + 3.0 * gpu.launch_overhead_us;
+    }
+    total_us
+}
+
+/// Training throughput in samples (images) per second (Figure 13b).
+pub fn throughput(net: &Network, batch: u64, gpu: &GpuPerf) -> f64 {
+    if batch == 0 {
+        return 0.0;
+    }
+    let t = iteration_time_us(net, batch, gpu);
+    batch as f64 / (t * 1e-6)
+}
+
+/// The Figure 13c experiment for one network: throughput at the largest
+/// batch that fits in device memory, against the largest batch that fits in
+/// `compression_ratio ×` the memory under Buddy Compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitySpeedup {
+    /// Largest batch fitting the uncompressed 12 GB device.
+    pub baseline_batch: u64,
+    /// Largest batch fitting with Buddy Compression.
+    pub buddy_batch: u64,
+    /// Baseline throughput (samples/s).
+    pub baseline_throughput: f64,
+    /// Buddy throughput (samples/s), including the compression slowdown.
+    pub buddy_throughput: f64,
+}
+
+impl CapacitySpeedup {
+    /// Relative speedup from the larger batch.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline_throughput == 0.0 {
+            1.0
+        } else {
+            self.buddy_throughput / self.baseline_throughput
+        }
+    }
+}
+
+/// Computes the Figure 13c point for `net`.
+///
+/// `compression_ratio` is the network's measured Buddy compression ratio;
+/// `buddy_overhead` the per-access performance cost of running compressed
+/// (the paper's §4.2 result: ≈2.2% for DL at 150 GB/s).
+pub fn capacity_speedup(
+    net: &Network,
+    gpu: &GpuPerf,
+    compression_ratio: f64,
+    buddy_overhead: f64,
+    max_batch: u64,
+) -> CapacitySpeedup {
+    let baseline_batch = net.max_batch_within(gpu.memory_bytes).min(max_batch).max(1);
+    let expanded = (gpu.memory_bytes as f64 * compression_ratio) as u64;
+    let buddy_batch = net.max_batch_within(expanded).min(max_batch).max(1);
+    let baseline_throughput = throughput(net, baseline_batch, gpu);
+    let buddy_throughput = throughput(net, buddy_batch, gpu) * (1.0 - buddy_overhead);
+    CapacitySpeedup { baseline_batch, buddy_batch, baseline_throughput, buddy_throughput }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks::{alexnet, all_networks, biglstm, vgg16};
+
+    #[test]
+    fn efficiency_saturates() {
+        let gpu = GpuPerf::default();
+        assert!(gpu.efficiency(4) < gpu.efficiency(64));
+        assert!(gpu.efficiency(64) < gpu.efficiency(512));
+        assert!(gpu.efficiency(512) <= gpu.max_efficiency);
+        let gain_small = gpu.efficiency(32) / gpu.efficiency(16);
+        let gain_large = gpu.efficiency(512) / gpu.efficiency(256);
+        assert!(gain_small > gain_large, "efficiency curve must flatten");
+    }
+
+    #[test]
+    fn throughput_rises_then_plateaus() {
+        let gpu = GpuPerf::default();
+        for (net, _, _) in all_networks() {
+            let t16 = throughput(&net, 16, &gpu);
+            let t64 = throughput(&net, 64, &gpu);
+            let t256 = throughput(&net, 256, &gpu);
+            assert!(t64 > t16 * 1.05, "{}: 64 ≫ 16 ({t64:.0} vs {t16:.0})", net.name);
+            let plateau_gain = t256 / t64;
+            assert!(
+                plateau_gain < t64 / t16,
+                "{}: gains must diminish ({plateau_gain:.2})",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn vgg_throughput_magnitude_is_sane() {
+        // Titan Xp trains VGG16 at roughly 50–250 images/s; a conservative
+        // efficiency model lands at the low end of that order of magnitude.
+        let gpu = GpuPerf::default();
+        let t = throughput(&vgg16(), 64, &gpu);
+        assert!((20.0..600.0).contains(&t), "VGG16 {t:.0} img/s");
+    }
+
+    #[test]
+    fn capacity_speedup_for_capacity_limited_networks() {
+        // VGG16 and BigLSTM cannot reach batch 64 on 12 GB (§4.4); Buddy's
+        // extra capacity must yield a real speedup.
+        let gpu = GpuPerf::default();
+        for net in [vgg16(), biglstm()] {
+            let cs = capacity_speedup(&net, &gpu, 1.5, 0.022, 512);
+            assert!(
+                cs.baseline_batch < 64,
+                "{}: baseline batch {} should be capacity-limited",
+                net.name,
+                cs.baseline_batch
+            );
+            assert!(cs.buddy_batch > cs.baseline_batch);
+            assert!(cs.speedup() > 1.10, "{}: speedup {:.2}", net.name, cs.speedup());
+        }
+    }
+
+    #[test]
+    fn capacity_speedup_small_for_unconstrained_networks() {
+        // AlexNet at batch 256 fits easily: speedup comes only from even
+        // larger batches, which plateau — expect a modest gain.
+        let gpu = GpuPerf::default();
+        let cs = capacity_speedup(&alexnet(), &gpu, 1.9, 0.022, 512);
+        assert!(cs.baseline_batch >= 256);
+        assert!(cs.speedup() < 1.15, "AlexNet speedup {:.2}", cs.speedup());
+    }
+
+    #[test]
+    fn zero_batch_throughput_is_zero() {
+        let gpu = GpuPerf::default();
+        assert_eq!(throughput(&alexnet(), 0, &gpu), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Memory-layout oracles: how each 128 B entry is placed between device and
+//! buddy memory.
+//!
+//! The engine is policy-free: it asks a [`MemoryLayout`] how many sectors an
+//! entry occupies and where they live. The facade crate implements this
+//! trait on top of the workload generators and the buddy-core profiler; the
+//! simple implementations here serve tests and micro-benchmarks.
+
+/// Placement of one compressed memory-entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryPlacement {
+    /// Sectors fetched from device DRAM on a miss (0–4).
+    pub device_sectors: u8,
+    /// Sectors fetched from buddy memory over the interconnect (0–4).
+    pub buddy_sectors: u8,
+}
+
+impl EntryPlacement {
+    /// An entry fully resident in device memory.
+    pub fn device(sectors: u8) -> Self {
+        Self { device_sectors: sectors, buddy_sectors: 0 }
+    }
+
+    /// Total compressed sectors.
+    pub fn total(&self) -> u8 {
+        self.device_sectors + self.buddy_sectors
+    }
+
+    /// Whether this entry requires interconnect traffic.
+    pub fn touches_buddy(&self) -> bool {
+        self.buddy_sectors > 0
+    }
+}
+
+/// Oracle describing the compressed placement of every entry.
+///
+/// Implementations must be deterministic: the engine may query the same
+/// entry repeatedly (fills, evictions) and expects stable answers.
+pub trait MemoryLayout {
+    /// Number of 128 B entries in the footprint.
+    fn total_entries(&self) -> u64;
+
+    /// Placement of `entry` under the Buddy Compression configuration.
+    fn placement(&self, entry: u64) -> EntryPlacement;
+
+    /// Compressed sectors of `entry` for bandwidth-only compression (whole
+    /// block from device memory, no buddy split). Defaults to the total of
+    /// [`placement`](Self::placement), which is correct when the buddy
+    /// split does not change the compressed size.
+    fn compressed_sectors(&self, entry: u64) -> u8 {
+        self.placement(entry).total()
+    }
+}
+
+/// Every entry identical — the simplest layout, for tests and calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformLayout {
+    /// Footprint in entries.
+    pub entries: u64,
+    /// Placement shared by every entry.
+    pub placement: EntryPlacement,
+}
+
+impl MemoryLayout for UniformLayout {
+    fn total_entries(&self) -> u64 {
+        self.entries
+    }
+
+    fn placement(&self, _entry: u64) -> EntryPlacement {
+        self.placement
+    }
+}
+
+/// Layout backed by closures (the facade crate's bridge).
+pub struct FnLayout<F> {
+    entries: u64,
+    f: F,
+}
+
+impl<F: Fn(u64) -> EntryPlacement> FnLayout<F> {
+    /// Wraps `f` as the placement oracle for `entries` entries.
+    pub fn new(entries: u64, f: F) -> Self {
+        Self { entries, f }
+    }
+}
+
+impl<F: Fn(u64) -> EntryPlacement> MemoryLayout for FnLayout<F> {
+    fn total_entries(&self) -> u64 {
+        self.entries
+    }
+
+    fn placement(&self, entry: u64) -> EntryPlacement {
+        (self.f)(entry)
+    }
+}
+
+impl<F> std::fmt::Debug for FnLayout<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnLayout").field("entries", &self.entries).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_helpers() {
+        let p = EntryPlacement::device(3);
+        assert_eq!(p.total(), 3);
+        assert!(!p.touches_buddy());
+        let q = EntryPlacement { device_sectors: 2, buddy_sectors: 2 };
+        assert_eq!(q.total(), 4);
+        assert!(q.touches_buddy());
+    }
+
+    #[test]
+    fn uniform_layout() {
+        let l = UniformLayout {
+            entries: 10,
+            placement: EntryPlacement { device_sectors: 1, buddy_sectors: 0 },
+        };
+        assert_eq!(l.total_entries(), 10);
+        assert_eq!(l.placement(7).device_sectors, 1);
+        assert_eq!(l.compressed_sectors(7), 1);
+    }
+
+    #[test]
+    fn fn_layout_dispatches() {
+        let l = FnLayout::new(100, |e| {
+            if e % 2 == 0 {
+                EntryPlacement::device(1)
+            } else {
+                EntryPlacement { device_sectors: 2, buddy_sectors: 2 }
+            }
+        });
+        assert_eq!(l.placement(0).total(), 1);
+        assert_eq!(l.placement(1).total(), 4);
+        assert!(l.placement(1).touches_buddy());
+        assert!(format!("{l:?}").contains("100"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Memory snapshots: per-allocation compression statistics and Figure 6
+//! spatial heat maps.
+//!
+//! The paper takes ten memory dumps over each benchmark's run and compresses
+//! every 128 B entry with BPC (§3.1). We do the same over synthetic
+//! allocations, with optional uniform sampling so multi-GB (scaled) images
+//! can be characterized in milliseconds; generators are stationary within an
+//! allocation, so a uniform sample is an unbiased estimate of the full dump.
+
+use crate::suite::Benchmark;
+use bpc::{BitPlane, BlockCompressor, SizeClass, SizeHistogram, ENTRY_BYTES};
+
+/// Number of 128 B entries per 8 KB page — one heat-map row in Figure 6.
+pub const ENTRIES_PER_PAGE: u64 = 64;
+
+/// Per-allocation compression statistics from one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationStats {
+    /// Allocation name from the spec.
+    pub name: &'static str,
+    /// Total entries in the (scaled) allocation.
+    pub entries: u64,
+    /// Entries actually compressed (≤ `entries` when sampling).
+    pub sampled: u64,
+    /// Size-class histogram of the sampled entries.
+    pub histogram: SizeHistogram,
+}
+
+impl AllocationStats {
+    /// Optimistic capacity compression ratio of this allocation (Figure 3
+    /// accounting).
+    pub fn compression_ratio(&self) -> f64 {
+        self.histogram.compression_ratio()
+    }
+
+    /// Average compressed bytes per entry.
+    pub fn avg_bytes(&self) -> f64 {
+        ENTRY_BYTES as f64 / self.compression_ratio()
+    }
+}
+
+/// Compression statistics for one full-memory snapshot of a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotStats {
+    /// Per-allocation statistics, in allocation order.
+    pub allocations: Vec<AllocationStats>,
+}
+
+impl SnapshotStats {
+    /// Footprint-weighted overall compression ratio of the snapshot.
+    pub fn compression_ratio(&self) -> f64 {
+        let total_entries: u64 = self.allocations.iter().map(|a| a.entries).sum();
+        if total_entries == 0 {
+            return 1.0;
+        }
+        let compressed: f64 = self
+            .allocations
+            .iter()
+            .map(|a| a.entries as f64 * a.avg_bytes())
+            .sum();
+        total_entries as f64 * ENTRY_BYTES as f64 / compressed
+    }
+
+    /// Merged size-class histogram weighted by allocation entry counts.
+    ///
+    /// Sampled histograms are scaled up to their allocation's true entry
+    /// count so allocations of different sizes contribute proportionally.
+    pub fn merged_histogram(&self) -> SizeHistogram {
+        let mut merged = SizeHistogram::new();
+        for alloc in &self.allocations {
+            if alloc.sampled == 0 {
+                continue;
+            }
+            let scale = alloc.entries as f64 / alloc.sampled as f64;
+            for class in SizeClass::ALL {
+                let scaled = (alloc.histogram.count(class) as f64 * scale).round() as u64;
+                merged.record_n(class, scaled);
+            }
+        }
+        merged
+    }
+}
+
+/// Configuration for snapshot capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotConfig {
+    /// Execution phase in `[0, 1]` (the paper takes 10 snapshots at
+    /// phases 0.05, 0.15, …, 0.95).
+    pub phase: f64,
+    /// Seed for all data generation.
+    pub seed: u64,
+    /// Maximum entries to compress per allocation (uniform sampling above
+    /// this). `u64::MAX` disables sampling.
+    pub sample_cap: u64,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        Self { phase: 0.5, seed: 0xB0DD_7, sample_cap: 8192 }
+    }
+}
+
+/// Captures per-allocation compression statistics of `benchmark` at the
+/// given phase.
+pub fn capture(benchmark: &Benchmark, config: SnapshotConfig) -> SnapshotStats {
+    let codec = BitPlane::new();
+    let mut allocations = Vec::with_capacity(benchmark.allocations.len());
+    for (alloc_idx, (spec, entries)) in benchmark.allocation_layout().into_iter().enumerate() {
+        let sampled_count = entries.min(config.sample_cap);
+        let mut histogram = SizeHistogram::new();
+        let alloc_seed = crate::entry_gen::mix(&[config.seed, alloc_idx as u64]);
+        for k in 0..sampled_count {
+            // Uniform stride sampling across the allocation.
+            let index = if sampled_count == entries {
+                k
+            } else {
+                (k as u128 * entries as u128 / sampled_count as u128) as u64
+            };
+            let entry = spec.entry_at(alloc_seed, index, config.phase);
+            histogram.record(codec.size_class_of(&entry));
+        }
+        allocations.push(AllocationStats {
+            name: spec.name,
+            entries,
+            sampled: sampled_count,
+            histogram,
+        });
+    }
+    SnapshotStats { allocations }
+}
+
+/// The ten evenly spaced snapshot phases the paper uses.
+pub fn ten_phases() -> [f64; 10] {
+    std::array::from_fn(|i| (i as f64 + 0.5) / 10.0)
+}
+
+/// A Figure 6-style spatial compressibility heat map.
+///
+/// Each row is one 8 KB page (64 entries); each cell is the sector count
+/// (0–4) of the entry's BPC size class — cold (0) means highly compressible,
+/// hot (4) means incompressible, matching the paper's blue-to-red scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heatmap {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Number of page rows.
+    pub rows: usize,
+    /// Cells, row-major, `rows × 64` sector counts.
+    pub cells: Vec<u8>,
+}
+
+impl Heatmap {
+    /// Renders the map as CSV (one page per line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.cells.len() * 2);
+        for row in self.cells.chunks(ENTRIES_PER_PAGE as usize) {
+            let line: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the map as a PGM (portable graymap) image, 0 = compressible.
+    pub fn to_pgm(&self) -> String {
+        let mut out = format!("P2\n{} {}\n4\n", ENTRIES_PER_PAGE, self.rows);
+        for row in self.cells.chunks(ENTRIES_PER_PAGE as usize) {
+            let line: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            out.push_str(&line.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of cells at each sector count 0..=4 (distribution summary).
+    pub fn sector_distribution(&self) -> [f64; 5] {
+        let mut counts = [0usize; 5];
+        for &c in &self.cells {
+            counts[c.min(4) as usize] += 1;
+        }
+        let total = self.cells.len().max(1) as f64;
+        counts.map(|c| c as f64 / total)
+    }
+}
+
+/// Builds the Figure 6 heat map for a benchmark, sampling up to `max_pages`
+/// pages spread evenly across the whole address space.
+pub fn heatmap(benchmark: &Benchmark, seed: u64, phase: f64, max_pages: usize) -> Heatmap {
+    let codec = BitPlane::new();
+    let layout = benchmark.allocation_layout();
+    let total_entries: u64 = layout.iter().map(|(_, n)| n).sum();
+    let total_pages = (total_entries / ENTRIES_PER_PAGE).max(1);
+    let pages = total_pages.min(max_pages as u64);
+
+    let mut cells = Vec::with_capacity((pages * ENTRIES_PER_PAGE) as usize);
+    for p in 0..pages {
+        let page = p * total_pages / pages;
+        let base = page * ENTRIES_PER_PAGE;
+        for e in 0..ENTRIES_PER_PAGE {
+            let global = base + e;
+            // Locate the allocation containing this global entry index.
+            let mut offset = global;
+            let mut cell = 0u8;
+            for (alloc_idx, (spec, n)) in layout.iter().enumerate() {
+                if offset < *n {
+                    let alloc_seed = crate::entry_gen::mix(&[seed, alloc_idx as u64]);
+                    let entry = spec.entry_at(alloc_seed, offset, phase);
+                    cell = codec.size_class_of(&entry).sectors();
+                    break;
+                }
+                offset -= n;
+            }
+            cells.push(cell);
+        }
+    }
+    Heatmap { name: benchmark.name, rows: pages as usize, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Scale;
+
+    fn small_bench() -> Benchmark {
+        let mut b = crate::suite::all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "370.bt")
+            .expect("370.bt exists");
+        b.scale = Scale::unit();
+        b
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let b = small_bench();
+        let cfg = SnapshotConfig { phase: 0.3, seed: 1, sample_cap: 512 };
+        let a = capture(&b, cfg);
+        let c = capture(&b, cfg);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn ratio_matches_nominal_within_tolerance() {
+        let b = small_bench();
+        let stats = capture(&b, SnapshotConfig { phase: 0.5, seed: 2, sample_cap: 4096 });
+        let measured = stats.compression_ratio();
+        let nominal = b.nominal_ratio(0.5);
+        let rel = (measured - nominal).abs() / nominal;
+        assert!(
+            rel < 0.25,
+            "370.bt measured {measured:.2} vs nominal {nominal:.2} (rel {rel:.2})"
+        );
+    }
+
+    #[test]
+    fn sampling_approximates_full_capture() {
+        let b = small_bench();
+        let full = capture(&b, SnapshotConfig { phase: 0.5, seed: 3, sample_cap: u64::MAX });
+        let sampled = capture(&b, SnapshotConfig { phase: 0.5, seed: 3, sample_cap: 1024 });
+        let rel = (full.compression_ratio() - sampled.compression_ratio()).abs()
+            / full.compression_ratio();
+        assert!(rel < 0.15, "sampled ratio diverges: {rel:.3}");
+    }
+
+    #[test]
+    fn ten_phases_are_in_unit_interval_and_sorted() {
+        let phases = ten_phases();
+        assert_eq!(phases.len(), 10);
+        for w in phases.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(phases[0] > 0.0 && phases[9] < 1.0);
+    }
+
+    #[test]
+    fn heatmap_dimensions_and_range() {
+        let b = small_bench();
+        let map = heatmap(&b, 4, 0.5, 32);
+        assert!(map.rows <= 32);
+        assert_eq!(map.cells.len(), map.rows * ENTRIES_PER_PAGE as usize);
+        assert!(map.cells.iter().all(|&c| c <= 4));
+        let dist = map.sector_distribution();
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heatmap_export_formats() {
+        let b = small_bench();
+        let map = heatmap(&b, 4, 0.5, 4);
+        let csv = map.to_csv();
+        assert_eq!(csv.lines().count(), map.rows);
+        let pgm = map.to_pgm();
+        assert!(pgm.starts_with("P2\n64"));
+    }
+
+    #[test]
+    fn empty_snapshot_ratio_is_one() {
+        let stats = SnapshotStats { allocations: vec![] };
+        assert_eq!(stats.compression_ratio(), 1.0);
+    }
+}

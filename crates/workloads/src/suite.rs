@@ -1,0 +1,740 @@
+//! The 16-benchmark evaluation suite of the paper (Table 1): eight SpecAccel
+//! benchmarks, two DOE FastForward benchmarks, and six deep-learning
+//! training workloads.
+//!
+//! Each benchmark is described by its Table 1 footprint, a set of
+//! `cudaMalloc`-style allocations whose data mixtures reproduce the
+//! compression ratios of Figure 3 and the spatial patterns of Figure 6, and
+//! an [`AccessProfile`] reproducing the access behaviour the paper reports
+//! in §4.2 (coalesced DL streams, random sparse access in 354.cg and
+//! 360.ilbdc, latency-sensitive FF_Lulesh, native host traffic in
+//! FF_HPGMG).
+//!
+//! `paper_fig3_ratio` values are visual digitizations of Figure 3 (the paper
+//! provides no table); they are calibration *targets*, and EXPERIMENTS.md
+//! records measured-vs-paper for each.
+
+use crate::entry_gen::MixtureProfile;
+use crate::spec::{AllocationSpec, SpatialPattern, TemporalDrift};
+use crate::trace::{AccessProfile, TraceGenerator};
+use bpc::{SizeClass, ENTRY_BYTES};
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC ACCEL (OpenACC) HPC benchmarks.
+    SpecAccel,
+    /// DOE FastForward HPC proxy applications.
+    FastForward,
+    /// Deep-learning training workloads (Caffe + BigLSTM).
+    DlTraining,
+}
+
+impl Suite {
+    /// Whether this suite counts toward the paper's HPC geometric mean.
+    pub fn is_hpc(self) -> bool {
+        matches!(self, Suite::SpecAccel | Suite::FastForward)
+    }
+}
+
+/// Footprint scaling policy: full-scale (multi-GB) images are divided by
+/// `divisor` but never below `floor_bytes` (or the true footprint, if that
+/// is smaller). Compression statistics are scale-invariant because the
+/// generators are stationary within each allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Footprint divisor.
+    pub divisor: f64,
+    /// Minimum simulated footprint in bytes.
+    pub floor_bytes: u64,
+}
+
+impl Scale {
+    /// Default evaluation scale: 1/64 with an 8 MB floor.
+    pub fn default_eval() -> Self {
+        Self { divisor: 64.0, floor_bytes: 8 << 20 }
+    }
+
+    /// Smaller scale for fast unit tests: 1/512 with a 2 MB floor.
+    pub fn test() -> Self {
+        Self { divisor: 512.0, floor_bytes: 2 << 20 }
+    }
+
+    /// No scaling (use the Table 1 footprint as-is).
+    pub fn unit() -> Self {
+        Self { divisor: 1.0, floor_bytes: 0 }
+    }
+
+    /// Simulated footprint for a benchmark with the given true footprint.
+    pub fn apply(&self, footprint_bytes: u64) -> u64 {
+        let scaled = (footprint_bytes as f64 / self.divisor) as u64;
+        scaled.max(self.floor_bytes.min(footprint_bytes))
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::default_eval()
+    }
+}
+
+/// One benchmark of the evaluation suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Benchmark name as it appears in the paper (e.g. `"351.palm"`).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Full-scale memory footprint from Table 1, in bytes.
+    pub footprint_bytes: u64,
+    /// Footprint scaling used for simulation.
+    pub scale: Scale,
+    /// Allocation specifications (fractions are normalized internally).
+    pub allocations: Vec<AllocationSpec>,
+    /// Memory access behaviour.
+    pub access: AccessProfile,
+    /// Figure 3 compression ratio digitized from the paper, for comparison.
+    pub paper_fig3_ratio: f64,
+}
+
+impl Benchmark {
+    /// Simulated footprint in bytes after scaling.
+    pub fn sim_footprint_bytes(&self) -> u64 {
+        self.scale.apply(self.footprint_bytes)
+    }
+
+    /// Total simulated 128 B entries.
+    pub fn total_entries(&self) -> u64 {
+        self.allocation_layout().iter().map(|(_, n)| n).sum()
+    }
+
+    /// The scaled entry count of every allocation, in order.
+    ///
+    /// Fractions are normalized; every allocation gets at least one 8 KB
+    /// page worth of entries.
+    pub fn allocation_layout(&self) -> Vec<(&AllocationSpec, u64)> {
+        let total_frac: f64 = self.allocations.iter().map(|a| a.footprint_frac).sum();
+        let entries_total = self.sim_footprint_bytes() / ENTRY_BYTES as u64;
+        self.allocations
+            .iter()
+            .map(|a| {
+                let n = (entries_total as f64 * a.footprint_frac / total_frac) as u64;
+                (a, n.max(64))
+            })
+            .collect()
+    }
+
+    /// Nominal (design-target) compression ratio at `phase`, from the
+    /// mixture specifications alone. Measured ratios from real BPC runs
+    /// should land close to this; tests enforce it.
+    pub fn nominal_ratio(&self, phase: f64) -> f64 {
+        let total_frac: f64 = self.allocations.iter().map(|a| a.footprint_frac).sum();
+        let avg_bytes: f64 = self
+            .allocations
+            .iter()
+            .map(|a| {
+                let body = a.profile.nominal_bytes_per_entry();
+                let bytes = match a.drift {
+                    TemporalDrift::ZeroFill { start_zero, end_zero } => {
+                        let zf = start_zero + (end_zero - start_zero) * phase.clamp(0.0, 1.0);
+                        zf * 8.0 + (1.0 - zf) * body
+                    }
+                    _ => body,
+                };
+                a.footprint_frac / total_frac * bytes
+            })
+            .sum();
+        ENTRY_BYTES as f64 / avg_bytes
+    }
+
+    /// Builds an access-trace generator over this benchmark's footprint.
+    pub fn trace(&self, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(self.access, self.total_entries(), seed)
+    }
+}
+
+/// Geometric mean helper used for suite-level aggregates.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn mix_of(weights: &[(SizeClass, f64)]) -> MixtureProfile {
+    MixtureProfile::from_class_weights(weights)
+}
+
+fn gb(x: f64) -> u64 {
+    (x * (1u64 << 30) as f64) as u64
+}
+
+fn mb(x: f64) -> u64 {
+    (x * (1u64 << 20) as f64) as u64
+}
+
+use SizeClass::{B0, B128, B16, B32, B64, B8, B96};
+
+fn palm() -> Benchmark {
+    Benchmark {
+        name: "351.palm",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(2.89),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("atm_state", 0.40, mix_of(&[(B16, 0.5), (B32, 0.5)])),
+            AllocationSpec::blocked("turbulence", 0.25, mix_of(&[(B64, 0.7), (B32, 0.3)])),
+            AllocationSpec::blocked("boundary_flux", 0.15, mix_of(&[(B16, 1.0)])),
+            AllocationSpec::blocked("spectral_work", 0.20, mix_of(&[(B128, 0.5), (B96, 0.5)])),
+        ],
+        // Weather model: regular sweeps over a huge grid, but the working
+        // set is spread wide — the paper singles out 351.palm for its low
+        // metadata-cache hit rate (Fig. 5b / §4.2).
+        access: AccessProfile {
+            coalesced_frac: 0.60,
+            two_sector_frac: 0.20,
+            write_frac: 0.35,
+            stream_frac: 0.45,
+            hot_footprint_frac: 0.50,
+            hot_access_frac: 0.30,
+            mlp: 6,
+            compute_per_access: 30,
+            host_traffic_frac: 0.0,
+            cold_tail_frac: 0.0,
+        },
+        paper_fig3_ratio: 2.7,
+    }
+}
+
+fn ep() -> Benchmark {
+    Benchmark {
+        name: "352.ep",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(2.75),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("rng_tables", 0.15, mix_of(&[(B32, 1.0)])),
+            AllocationSpec::blocked("scratch", 0.10, mix_of(&[(B128, 0.5), (B64, 0.5)])),
+            AllocationSpec::blocked("results_zero", 0.75, mix_of(&[(B0, 0.95), (B8, 0.05)])),
+        ],
+        // Embarrassingly parallel: streaming, bandwidth-hungry. The huge
+        // zero-filled result region is written only at the end of the run —
+        // a cold tail for the dominant kernel.
+        access: AccessProfile {
+            coalesced_frac: 0.85,
+            two_sector_frac: 0.10,
+            write_frac: 0.25,
+            stream_frac: 0.90,
+            hot_footprint_frac: 0.40,
+            hot_access_frac: 0.60,
+            mlp: 7,
+            compute_per_access: 36,
+            host_traffic_frac: 0.0,
+            cold_tail_frac: 0.75,
+        },
+        paper_fig3_ratio: 6.0,
+    }
+}
+
+fn cg() -> Benchmark {
+    Benchmark {
+        name: "354.cg",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(1.23),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("matrix_vals", 0.55, mix_of(&[(B128, 0.95), (B96, 0.05)])),
+            AllocationSpec::blocked("col_idx", 0.30, mix_of(&[(B128, 0.8), (B96, 0.2)])),
+            AllocationSpec::blocked("vectors", 0.15, mix_of(&[(B32, 0.6), (B64, 0.4)])),
+        ],
+        // Sparse CG: random, irregular single-sector gathers (§4.2 notes
+        // 354.cg slows down under bandwidth compression because of this).
+        access: AccessProfile::random_sparse(),
+        paper_fig3_ratio: 1.1,
+    }
+}
+
+fn seismic() -> Benchmark {
+    Benchmark {
+        name: "355.seismic",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(2.83),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec {
+                name: "wavefield",
+                footprint_frac: 0.75,
+                profile: mix_of(&[(B64, 1.0)]),
+                pattern: SpatialPattern::Blocked { run_entries: 1024 },
+                // §3.1: "begins with many zero values but slowly asymptotes
+                // to a 2x compression ratio over its execution".
+                drift: TemporalDrift::ZeroFill { start_zero: 0.85, end_zero: 0.05 },
+            },
+            AllocationSpec::blocked("velocity_model", 0.17, mix_of(&[(B16, 1.0)])),
+            AllocationSpec::blocked("fft_scratch", 0.08, mix_of(&[(B128, 1.0)])),
+        ],
+        // Wave propagation: streaming but wide working set (low metadata
+        // cache hit rate per Fig. 5b) and bandwidth-sensitive (§4.2).
+        access: AccessProfile {
+            coalesced_frac: 0.70,
+            two_sector_frac: 0.15,
+            write_frac: 0.40,
+            stream_frac: 0.50,
+            hot_footprint_frac: 0.60,
+            hot_access_frac: 0.25,
+            mlp: 6,
+            compute_per_access: 34,
+            host_traffic_frac: 0.0,
+            cold_tail_frac: 0.0,
+        },
+        paper_fig3_ratio: 3.5,
+    }
+}
+
+fn sp() -> Benchmark {
+    Benchmark {
+        name: "356.sp",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(2.83),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("solution", 0.45, mix_of(&[(B16, 0.4), (B32, 0.6)])),
+            AllocationSpec::blocked("rhs", 0.25, mix_of(&[(B32, 1.0)])),
+            AllocationSpec::blocked("fluxes", 0.20, mix_of(&[(B64, 0.6), (B32, 0.4)])),
+            AllocationSpec::blocked("workspace", 0.10, mix_of(&[(B128, 1.0)])),
+        ],
+        access: AccessProfile::stencil(),
+        paper_fig3_ratio: 3.0,
+    }
+}
+
+fn csp() -> Benchmark {
+    Benchmark {
+        name: "357.csp",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(1.44),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("solution", 0.45, mix_of(&[(B16, 0.3), (B32, 0.7)])),
+            AllocationSpec::blocked("rhs", 0.25, mix_of(&[(B32, 1.0)])),
+            AllocationSpec::blocked("fluxes", 0.20, mix_of(&[(B64, 0.7), (B32, 0.3)])),
+            AllocationSpec::blocked("workspace", 0.10, mix_of(&[(B128, 1.0)])),
+        ],
+        access: AccessProfile::stencil(),
+        paper_fig3_ratio: 2.9,
+    }
+}
+
+fn ilbdc() -> Benchmark {
+    Benchmark {
+        name: "360.ilbdc",
+        suite: Suite::SpecAccel,
+        footprint_bytes: gb(1.94),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("pdf_arrays", 0.75, mix_of(&[(B64, 0.9), (B32, 0.1)])),
+            AllocationSpec::blocked("geometry_idx", 0.15, mix_of(&[(B128, 0.7), (B96, 0.3)])),
+            AllocationSpec::blocked("params", 0.10, mix_of(&[(B8, 1.0)])),
+        ],
+        // Lattice Boltzmann with indirect addressing: partially structured
+        // sweeps with irregular single-sector gathers (§4.2 pairs it with
+        // 354.cg for bandwidth-compression slowdowns).
+        access: AccessProfile {
+            coalesced_frac: 0.40,
+            two_sector_frac: 0.25,
+            write_frac: 0.35,
+            stream_frac: 0.50,
+            hot_footprint_frac: 0.08,
+            hot_access_frac: 0.45,
+            mlp: 4,
+            compute_per_access: 45,
+            host_traffic_frac: 0.0,
+            cold_tail_frac: 0.0,
+        },
+        paper_fig3_ratio: 2.1,
+    }
+}
+
+fn bt() -> Benchmark {
+    Benchmark {
+        name: "370.bt",
+        suite: Suite::SpecAccel,
+        footprint_bytes: mb(1.21),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("blocks", 0.75, mix_of(&[(B128, 0.8), (B96, 0.2)])),
+            AllocationSpec::blocked("coeffs", 0.25, mix_of(&[(B16, 1.0)])),
+        ],
+        access: AccessProfile::stencil(),
+        paper_fig3_ratio: 1.35,
+    }
+}
+
+fn hpgmg() -> Benchmark {
+    Benchmark {
+        name: "FF_HPGMG",
+        suite: Suite::FastForward,
+        footprint_bytes: gb(2.32),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec {
+                name: "level_structs",
+                footprint_frac: 0.60,
+                profile: mix_of(&[(B16, 0.5), (B128, 0.5)]),
+                // Arrays of heterogeneous structs produce the striped
+                // compressibility pattern of Figure 6 (§3.4: needs >80%
+                // Buddy Threshold to capture).
+                pattern: SpatialPattern::Striped { period: 8 },
+                drift: TemporalDrift::Stable,
+            },
+            AllocationSpec::blocked("ghost_zones", 0.20, mix_of(&[(B16, 1.0)])),
+            AllocationSpec::blocked("smoother_tmp", 0.20, mix_of(&[(B64, 1.0)])),
+        ],
+        // Multigrid with synchronous host copies in its native form (§4.2).
+        access: AccessProfile {
+            coalesced_frac: 0.60,
+            two_sector_frac: 0.20,
+            write_frac: 0.35,
+            stream_frac: 0.70,
+            hot_footprint_frac: 0.15,
+            hot_access_frac: 0.50,
+            mlp: 6,
+            compute_per_access: 30,
+            host_traffic_frac: 0.08,
+            cold_tail_frac: 0.0,
+        },
+        paper_fig3_ratio: 2.2,
+    }
+}
+
+fn lulesh() -> Benchmark {
+    Benchmark {
+        name: "FF_Lulesh",
+        suite: Suite::FastForward,
+        footprint_bytes: gb(1.59),
+        scale: Scale::default(),
+        allocations: vec![
+            AllocationSpec::blocked("nodal", 0.40, mix_of(&[(B32, 0.7), (B16, 0.3)])),
+            AllocationSpec::blocked("element", 0.35, mix_of(&[(B64, 0.5), (B32, 0.5)])),
+            AllocationSpec::blocked("connectivity", 0.15, mix_of(&[(B128, 0.8), (B96, 0.2)])),
+            AllocationSpec::blocked("constants", 0.10, mix_of(&[(B8, 1.0)])),
+        ],
+        // Shock hydrodynamics: regular accesses but long dependence chains —
+        // the paper finds FF_Lulesh slows down under bandwidth compression
+        // purely from (de)compression latency (§4.2). Low MLP models that.
+        access: AccessProfile {
+            coalesced_frac: 0.80,
+            two_sector_frac: 0.12,
+            write_frac: 0.35,
+            stream_frac: 0.75,
+            hot_footprint_frac: 0.10,
+            hot_access_frac: 0.55,
+            mlp: 2,
+            compute_per_access: 10,
+            host_traffic_frac: 0.0,
+            cold_tail_frac: 0.0,
+        },
+        paper_fig3_ratio: 2.7,
+    }
+}
+
+fn dl_drift() -> TemporalDrift {
+    // DL frameworks pool and reuse memory; individual entries churn while
+    // the aggregate mixture stays stationary (Fig. 8).
+    TemporalDrift::Churn { rate: 0.25 }
+}
+
+fn dl_alloc(
+    name: &'static str,
+    frac: f64,
+    weights: &[(SizeClass, f64)],
+    churn: bool,
+) -> AllocationSpec {
+    AllocationSpec {
+        name,
+        footprint_frac: frac,
+        profile: mix_of(weights),
+        pattern: SpatialPattern::Speckled,
+        drift: if churn { dl_drift() } else { TemporalDrift::Stable },
+    }
+}
+
+fn biglstm() -> Benchmark {
+    Benchmark {
+        name: "BigLSTM",
+        suite: Suite::DlTraining,
+        footprint_bytes: gb(2.71),
+        scale: Scale::default(),
+        allocations: vec![
+            dl_alloc("activations", 0.25, &[(B16, 0.3), (B32, 0.25), (B64, 0.25), (B128, 0.2)], true),
+            dl_alloc("gradients", 0.15, &[(B64, 0.6), (B32, 0.4)], true),
+            dl_alloc("lstm_weights", 0.25, &[(B96, 0.4), (B64, 0.4), (B128, 0.2)], false),
+            dl_alloc("embedding", 0.35, &[(B128, 0.5), (B96, 0.25), (B64, 0.25)], false),
+        ],
+        access: AccessProfile::streaming_dl(),
+        paper_fig3_ratio: 1.7,
+    }
+}
+
+fn alexnet() -> Benchmark {
+    Benchmark {
+        name: "AlexNet",
+        suite: Suite::DlTraining,
+        footprint_bytes: gb(8.85),
+        scale: Scale::default(),
+        allocations: vec![
+            dl_alloc("activations", 0.30, &[(B0, 0.3), (B16, 0.2), (B64, 0.25), (B128, 0.25)], true),
+            dl_alloc("gradients", 0.15, &[(B32, 0.4), (B64, 0.6)], true),
+            dl_alloc("conv_weights", 0.10, &[(B32, 1.0)], false),
+            dl_alloc("fc_weights", 0.45, &[(B96, 0.3), (B128, 0.35), (B64, 0.35)], false),
+        ],
+        access: AccessProfile::streaming_dl(),
+        paper_fig3_ratio: 1.9,
+    }
+}
+
+fn inception() -> Benchmark {
+    Benchmark {
+        name: "Inception_V2",
+        suite: Suite::DlTraining,
+        footprint_bytes: gb(3.21),
+        scale: Scale::default(),
+        allocations: vec![
+            dl_alloc("activations", 0.45, &[(B0, 0.25), (B32, 0.25), (B64, 0.3), (B128, 0.2)], true),
+            dl_alloc("gradients", 0.15, &[(B32, 0.5), (B64, 0.5)], true),
+            dl_alloc("workspace", 0.10, &[(B128, 0.7), (B64, 0.3)], true),
+            dl_alloc("conv_weights", 0.30, &[(B64, 0.88), (B96, 0.12)], false),
+        ],
+        access: AccessProfile::streaming_dl(),
+        paper_fig3_ratio: 2.0,
+    }
+}
+
+fn squeezenet() -> Benchmark {
+    Benchmark {
+        name: "SqueezeNet",
+        suite: Suite::DlTraining,
+        footprint_bytes: gb(2.03),
+        scale: Scale::default(),
+        allocations: vec![
+            dl_alloc("activations", 0.50, &[(B64, 0.45), (B128, 0.25), (B32, 0.3)], true),
+            dl_alloc("gradients", 0.25, &[(B64, 0.5), (B96, 0.5)], true),
+            dl_alloc("weights", 0.25, &[(B128, 0.4), (B96, 0.4), (B64, 0.2)], false),
+        ],
+        access: AccessProfile::streaming_dl(),
+        paper_fig3_ratio: 1.55,
+    }
+}
+
+fn vgg16() -> Benchmark {
+    Benchmark {
+        name: "VGG16",
+        suite: Suite::DlTraining,
+        footprint_bytes: gb(11.08),
+        scale: Scale::default(),
+        allocations: vec![
+            dl_alloc("activations", 0.15, &[(B32, 0.35), (B64, 0.4), (B128, 0.25)], true),
+            dl_alloc("gradients", 0.15, &[(B32, 0.5), (B64, 0.5)], true),
+            dl_alloc("fc_weights", 0.30, &[(B64, 0.6), (B96, 0.3), (B128, 0.1)], false),
+            dl_alloc("conv_weights", 0.15, &[(B64, 0.8), (B32, 0.2)], false),
+            // §3.4: VGG16 has "large highly-compressible regions" that the
+            // 16× zero-page optimization captures; the framework pools them
+            // in their own allocation (region boundaries overlap
+            // cudaMalloc boundaries, §3.4). The pooled zeros are rarely
+            // touched by the dominant kernels (cold tail).
+            dl_alloc("act_zero_pool", 0.25, &[(B0, 0.97), (B8, 0.03)], false),
+        ],
+        access: AccessProfile {
+            cold_tail_frac: 0.25,
+            ..AccessProfile::streaming_dl()
+        },
+        paper_fig3_ratio: 2.4,
+    }
+}
+
+fn resnet50() -> Benchmark {
+    Benchmark {
+        name: "ResNet50",
+        suite: Suite::DlTraining,
+        footprint_bytes: gb(4.50),
+        scale: Scale::default(),
+        allocations: vec![
+            dl_alloc("activations", 0.40, &[(B0, 0.1), (B32, 0.3), (B64, 0.35), (B128, 0.25)], true),
+            dl_alloc("gradients", 0.20, &[(B64, 0.85), (B96, 0.15)], true),
+            dl_alloc("bn_stats", 0.10, &[(B16, 0.5), (B32, 0.5)], true),
+            dl_alloc("conv_weights", 0.30, &[(B96, 0.4), (B128, 0.3), (B64, 0.3)], false),
+        ],
+        access: AccessProfile::streaming_dl(),
+        paper_fig3_ratio: 1.75,
+    }
+}
+
+/// All 16 benchmarks in paper order (Table 1 / Figure 3).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        palm(),
+        ep(),
+        cg(),
+        seismic(),
+        sp(),
+        csp(),
+        ilbdc(),
+        bt(),
+        hpgmg(),
+        lulesh(),
+        biglstm(),
+        alexnet(),
+        inception(),
+        squeezenet(),
+        vgg16(),
+        resnet50(),
+    ]
+}
+
+/// The ten HPC benchmarks (SpecAccel + FastForward).
+pub fn hpc_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks().into_iter().filter(|b| b.suite.is_hpc()).collect()
+}
+
+/// The six DL training benchmarks.
+pub fn dl_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks().into_iter().filter(|b| b.suite == Suite::DlTraining).collect()
+}
+
+/// Finds a benchmark by its paper name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_sixteen_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 16);
+        assert_eq!(hpc_benchmarks().len(), 10);
+        assert_eq!(dl_benchmarks().len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all_benchmarks().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn table1_footprints() {
+        // Table 1 of the paper.
+        let expect = [
+            ("351.palm", gb(2.89)),
+            ("352.ep", gb(2.75)),
+            ("354.cg", gb(1.23)),
+            ("355.seismic", gb(2.83)),
+            ("356.sp", gb(2.83)),
+            ("357.csp", gb(1.44)),
+            ("360.ilbdc", gb(1.94)),
+            ("370.bt", mb(1.21)),
+            ("FF_HPGMG", gb(2.32)),
+            ("FF_Lulesh", gb(1.59)),
+            ("BigLSTM", gb(2.71)),
+            ("AlexNet", gb(8.85)),
+            ("Inception_V2", gb(3.21)),
+            ("SqueezeNet", gb(2.03)),
+            ("VGG16", gb(11.08)),
+            ("ResNet50", gb(4.50)),
+        ];
+        for (name, bytes) in expect {
+            let b = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(b.footprint_bytes, bytes, "{name} footprint");
+        }
+    }
+
+    #[test]
+    fn scaling_respects_floor_and_divisor() {
+        let s = Scale::default_eval();
+        assert_eq!(s.apply(gb(2.89)), (gb(2.89) as f64 / 64.0) as u64);
+        // Tiny benchmark: kept at full size (below the floor).
+        assert_eq!(s.apply(mb(1.21)), mb(1.21));
+        // Mid-size: clamped up to the floor.
+        assert_eq!(s.apply(mb(100.0)), 8 << 20);
+        assert_eq!(Scale::unit().apply(12345), 12345);
+    }
+
+    #[test]
+    fn nominal_ratios_near_paper_fig3() {
+        // The mixture designs should land within 20% of the digitized
+        // Figure 3 values (measured-vs-paper is tracked in EXPERIMENTS.md).
+        for b in all_benchmarks() {
+            // Average the nominal ratio over the ten snapshot phases, since
+            // Figure 3 reports whole-run averages.
+            let phases = crate::snapshot::ten_phases();
+            let mean_bytes: f64 = phases
+                .iter()
+                .map(|&p| ENTRY_BYTES as f64 / b.nominal_ratio(p))
+                .sum::<f64>()
+                / phases.len() as f64;
+            let nominal = ENTRY_BYTES as f64 / mean_bytes;
+            let rel = (nominal - b.paper_fig3_ratio).abs() / b.paper_fig3_ratio;
+            assert!(
+                rel < 0.20,
+                "{}: nominal {nominal:.2} vs paper {:.2}",
+                b.name,
+                b.paper_fig3_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn suite_geomeans_near_paper() {
+        // §3.1: GMEAN 2.51 for HPC, 1.85 for DL (optimistic capacity ratios).
+        let hpc = geomean(hpc_benchmarks().iter().map(|b| {
+            let phases = crate::snapshot::ten_phases();
+            let mean_bytes: f64 = phases
+                .iter()
+                .map(|&p| ENTRY_BYTES as f64 / b.nominal_ratio(p))
+                .sum::<f64>()
+                / phases.len() as f64;
+            ENTRY_BYTES as f64 / mean_bytes
+        }));
+        let dl = geomean(dl_benchmarks().iter().map(|b| b.nominal_ratio(0.5)));
+        assert!((hpc - 2.51).abs() < 0.35, "HPC geomean {hpc:.2} vs paper 2.51");
+        assert!((dl - 1.85).abs() < 0.25, "DL geomean {dl:.2} vs paper 1.85");
+    }
+
+    #[test]
+    fn layout_covers_footprint() {
+        for b in all_benchmarks() {
+            let layout = b.allocation_layout();
+            assert_eq!(layout.len(), b.allocations.len());
+            let entries: u64 = layout.iter().map(|(_, n)| n).sum();
+            let expect = b.sim_footprint_bytes() / ENTRY_BYTES as u64;
+            let diff = (entries as i64 - expect as i64).unsigned_abs();
+            assert!(diff <= 64 * b.allocations.len() as u64 + 4, "{} layout", b.name);
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean([]), 1.0);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_builds_for_every_benchmark() {
+        for b in all_benchmarks() {
+            let mut t = b.trace(1);
+            let access = t.next().expect("trace yields accesses");
+            assert!(access.entry < b.total_entries());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! DL training scenario: how much larger a mini-batch fits with Buddy
+//! Compression, and what that is worth (the paper's §4.4 case study).
+//!
+//! Run with `cargo run --release --example dl_batch_scaling`.
+
+use buddy_compression::buddy_core::{choose_targets, ProfileConfig};
+use buddy_compression::dl_model::{capacity_speedup, networks, throughput, GpuPerf};
+use buddy_compression::profile_benchmark;
+use buddy_compression::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuPerf::default();
+
+    println!("network        footprint@b64   max batch (12GB)  with Buddy  speedup");
+    let mut speedups = Vec::new();
+    for (net, _, _) in networks::all_networks() {
+        // Measure this network's Buddy compression ratio on its synthetic
+        // memory image (same pipeline as Figure 7).
+        let ratio = by_name(net.name)
+            .map(|mut bench| {
+                bench.scale = Scale::test();
+                let profiles = profile_benchmark(&bench, 2048, 11);
+                choose_targets(&profiles, &ProfileConfig::default()).device_compression_ratio()
+            })
+            .unwrap_or(1.5);
+        let cs = capacity_speedup(&net, &gpu, ratio, 0.022, 1024);
+        speedups.push(cs.speedup());
+        println!(
+            "{:<14} {:>9.2} GB   {:>14}  {:>10}  {:>6.1}%",
+            net.name,
+            net.footprint_bytes(64) as f64 / (1u64 << 30) as f64,
+            cs.baseline_batch,
+            cs.buddy_batch,
+            100.0 * (cs.speedup() - 1.0),
+        );
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("\naverage speedup from Buddy-enabled batches: {:.1}%", 100.0 * (avg - 1.0));
+    println!("paper reports 14% average, with BigLSTM +28% and VGG16 +30% (§4.4)");
+
+    // Show the throughput curve that makes larger batches valuable.
+    let vgg = networks::vgg16();
+    println!("\nVGG16 images/s by batch size (why capacity matters):");
+    for b in [8u64, 16, 32, 64, 128, 256] {
+        println!("  batch {b:>4}: {:>7.1} img/s", throughput(&vgg, b, &gpu));
+    }
+    Ok(())
+}

@@ -1,0 +1,394 @@
+//! Buddy Compression — full reproduction of Choukse et al., *"Buddy
+//! Compression: Enabling Larger Memory for Deep Learning and HPC Workloads
+//! on GPUs"* (ISCA 2020), in Rust.
+//!
+//! This facade crate re-exports the component crates and provides the glue
+//! that the paper's evaluation pipeline needs:
+//!
+//! 1. [`workloads`] — synthetic versions of the 16 evaluated benchmarks
+//!    (memory images with controlled BPC compressibility + access traces),
+//! 2. [`bpc`] — Bit-Plane Compression and baseline compressors,
+//! 3. [`buddy_core`] — the Buddy Compression design: target ratios,
+//!    metadata, the profiling pass and a functional compressed device,
+//! 4. [`gpu_sim`] — the dependency-driven performance simulator (Table 2),
+//! 5. [`unified_memory`] — the UM oversubscription model (Figure 12),
+//! 6. [`dl_model`] — the DL training case study (Figure 13).
+//!
+//! The glue items here ([`profile_benchmark`], [`BenchmarkLayout`],
+//! [`benchmark_requests`], [`run_performance_sim`]) connect a workload to
+//! the profiler and the simulator — the full §3.5 flow: profile on
+//! snapshots, choose per-allocation targets under the Buddy Threshold, then
+//! run with compression enabled.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use buddy_compression::{profile_benchmark, ProfileConfig};
+//! use buddy_compression::buddy_core::choose_targets;
+//!
+//! let mut bench = buddy_compression::workloads::by_name("356.sp").unwrap();
+//! bench.scale = buddy_compression::workloads::Scale::test();
+//! let profiles = profile_benchmark(&bench, 4096, 0xB0DD7);
+//! let outcome = choose_targets(&profiles, &ProfileConfig::default());
+//! assert!(outcome.device_compression_ratio() > 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bpc;
+pub use buddy_core;
+pub use dl_model;
+pub use gpu_sim;
+pub use unified_memory;
+pub use workloads;
+
+pub use buddy_core::{ProfileConfig, ProfileOutcome, TargetRatio};
+
+use buddy_core::AllocationProfile;
+use gpu_sim::{EntryPlacement, MemRequest, MemoryLayout, SimStats};
+use workloads::snapshot::{capture, ten_phases, SnapshotConfig};
+use workloads::Benchmark;
+
+/// Runs the paper's profiling pass over a benchmark: ten memory snapshots
+/// across the run, merged into one per-allocation size-class histogram.
+///
+/// `sample_cap` bounds the entries compressed per allocation per snapshot
+/// (uniform sampling; the generators are stationary so this is unbiased).
+pub fn profile_benchmark(
+    bench: &Benchmark,
+    sample_cap: u64,
+    seed: u64,
+) -> Vec<AllocationProfile> {
+    let mut merged: Vec<AllocationProfile> = Vec::new();
+    for phase in ten_phases() {
+        let stats = capture(bench, SnapshotConfig { phase, seed, sample_cap });
+        if merged.is_empty() {
+            merged = stats
+                .allocations
+                .iter()
+                .map(|a| AllocationProfile {
+                    name: a.name.to_owned(),
+                    entries: a.entries,
+                    histogram: a.histogram.clone(),
+                })
+                .collect();
+        } else {
+            for (profile, alloc) in merged.iter_mut().zip(stats.allocations.iter()) {
+                profile.histogram.merge(&alloc.histogram);
+            }
+        }
+    }
+    merged
+}
+
+/// Profiles a benchmark at a single phase (used by the Figure 8 temporal
+/// study, which holds targets fixed while the data evolves).
+pub fn profile_benchmark_at(
+    bench: &Benchmark,
+    phase: f64,
+    sample_cap: u64,
+    seed: u64,
+) -> Vec<AllocationProfile> {
+    let stats = capture(bench, SnapshotConfig { phase, seed, sample_cap });
+    stats
+        .allocations
+        .iter()
+        .map(|a| AllocationProfile {
+            name: a.name.to_owned(),
+            entries: a.entries,
+            histogram: a.histogram.clone(),
+        })
+        .collect()
+}
+
+/// A [`gpu_sim::MemoryLayout`] oracle over a benchmark's synthetic memory
+/// image and a set of profiler target choices.
+///
+/// Per-entry compressed sizes come from the entry's *nominal* size class
+/// (the class its generator targets, ≥90% accurate per the workloads
+/// tests) so the simulator can query placements in O(1) per miss without
+/// running the compressor.
+#[derive(Debug)]
+pub struct BenchmarkLayout {
+    /// (end_entry_exclusive, alloc_index) ranges in entry order.
+    ranges: Vec<(u64, usize)>,
+    allocations: Vec<LayoutAllocation>,
+    total_entries: u64,
+    phase: f64,
+}
+
+#[derive(Debug)]
+struct LayoutAllocation {
+    spec: workloads::AllocationSpec,
+    target: TargetRatio,
+    alloc_seed: u64,
+}
+
+impl BenchmarkLayout {
+    /// Builds the layout for `bench` with the profiler's `outcome` at an
+    /// execution phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` has a different number of choices than the
+    /// benchmark has allocations.
+    pub fn new(bench: &Benchmark, outcome: &ProfileOutcome, phase: f64, seed: u64) -> Self {
+        let layout = bench.allocation_layout();
+        assert_eq!(
+            layout.len(),
+            outcome.choices.len(),
+            "profile outcome must cover every allocation"
+        );
+        let mut ranges = Vec::with_capacity(layout.len());
+        let mut allocations = Vec::with_capacity(layout.len());
+        let mut cursor = 0u64;
+        for (idx, ((spec, entries), choice)) in
+            layout.iter().zip(outcome.choices.iter()).enumerate()
+        {
+            cursor += entries;
+            ranges.push((cursor, idx));
+            allocations.push(LayoutAllocation {
+                spec: (*spec).clone(),
+                target: choice.target,
+                alloc_seed: workloads::entry_gen::mix(&[seed, idx as u64]),
+            });
+        }
+        Self { ranges, allocations, total_entries: cursor, phase }
+    }
+
+    /// An uncompressed layout (every entry 4 sectors, no buddy) for the
+    /// ideal-baseline runs.
+    pub fn uncompressed(bench: &Benchmark) -> gpu_sim::UniformLayout {
+        gpu_sim::UniformLayout {
+            entries: bench.total_entries(),
+            placement: EntryPlacement::device(4),
+        }
+    }
+
+    fn locate(&self, entry: u64) -> (usize, u64) {
+        let idx = self.ranges.partition_point(|&(end, _)| end <= entry);
+        let idx = idx.min(self.allocations.len() - 1);
+        let start = if idx == 0 { 0 } else { self.ranges[idx - 1].0 };
+        (idx, entry.saturating_sub(start))
+    }
+
+    /// The nominal size class of an entry (without compressing).
+    pub fn size_class(&self, entry: u64) -> bpc::SizeClass {
+        let (idx, local) = self.locate(entry);
+        let alloc = &self.allocations[idx];
+        alloc
+            .spec
+            .class_at(alloc.alloc_seed, local, self.phase)
+            .nominal_size_class()
+    }
+
+    /// The target ratio governing an entry.
+    pub fn target_of(&self, entry: u64) -> TargetRatio {
+        let (idx, _) = self.locate(entry);
+        self.allocations[idx].target
+    }
+}
+
+/// Translates a (size class, target ratio) pair into a sector placement,
+/// mirroring `buddy_core`'s storage rules.
+pub fn placement_for(class: bpc::SizeClass, target: TargetRatio) -> EntryPlacement {
+    use bpc::SizeClass::B0;
+    if class == B0 {
+        return EntryPlacement { device_sectors: 0, buddy_sectors: 0 };
+    }
+    match target {
+        TargetRatio::ZeroPage16 => {
+            if class.bytes() <= 8 {
+                // The 8 B granule costs one sector access.
+                EntryPlacement { device_sectors: 1, buddy_sectors: 0 }
+            } else {
+                // Overflowed zero-page entries live raw in the buddy slot.
+                EntryPlacement { device_sectors: 0, buddy_sectors: 4 }
+            }
+        }
+        other => {
+            let sectors = class.sectors().max(1);
+            let budget = other.device_sectors();
+            EntryPlacement {
+                device_sectors: sectors.min(budget),
+                buddy_sectors: sectors.saturating_sub(budget),
+            }
+        }
+    }
+}
+
+impl MemoryLayout for BenchmarkLayout {
+    fn total_entries(&self) -> u64 {
+        self.total_entries
+    }
+
+    fn placement(&self, entry: u64) -> EntryPlacement {
+        placement_for(self.size_class(entry), self.target_of(entry))
+    }
+
+    fn compressed_sectors(&self, entry: u64) -> u8 {
+        let class = self.size_class(entry);
+        if class == bpc::SizeClass::B0 {
+            0
+        } else {
+            class.sectors().max(1)
+        }
+    }
+}
+
+/// Adapts a workload access trace into simulator requests.
+pub fn benchmark_requests(
+    bench: &Benchmark,
+    seed: u64,
+) -> impl Iterator<Item = MemRequest> {
+    bench.trace(seed).map(|a| MemRequest {
+        entry: a.entry,
+        sector_mask: a.sector_mask,
+        write: a.write,
+        to_host: a.to_host,
+    })
+}
+
+/// End-to-end performance run: profile → choose targets → simulate.
+///
+/// Returns `(stats, outcome)` so callers can report both performance and
+/// compression results.
+pub fn run_performance_sim(
+    bench: &Benchmark,
+    mode: gpu_sim::MemoryMode,
+    gpu: gpu_sim::GpuConfig,
+    accesses: u64,
+    seed: u64,
+) -> (SimStats, ProfileOutcome) {
+    let profiles = profile_benchmark(bench, 2048, seed);
+    let outcome = buddy_core::choose_targets(&profiles, &ProfileConfig::default());
+    let exec = gpu_sim::ExecConfig::from_profile(
+        &gpu,
+        bench.access.mlp,
+        bench.access.compute_per_access as f64,
+        accesses,
+    );
+    let stats = match mode {
+        gpu_sim::MemoryMode::Uncompressed => {
+            let layout = BenchmarkLayout::uncompressed(bench);
+            gpu_sim::Engine::new(gpu, exec, mode, gpu_sim::Fidelity::Fast, &layout)
+                .run(&mut benchmark_requests(bench, seed))
+        }
+        _ => {
+            let layout = BenchmarkLayout::new(bench, &outcome, 0.5, seed);
+            gpu_sim::Engine::new(gpu, exec, mode, gpu_sim::Fidelity::Fast, &layout)
+                .run(&mut benchmark_requests(bench, seed))
+        }
+    };
+    (stats, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_bench(name: &str) -> Benchmark {
+        let mut b = workloads::by_name(name).expect("benchmark exists");
+        b.scale = workloads::Scale::test();
+        b
+    }
+
+    #[test]
+    fn profiling_produces_one_profile_per_allocation() {
+        let bench = test_bench("351.palm");
+        let profiles = profile_benchmark(&bench, 512, 1);
+        assert_eq!(profiles.len(), bench.allocations.len());
+        assert!(profiles.iter().all(|p| p.histogram.total() > 0));
+    }
+
+    #[test]
+    fn seismic_profiles_conservatively_to_2x() {
+        // §3.4: "for 355.seismic, for most allocations, the target ratio
+        // used will be 2x, and not 7x or 6x" — profiling across all ten
+        // snapshots sees the late, less-compressible data.
+        let bench = test_bench("355.seismic");
+        let profiles = profile_benchmark(&bench, 2048, 2);
+        let outcome = buddy_core::choose_targets(&profiles, &ProfileConfig::default());
+        let wavefield = outcome
+            .choices
+            .iter()
+            .find(|c| c.name == "wavefield")
+            .expect("wavefield allocation");
+        assert_eq!(wavefield.target, TargetRatio::R2);
+    }
+
+    #[test]
+    fn layout_placements_respect_targets() {
+        let bench = test_bench("354.cg");
+        let profiles = profile_benchmark(&bench, 1024, 3);
+        let outcome = buddy_core::choose_targets(&profiles, &ProfileConfig::default());
+        let layout = BenchmarkLayout::new(&bench, &outcome, 0.5, 3);
+        for entry in (0..layout.total_entries()).step_by(997) {
+            let p = layout.placement(entry);
+            let target = layout.target_of(entry);
+            match target {
+                TargetRatio::ZeroPage16 => {}
+                t => assert!(
+                    p.device_sectors <= t.device_sectors(),
+                    "device sectors exceed budget at {entry}"
+                ),
+            }
+            assert!(p.total() <= 4);
+        }
+    }
+
+    #[test]
+    fn placement_rules_match_buddy_core() {
+        use bpc::SizeClass::*;
+        // Fits: fully device-resident.
+        let p = placement_for(B32, TargetRatio::R2);
+        assert_eq!((p.device_sectors, p.buddy_sectors), (1, 0));
+        // Overflows: split at the budget.
+        let p = placement_for(B128, TargetRatio::R2);
+        assert_eq!((p.device_sectors, p.buddy_sectors), (2, 2));
+        let p = placement_for(B96, TargetRatio::R4);
+        assert_eq!((p.device_sectors, p.buddy_sectors), (1, 2));
+        // Zero entries are free.
+        let p = placement_for(B0, TargetRatio::R4);
+        assert_eq!((p.device_sectors, p.buddy_sectors), (0, 0));
+        // Zero-page fit and overflow.
+        let p = placement_for(B8, TargetRatio::ZeroPage16);
+        assert_eq!((p.device_sectors, p.buddy_sectors), (1, 0));
+        let p = placement_for(B64, TargetRatio::ZeroPage16);
+        assert_eq!((p.device_sectors, p.buddy_sectors), (0, 4));
+    }
+
+    #[test]
+    fn end_to_end_sim_runs_for_buddy_and_baseline() {
+        let bench = test_bench("356.sp");
+        let gpu = gpu_sim::GpuConfig::p100();
+        let (base, _) =
+            run_performance_sim(&bench, gpu_sim::MemoryMode::Uncompressed, gpu, 20_000, 5);
+        let (buddy, outcome) =
+            run_performance_sim(&bench, gpu_sim::MemoryMode::Buddy, gpu, 20_000, 5);
+        assert_eq!(base.accesses, 20_000);
+        assert_eq!(buddy.accesses, 20_000);
+        assert!(outcome.device_compression_ratio() > 1.0);
+        // Compression should be within a sane band of the baseline.
+        let speedup = buddy.speedup_vs(&base);
+        assert!((0.5..2.0).contains(&speedup), "sp speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn hpgmg_keeps_striped_allocation_uncompressed() {
+        let bench = test_bench("FF_HPGMG");
+        let profiles = profile_benchmark(&bench, 2048, 7);
+        let outcome = buddy_core::choose_targets(&profiles, &ProfileConfig::default());
+        let structs = outcome
+            .choices
+            .iter()
+            .find(|c| c.name == "level_structs")
+            .expect("level_structs allocation");
+        assert_eq!(
+            structs.target,
+            TargetRatio::R1,
+            "the striped struct array needs >80% threshold (§3.4)"
+        );
+    }
+}
