@@ -42,7 +42,8 @@ fn bench_device(c: &mut Criterion) {
                 let mut i = 0u64;
                 b.iter(|| {
                     let entry = mixed_entry(i);
-                    dev.write_entry(alloc, i % 4096, &entry).expect("write succeeds");
+                    dev.write_entry(alloc, i % 4096, &entry)
+                        .expect("write succeeds");
                     i += 1;
                 })
             },
@@ -57,7 +58,8 @@ fn bench_device(c: &mut Criterion) {
                 });
                 let alloc = dev.alloc("bench", 4096, t).expect("allocation fits");
                 for i in 0..4096u64 {
-                    dev.write_entry(alloc, i, &mixed_entry(i)).expect("write succeeds");
+                    dev.write_entry(alloc, i, &mixed_entry(i))
+                        .expect("write succeeds");
                 }
                 let mut i = 0u64;
                 b.iter(|| {

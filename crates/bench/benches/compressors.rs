@@ -18,7 +18,7 @@ fn entry_of(kind: &str) -> [u8; ENTRY_BYTES] {
             }
         }
         "noisy" => {
-            let mut s = 0x1234_5678_9ABC_DEFu64;
+            let mut s = 0x0123_4567_89AB_CDEFu64;
             for c in e.chunks_exact_mut(4) {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let v = 0x4000_0000u32 + ((s >> 40) as u32 & 0x3FF);

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::{
-    Engine, EntryPlacement, ExecConfig, Fidelity, GpuConfig, MemRequest, MemoryMode,
-    UniformLayout,
+    Engine, EntryPlacement, ExecConfig, Fidelity, GpuConfig, MemRequest, MemoryMode, UniformLayout,
 };
 
 fn trace(entries: u64) -> impl Iterator<Item = MemRequest> {
@@ -24,22 +23,32 @@ fn bench_engine(c: &mut Criterion) {
     let entries = 512 * 1024;
     let layout = UniformLayout {
         entries,
-        placement: EntryPlacement { device_sectors: 2, buddy_sectors: 1 },
+        placement: EntryPlacement {
+            device_sectors: 2,
+            buddy_sectors: 1,
+        },
     };
     for (fidelity, name) in [(Fidelity::Fast, "fast"), (Fidelity::Detailed, "detailed")] {
         group.bench_with_input(BenchmarkId::new("buddy", name), &fidelity, |b, &f| {
             b.iter(|| {
                 let cfg = GpuConfig::p100();
-                let exec = ExecConfig { lanes: 1792, compute_cycles: 30.0, accesses };
-                Engine::new(cfg, exec, MemoryMode::Buddy, f, &layout)
-                    .run(&mut trace(entries))
+                let exec = ExecConfig {
+                    lanes: 1792,
+                    compute_cycles: 30.0,
+                    accesses,
+                };
+                Engine::new(cfg, exec, MemoryMode::Buddy, f, &layout).run(&mut trace(entries))
             })
         });
     }
     group.bench_function("uncompressed/fast", |b| {
         b.iter(|| {
             let cfg = GpuConfig::p100();
-            let exec = ExecConfig { lanes: 1792, compute_cycles: 30.0, accesses };
+            let exec = ExecConfig {
+                lanes: 1792,
+                compute_cycles: 30.0,
+                accesses,
+            };
             Engine::new(cfg, exec, MemoryMode::Uncompressed, Fidelity::Fast, &layout)
                 .run(&mut trace(entries))
         })

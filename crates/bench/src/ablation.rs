@@ -70,8 +70,15 @@ pub fn ablation(cfg: &RunConfig) -> io::Result<()> {
         ]);
     }
     let header = ["benchmark", "bpc", "bdi", "fpc", "zero-rle"];
-    print_table("Ablation: capacity compression by algorithm (§2.4)", &header, &rows);
-    let gmeans: Vec<f64> = per_algo.iter().map(|v| geomean(v.iter().copied())).collect();
+    print_table(
+        "Ablation: capacity compression by algorithm (§2.4)",
+        &header,
+        &rows,
+    );
+    let gmeans: Vec<f64> = per_algo
+        .iter()
+        .map(|v| geomean(v.iter().copied()))
+        .collect();
     println!(
         "  GMEAN: bpc {:.2}  bdi {:.2}  fpc {:.2}  zero-rle {:.2}",
         gmeans[0], gmeans[1], gmeans[2], gmeans[3]
@@ -113,6 +120,9 @@ mod tests {
             results_dir: std::env::temp_dir().join("buddy-bench-ablation"),
             seed: 23,
         };
-        assert!(bpc_wins(&cfg), "BPC must beat BDI and FPC at suite level (§2.4)");
+        assert!(
+            bpc_wins(&cfg),
+            "BPC must beat BDI and FPC at suite level (§2.4)"
+        );
     }
 }

@@ -1,11 +1,9 @@
 //! Compression-capacity figures: Figures 3, 6, 7, 8 and 9.
 
 use crate::report::{f3, pct, print_table, write_csv, write_text, RunConfig};
-use buddy_compression::buddy_core::{
-    best_achievable, choose_naive, choose_targets, ProfileConfig,
-};
+use buddy_compression::buddy_core::{best_achievable, choose_naive, choose_targets, ProfileConfig};
 use buddy_compression::workloads::snapshot::{capture, heatmap, ten_phases, SnapshotConfig};
-use buddy_compression::workloads::{all_benchmarks, dl_benchmarks, geomean, Benchmark};
+use buddy_compression::workloads::{all_benchmarks, geomean, Benchmark};
 use buddy_compression::{profile_benchmark, profile_benchmark_at};
 use std::io;
 
@@ -28,7 +26,11 @@ pub fn fig03(cfg: &RunConfig) -> io::Result<()> {
         for phase in ten_phases() {
             let stats = capture(
                 &bench,
-                SnapshotConfig { phase, seed: cfg.seed, sample_cap: sample_cap(cfg) },
+                SnapshotConfig {
+                    phase,
+                    seed: cfg.seed,
+                    sample_cap: sample_cap(cfg),
+                },
             );
             snapshot_bytes.push(128.0 / stats.compression_ratio());
         }
@@ -53,7 +55,11 @@ pub fn fig03(cfg: &RunConfig) -> io::Result<()> {
     header.extend(snapshot_names.iter().map(|s| s.as_str()));
     header.push("mean");
     header.push("paper");
-    print_table("Figure 3: BPC capacity compression per snapshot", &header, &rows);
+    print_table(
+        "Figure 3: BPC capacity compression per snapshot",
+        &header,
+        &rows,
+    );
     println!("  GMEAN_HPC {gm_hpc:.2} (paper 2.51)   GMEAN_DL {gm_dl:.2} (paper 1.85)");
     write_csv(&cfg.results_dir, "fig03", &header, &rows)?;
     Ok(())
@@ -72,8 +78,19 @@ pub fn fig06(cfg: &RunConfig) -> io::Result<()> {
         row.extend(dist.iter().map(|d| pct(*d)));
         rows.push(row);
     }
-    let header = ["benchmark", "0-sector", "1-sector", "2-sector", "3-sector", "4-sector"];
-    print_table("Figure 6: compressibility distribution (heat maps in results/)", &header, &rows);
+    let header = [
+        "benchmark",
+        "0-sector",
+        "1-sector",
+        "2-sector",
+        "3-sector",
+        "4-sector",
+    ];
+    print_table(
+        "Figure 6: compressibility distribution (heat maps in results/)",
+        &header,
+        &rows,
+    );
     write_csv(&cfg.results_dir, "fig06_distribution", &header, &rows)?;
     Ok(())
 }
@@ -106,7 +123,10 @@ pub fn fig07_points(cfg: &RunConfig) -> Vec<Fig7Point> {
             Fig7Point {
                 name: bench.name.to_string(),
                 is_hpc: bench.suite.is_hpc(),
-                naive: (naive.device_compression_ratio(), naive.static_buddy_fraction()),
+                naive: (
+                    naive.device_compression_ratio(),
+                    naive.static_buddy_fraction(),
+                ),
                 per_alloc: (
                     per_alloc.device_compression_ratio(),
                     per_alloc.static_buddy_fraction(),
@@ -148,11 +168,7 @@ pub fn fig07(cfg: &RunConfig) -> io::Result<Vec<Fig7Point>> {
         "final_buddy",
     ];
     print_table("Figure 7: policy comparison", &header, &rows);
-    for (label, pick) in [
-        ("naive", 0usize),
-        ("per-alloc", 1),
-        ("final", 2),
-    ] {
+    for (label, pick) in [("naive", 0usize), ("per-alloc", 1), ("final", 2)] {
         let select = |p: &Fig7Point| match pick {
             0 => p.naive,
             1 => p.per_alloc,
@@ -160,9 +176,17 @@ pub fn fig07(cfg: &RunConfig) -> io::Result<Vec<Fig7Point>> {
         };
         let hpc_r = geomean(points.iter().filter(|p| p.is_hpc).map(|p| select(p).0));
         let dl_r = geomean(points.iter().filter(|p| !p.is_hpc).map(|p| select(p).0));
-        let hpc_b: f64 = points.iter().filter(|p| p.is_hpc).map(|p| select(p).1).sum::<f64>()
+        let hpc_b: f64 = points
+            .iter()
+            .filter(|p| p.is_hpc)
+            .map(|p| select(p).1)
+            .sum::<f64>()
             / points.iter().filter(|p| p.is_hpc).count() as f64;
-        let dl_b: f64 = points.iter().filter(|p| !p.is_hpc).map(|p| select(p).1).sum::<f64>()
+        let dl_b: f64 = points
+            .iter()
+            .filter(|p| !p.is_hpc)
+            .map(|p| select(p).1)
+            .sum::<f64>()
             / points.iter().filter(|p| !p.is_hpc).count() as f64;
         println!(
             "  {label:<10} GMEAN ratio HPC {hpc_r:.2} DL {dl_r:.2}; mean buddy HPC {} DL {}",
@@ -181,8 +205,10 @@ pub fn fig07(cfg: &RunConfig) -> io::Result<Vec<Fig7Point>> {
 pub fn fig08(cfg: &RunConfig) -> io::Result<()> {
     let mut rows = Vec::new();
     for name in ["SqueezeNet", "ResNet50"] {
-        let bench =
-            all_benchmarks().into_iter().find(|b| b.name == name).expect("benchmark exists");
+        let bench = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("benchmark exists");
         // Profile across the run (the paper's static targets), then measure
         // per-snapshot overflow with those targets held fixed.
         let profiles = profile_benchmark(&bench, sample_cap(cfg), cfg.seed);
@@ -193,8 +219,7 @@ pub fn fig08(cfg: &RunConfig) -> io::Result<()> {
             let mut weighted = 0.0;
             let mut total = 0.0;
             for (profile, choice) in at_phase.iter().zip(outcome.choices.iter()) {
-                weighted +=
-                    profile.entries as f64 * profile.overflow_fraction(choice.target);
+                weighted += profile.entries as f64 * profile.overflow_fraction(choice.target);
                 total += profile.entries as f64;
             }
             row.push(pct(weighted / total));
@@ -204,7 +229,11 @@ pub fn fig08(cfg: &RunConfig) -> io::Result<()> {
     let mut header = vec!["benchmark", "ratio"];
     let names: Vec<String> = (1..=10).map(|i| format!("s{i}")).collect();
     header.extend(names.iter().map(|s| s.as_str()));
-    print_table("Figure 8: buddy accesses across a training iteration", &header, &rows);
+    print_table(
+        "Figure 8: buddy accesses across a training iteration",
+        &header,
+        &rows,
+    );
     println!("  paper: constant ratios 1.49 (SqueezeNet) / 1.64 (ResNet50), flat access lines");
     write_csv(&cfg.results_dir, "fig08", &header, &rows)?;
     Ok(())
@@ -277,8 +306,7 @@ mod tests {
             let subset: Vec<_> = points.iter().filter(|p| p.is_hpc == hpc).collect();
             let naive_r = geomean(subset.iter().map(|p| p.naive.0));
             let final_r = geomean(subset.iter().map(|p| p.final_design.0));
-            let naive_b: f64 =
-                subset.iter().map(|p| p.naive.1).sum::<f64>() / subset.len() as f64;
+            let naive_b: f64 = subset.iter().map(|p| p.naive.1).sum::<f64>() / subset.len() as f64;
             let final_b: f64 =
                 subset.iter().map(|p| p.final_design.1).sum::<f64>() / subset.len() as f64;
             assert!(
@@ -292,9 +320,20 @@ mod tests {
         }
         // Suite-level shape: HPC ≈ 1.9, DL ≈ 1.5 (±0.4/0.3).
         let hpc = geomean(points.iter().filter(|p| p.is_hpc).map(|p| p.final_design.0));
-        let dl = geomean(points.iter().filter(|p| !p.is_hpc).map(|p| p.final_design.0));
-        assert!((hpc - 1.9).abs() < 0.4, "HPC final geomean {hpc:.2} vs paper 1.9");
-        assert!((dl - 1.5).abs() < 0.3, "DL final geomean {dl:.2} vs paper 1.5");
+        let dl = geomean(
+            points
+                .iter()
+                .filter(|p| !p.is_hpc)
+                .map(|p| p.final_design.0),
+        );
+        assert!(
+            (hpc - 1.9).abs() < 0.4,
+            "HPC final geomean {hpc:.2} vs paper 1.9"
+        );
+        assert!(
+            (dl - 1.5).abs() < 0.3,
+            "DL final geomean {dl:.2} vs paper 1.5"
+        );
     }
 
     #[test]
@@ -312,7 +351,15 @@ mod tests {
         // carve-out bound ("the overall compression ratio is still under
         // 4x, limited by the buddy-memory carve-out region", §3.4).
         let ep = points.iter().find(|p| p.name == "352.ep").unwrap();
-        assert!(ep.final_design.0 >= 3.0, "352.ep final {:.2}", ep.final_design.0);
-        assert!(ep.final_design.0 <= 4.0 + 1e-9, "352.ep capped {:.2}", ep.final_design.0);
+        assert!(
+            ep.final_design.0 >= 3.0,
+            "352.ep final {:.2}",
+            ep.final_design.0
+        );
+        assert!(
+            ep.final_design.0 <= 4.0 + 1e-9,
+            "352.ep capped {:.2}",
+            ep.final_design.0
+        );
     }
 }

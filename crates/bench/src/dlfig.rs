@@ -23,7 +23,11 @@ pub fn fig13a(cfg: &RunConfig) -> io::Result<()> {
     let mut header = vec!["network"];
     let names: Vec<String> = batches.iter().map(|b| format!("b{b}")).collect();
     header.extend(names.iter().map(|s| s.as_str()));
-    print_table("Figure 13a: memory footprint (GB) vs batch size", &header, &rows);
+    print_table(
+        "Figure 13a: memory footprint (GB) vs batch size",
+        &header,
+        &rows,
+    );
     write_csv(&cfg.results_dir, "fig13a", &header, &rows)?;
     Ok(())
 }
@@ -44,7 +48,11 @@ pub fn fig13b(cfg: &RunConfig) -> io::Result<()> {
         rows.push(row);
     }
     let header = ["network", "b16", "b32", "b64", "b128", "b256", "b512"];
-    print_table("Figure 13b: throughput vs batch (normalized to 16)", &header, &rows);
+    print_table(
+        "Figure 13b: throughput vs batch (normalized to 16)",
+        &header,
+        &rows,
+    );
     write_csv(&cfg.results_dir, "fig13b", &header, &rows)?;
     Ok(())
 }
@@ -79,10 +87,23 @@ pub fn fig13c(cfg: &RunConfig) -> io::Result<()> {
             f3(cs.speedup()),
         ]);
     }
-    let header = ["network", "buddy_ratio", "baseline_batch", "buddy_batch", "speedup"];
-    print_table("Figure 13c: speedup from Buddy-enabled larger batches", &header, &rows);
+    let header = [
+        "network",
+        "buddy_ratio",
+        "baseline_batch",
+        "buddy_batch",
+        "speedup",
+    ];
+    print_table(
+        "Figure 13c: speedup from Buddy-enabled larger batches",
+        &header,
+        &rows,
+    );
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    println!("  average speedup {:.1}% (paper: 14%; BigLSTM 28%, VGG16 30%)", 100.0 * (avg - 1.0));
+    println!(
+        "  average speedup {:.1}% (paper: 14%; BigLSTM 28%, VGG16 30%)",
+        100.0 * (avg - 1.0)
+    );
     write_csv(&cfg.results_dir, "fig13c", &header, &rows)?;
     Ok(())
 }
@@ -96,8 +117,10 @@ pub fn fig13d(cfg: &RunConfig) -> io::Result<()> {
     let batches = [16usize, 32, 64, 128, 256];
     let results = batch_size_sweep(&batches, epochs, cfg.seed);
     // Accuracy curves: one row per epoch checkpoint.
-    let checkpoints: Vec<usize> =
-        (0..epochs).step_by((epochs / 10).max(1)).chain([epochs - 1]).collect();
+    let checkpoints: Vec<usize> = (0..epochs)
+        .step_by((epochs / 10).max(1))
+        .chain([epochs - 1])
+        .collect();
     let mut rows = Vec::new();
     for &e in &checkpoints {
         let mut row = vec![format!("epoch {}", e + 1)];
@@ -107,7 +130,11 @@ pub fn fig13d(cfg: &RunConfig) -> io::Result<()> {
         rows.push(row);
     }
     let header = ["checkpoint", "b16", "b32", "b64", "b128", "b256"];
-    print_table("Figure 13d: validation accuracy vs batch size", &header, &rows);
+    print_table(
+        "Figure 13d: validation accuracy vs batch size",
+        &header,
+        &rows,
+    );
     for r in &results {
         println!(
             "  batch {:>3}: plateau {:.3}, epochs-to-90%-of-best {:?}",

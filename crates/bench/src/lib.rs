@@ -40,6 +40,9 @@ pub fn reproduce_all(cfg: &RunConfig) -> io::Result<()> {
     dlfig::fig13c(cfg)?;
     dlfig::fig13d(cfg)?;
     ablation::ablation(cfg)?;
-    println!("\nAll tables and figures regenerated into {:?}.", cfg.results_dir);
+    println!(
+        "\nAll tables and figures regenerated into {:?}.",
+        cfg.results_dir
+    );
     Ok(())
 }

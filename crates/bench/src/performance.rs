@@ -6,7 +6,7 @@ use buddy_compression::gpu_sim::{
     Engine, EntryPlacement, ExecConfig, Fidelity, GpuConfig, Lookup, MemRequest, MemoryMode,
     SectoredCache, SimStats, UniformLayout,
 };
-use buddy_compression::workloads::{all_benchmarks, geomean, Benchmark};
+use buddy_compression::workloads::{all_benchmarks, geomean};
 use buddy_compression::{benchmark_requests, profile_benchmark, BenchmarkLayout};
 use std::io;
 
@@ -50,8 +50,21 @@ pub fn fig05b(cfg: &RunConfig) -> io::Result<()> {
         }
         rows.push(row);
     }
-    let header = ["benchmark", "8KB", "16KB", "32KB", "64KB", "128KB", "256KB", "512KB"];
-    print_table("Figure 5b: metadata cache hit rate vs total size", &header, &rows);
+    let header = [
+        "benchmark",
+        "8KB",
+        "16KB",
+        "32KB",
+        "64KB",
+        "128KB",
+        "256KB",
+        "512KB",
+    ];
+    print_table(
+        "Figure 5b: metadata cache hit rate vs total size",
+        &header,
+        &rows,
+    );
     println!("  paper: high hit rates except 351.palm and 355.seismic; 64 KB chosen (§3.2)");
     write_csv(&cfg.results_dir, "fig05b", &header, &rows)?;
     Ok(())
@@ -84,7 +97,11 @@ pub fn fig10(cfg: &RunConfig) -> io::Result<()> {
                         entries: footprint,
                         placement: EntryPlacement::device(device_sectors),
                     };
-                    let exec = ExecConfig { lanes, compute_cycles: 24.0, accesses };
+                    let exec = ExecConfig {
+                        lanes,
+                        compute_cycles: 24.0,
+                        accesses,
+                    };
                     let seed = cfg.seed ^ case;
                     let mut trace_a = micro_trace(footprint, mask, seed);
                     let fast = Engine::new(gpu, exec, MemoryMode::Buddy, Fidelity::Fast, &layout)
@@ -111,8 +128,15 @@ pub fn fig10(cfg: &RunConfig) -> io::Result<()> {
         }
     }
     let r = correlation(&fast_cycles, &detailed_cycles);
-    let header =
-        ["case", "footprint", "mask", "lanes", "sectors", "fast_cycles", "detailed_cycles"];
+    let header = [
+        "case",
+        "footprint",
+        "mask",
+        "lanes",
+        "sectors",
+        "fast_cycles",
+        "detailed_cycles",
+    ];
     print_table("Figure 10: fast vs detailed model", &header, &rows);
     println!(
         "  correlation (log cycles): r = {r:.3} over {} cases (paper: 0.989 vs silicon)",
@@ -137,7 +161,12 @@ fn micro_trace(entries: u64, mask: u8, seed: u64) -> impl Iterator<Item = MemReq
         } else {
             h % entries
         };
-        MemRequest { entry, sector_mask: mask, write: h % 5 == 0, to_host: false }
+        MemRequest {
+            entry,
+            sector_mask: mask,
+            write: h % 5 == 0,
+            to_host: false,
+        }
     })
 }
 
@@ -159,7 +188,7 @@ pub fn fig11_points(cfg: &RunConfig) -> Vec<Fig11Point> {
     // Trace length calibrated so the baseline sits near (not past) the DRAM
     // bandwidth wall, matching the paper's ideal-GPU operating point; much
     // longer synthetic traces drive every benchmark fully DRAM-bound and
-    // inflate compression gains (noted in EXPERIMENTS.md).
+    // inflate compression gains (see DESIGN.md §5 on calibration).
     let accesses = if cfg.quick { 25_000 } else { 60_000 };
     let link_sweep = [50.0, 100.0, 150.0, 200.0];
     let mut points = Vec::new();
@@ -193,10 +222,8 @@ pub fn fig11_points(cfg: &RunConfig) -> Vec<Fig11Point> {
         };
         // Baseline: ideal large-memory GPU with a 150 GB/s interconnect.
         let baseline = run(MemoryMode::Uncompressed, 150.0);
-        let bandwidth_only =
-            run(MemoryMode::BandwidthCompressed, 150.0).speedup_vs(&baseline);
-        let buddy = link_sweep
-            .map(|link| run(MemoryMode::Buddy, link).speedup_vs(&baseline));
+        let bandwidth_only = run(MemoryMode::BandwidthCompressed, 150.0).speedup_vs(&baseline);
+        let buddy = link_sweep.map(|link| run(MemoryMode::Buddy, link).speedup_vs(&baseline));
         points.push(Fig11Point {
             name: bench.name.to_string(),
             is_hpc: bench.suite.is_hpc(),
@@ -225,9 +252,19 @@ pub fn fig11(cfg: &RunConfig) -> io::Result<Vec<Fig11Point>> {
             ]
         })
         .collect();
-    let header =
-        ["benchmark", "bw_only@150", "buddy@50", "buddy@100", "buddy@150", "buddy@200"];
-    print_table("Figure 11: performance vs ideal GPU (normalized)", &header, &rows);
+    let header = [
+        "benchmark",
+        "bw_only@150",
+        "buddy@50",
+        "buddy@100",
+        "buddy@150",
+        "buddy@200",
+    ];
+    print_table(
+        "Figure 11: performance vs ideal GPU (normalized)",
+        &header,
+        &rows,
+    );
     let gm = |f: &dyn Fn(&Fig11Point) -> f64, hpc: Option<bool>| {
         geomean(
             points
@@ -266,9 +303,15 @@ mod tests {
         let mut fast = Vec::new();
         let mut detailed = Vec::new();
         for (footprint, lanes) in [(1u64 << 14, 448u32), (1 << 18, 1792), (1 << 18, 3584)] {
-            let layout =
-                UniformLayout { entries: footprint, placement: EntryPlacement::device(2) };
-            let exec = ExecConfig { lanes, compute_cycles: 24.0, accesses: 20_000 };
+            let layout = UniformLayout {
+                entries: footprint,
+                placement: EntryPlacement::device(2),
+            };
+            let exec = ExecConfig {
+                lanes,
+                compute_cycles: 24.0,
+                accesses: 20_000,
+            };
             let f = Engine::new(gpu, exec, MemoryMode::Buddy, Fidelity::Fast, &layout)
                 .run(&mut micro_trace(footprint, 0b1111, 1));
             let d = Engine::new(gpu, exec, MemoryMode::Buddy, Fidelity::Detailed, &layout)

@@ -18,7 +18,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { quick: false, results_dir: PathBuf::from("results"), seed: 0xB0DD_7 }
+        Self {
+            quick: false,
+            results_dir: PathBuf::from("results"),
+            seed: 0xB0DD7,
+        }
     }
 }
 
@@ -26,7 +30,10 @@ impl RunConfig {
     /// Builds the configuration from process arguments (`--quick`).
     pub fn from_args() -> Self {
         let quick = std::env::args().any(|a| a == "--quick");
-        Self { quick, ..Self::default() }
+        Self {
+            quick,
+            ..Self::default()
+        }
     }
 
     /// Scales an iteration/access count down in quick mode.
@@ -151,7 +158,10 @@ mod tests {
 
     #[test]
     fn quick_mode_scales_down() {
-        let cfg = RunConfig { quick: true, ..Default::default() };
+        let cfg = RunConfig {
+            quick: true,
+            ..Default::default()
+        };
         assert_eq!(cfg.scaled(100_000), 10_000);
         assert_eq!(cfg.scaled(100), 1000);
         let full = RunConfig::default();

@@ -24,11 +24,19 @@ pub fn table1(cfg: &RunConfig) -> io::Result<()> {
                 b.name.to_string(),
                 suite.to_string(),
                 footprint,
-                format!("{:.1}MB", b.sim_footprint_bytes() as f64 / (1u64 << 20) as f64),
+                format!(
+                    "{:.1}MB",
+                    b.sim_footprint_bytes() as f64 / (1u64 << 20) as f64
+                ),
             ]
         })
         .collect();
-    let header = ["benchmark", "suite", "footprint (Table 1)", "simulated footprint"];
+    let header = [
+        "benchmark",
+        "suite",
+        "footprint (Table 1)",
+        "simulated footprint",
+    ];
     print_table("Table 1: GPU benchmarks", &header, &rows);
     write_csv(&cfg.results_dir, "table1", &header, &rows)?;
     Ok(())
@@ -42,15 +50,24 @@ pub fn table2(cfg: &RunConfig) -> io::Result<()> {
     let rows = vec![
         vec!["sms".to_string(), gpu.sms.to_string()],
         vec!["core_clock_ghz".to_string(), gpu.core_clock_ghz.to_string()],
-        vec!["max_warps_per_sm".to_string(), gpu.max_warps_per_sm.to_string()],
+        vec![
+            "max_warps_per_sm".to_string(),
+            gpu.max_warps_per_sm.to_string(),
+        ],
         vec!["l2_bytes".to_string(), gpu.l2_bytes.to_string()],
         vec!["l2_slices".to_string(), gpu.l2_slices.to_string()],
         vec!["l2_ways".to_string(), gpu.l2_ways.to_string()],
         vec!["line_bytes".to_string(), gpu.line_bytes.to_string()],
         vec!["sector_bytes".to_string(), gpu.sector_bytes.to_string()],
         vec!["dram_channels".to_string(), gpu.dram_channels.to_string()],
-        vec!["dram_bandwidth_gbps".to_string(), gpu.dram_bandwidth_gbps.to_string()],
-        vec!["link_bandwidth_gbps".to_string(), gpu.link_bandwidth_gbps.to_string()],
+        vec![
+            "dram_bandwidth_gbps".to_string(),
+            gpu.dram_bandwidth_gbps.to_string(),
+        ],
+        vec![
+            "link_bandwidth_gbps".to_string(),
+            gpu.link_bandwidth_gbps.to_string(),
+        ],
         vec![
             "metadata_cache_bytes_per_slice".to_string(),
             gpu.metadata_cache_bytes_per_slice.to_string(),

@@ -1,9 +1,7 @@
 //! Figure 12: measured overheads of Unified Memory oversubscription.
 
 use crate::report::{f3, print_table, write_csv, RunConfig};
-use buddy_compression::unified_memory::{
-    native_baseline, simulate, PageAccess, Policy, UmConfig,
-};
+use buddy_compression::unified_memory::{native_baseline, simulate, PageAccess, Policy, UmConfig};
 use buddy_compression::workloads::by_name;
 use std::io;
 
@@ -39,8 +37,7 @@ pub fn fig12(cfg: &RunConfig) -> io::Result<()> {
         let mut um_row = vec![format!("{name} (UM)")];
         let mut pinned_row = vec![format!("{name} (pinned)")];
         for &oversub in &oversubs {
-            let device_pages =
-                ((footprint_pages as f64) * (1.0 - oversub)).max(1.0) as u64;
+            let device_pages = ((footprint_pages as f64) * (1.0 - oversub)).max(1.0) as u64;
             let config = UmConfig {
                 device_bytes: device_pages * (64 << 10),
                 ..UmConfig::default()
@@ -54,7 +51,11 @@ pub fn fig12(cfg: &RunConfig) -> io::Result<()> {
         rows.push(pinned_row);
     }
     let header = ["configuration", "0%", "10%", "20%", "30%", "40%"];
-    print_table("Figure 12: UM oversubscription slowdowns (relative runtime)", &header, &rows);
+    print_table(
+        "Figure 12: UM oversubscription slowdowns (relative runtime)",
+        &header,
+        &rows,
+    );
     println!("  paper: UM reaches 16-64x and often loses to pinned placement;");
     println!("  Buddy at 50 GB/s stays below 1.67x at 50% oversubscription (Fig. 11).");
     write_csv(&cfg.results_dir, "fig12", &header, &rows)?;
@@ -75,9 +76,15 @@ mod tests {
         fig12(&cfg).unwrap();
         let csv = std::fs::read_to_string(cfg.results_dir.join("fig12.csv")).unwrap();
         let um_line = csv.lines().find(|l| l.contains("360.ilbdc (UM)")).unwrap();
-        let cells: Vec<f64> =
-            um_line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
-        assert!(cells.windows(2).all(|w| w[1] >= w[0] * 0.95), "UM not monotone: {cells:?}");
+        let cells: Vec<f64> = um_line
+            .split(',')
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(
+            cells.windows(2).all(|w| w[1] >= w[0] * 0.95),
+            "UM not monotone: {cells:?}"
+        );
         assert!(
             cells[4] > 3.0,
             "40% oversubscription should slow ilbdc substantially: {cells:?}"

@@ -222,15 +222,23 @@ impl BlockCompressor for BaseDeltaImmediate {
                 for (i, &from_base) in mask.iter().enumerate() {
                     let raw = r.read_bits(8 * delta_size)?;
                     let delta = sign_extend(raw, 8 * delta_size as u32);
-                    let value = if from_base { base.wrapping_add(delta) } else { delta } & elem_mask;
-                    for (j, byte) in entry[i * base_size..(i + 1) * base_size].iter_mut().enumerate()
+                    let value = if from_base {
+                        base.wrapping_add(delta)
+                    } else {
+                        delta
+                    } & elem_mask;
+                    for (j, byte) in entry[i * base_size..(i + 1) * base_size]
+                        .iter_mut()
+                        .enumerate()
                     {
                         *byte = (value >> (8 * j)) as u8;
                     }
                 }
                 Ok(entry)
             }
-            _ => Err(DecodeError::InvalidCode { bit_offset: r.bit_offset() }),
+            _ => Err(DecodeError::InvalidCode {
+                bit_offset: r.bit_offset(),
+            }),
         }
     }
 }
@@ -269,18 +277,29 @@ mod tests {
         let bits = round_trip(&entry);
         // Deltas up to 17 * 15 = 255 need the (8, 2) scheme:
         // 4-bit id + 16 mask bits + 64-bit base + 16 two-byte deltas.
-        assert_eq!(bits, 4 + 16 + 64 + 16 * 16, "pointer-like data should use (8,2)");
+        assert_eq!(
+            bits,
+            4 + 16 + 64 + 16 * 16,
+            "pointer-like data should use (8,2)"
+        );
     }
 
     #[test]
     fn small_ints_with_outlier_base() {
         let mut entry = [0u8; 128];
         for (i, chunk) in entry.chunks_exact_mut(4).enumerate() {
-            let v: u32 = if i % 5 == 0 { 0x4000_0000 + i as u32 } else { i as u32 };
+            let v: u32 = if i % 5 == 0 {
+                0x4000_0000 + i as u32
+            } else {
+                i as u32
+            };
             chunk.copy_from_slice(&v.to_le_bytes());
         }
         let bits = round_trip(&entry);
-        assert!(bits < 128 * 8, "mixed immediates/base should compress: {bits}");
+        assert!(
+            bits < 128 * 8,
+            "mixed immediates/base should compress: {bits}"
+        );
     }
 
     #[test]
@@ -288,7 +307,9 @@ mod tests {
         let mut state = 0x0123_4567_89AB_CDEFu64;
         let mut entry = [0u8; 128];
         for b in entry.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (state >> 33) as u8;
         }
         let bits = round_trip(&entry);

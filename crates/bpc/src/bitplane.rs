@@ -30,7 +30,7 @@
 //! | uncompressed plane               | `1` + 31 raw bits      | 32   |
 //!
 //! The base symbol is coded as `0` when zero, else `1` + 32 raw bits (a minor
-//! simplification of the original base encoder, documented in DESIGN.md).
+//! simplification of the original base encoder, documented in DESIGN.md §2).
 //!
 //! Decoding inverts every step exactly; round-trip is property-tested.
 
@@ -173,7 +173,9 @@ impl BitPlane {
                 if run > b + 1 {
                     // Run longer than the planes remaining (plane `b` plus
                     // the `b` planes below it).
-                    return Err(DecodeError::InvalidCode { bit_offset: r.bit_offset() });
+                    return Err(DecodeError::InvalidCode {
+                        bit_offset: r.bit_offset(),
+                    });
                 }
                 // DBX == 0 means DBP[b] == DBP[b+1] for every plane in the
                 // run. Leave `b` at the last plane of the run so the outer
@@ -188,7 +190,7 @@ impl BitPlane {
             } else {
                 // `000` + 2 more bits: one of the four 5-bit codes.
                 match r.read_bits(2)? {
-                    0b00 => dbx_val = PLANE_MASK,          // all-ones
+                    0b00 => dbx_val = PLANE_MASK, // all-ones
                     0b01 => {
                         // DBX != 0 but DBP == 0.
                         dbp[b] = 0;
@@ -198,16 +200,20 @@ impl BitPlane {
                     0b10 => {
                         let pos = r.read_bits(5)? as u32;
                         if pos > 29 {
-                            return Err(DecodeError::InvalidCode { bit_offset: r.bit_offset() });
+                            return Err(DecodeError::InvalidCode {
+                                bit_offset: r.bit_offset(),
+                            });
                         }
-                        dbx_val = 0b11 << pos;              // two consecutive ones
+                        dbx_val = 0b11 << pos; // two consecutive ones
                     }
                     _ => {
                         let pos = r.read_bits(5)? as u32;
                         if pos > 30 {
-                            return Err(DecodeError::InvalidCode { bit_offset: r.bit_offset() });
+                            return Err(DecodeError::InvalidCode {
+                                bit_offset: r.bit_offset(),
+                            });
                         }
-                        dbx_val = 1 << pos;                 // single one
+                        dbx_val = 1 << pos; // single one
                     }
                 }
             }
@@ -266,7 +272,11 @@ impl BlockCompressor for BitPlane {
             });
         }
         let mut r = BitReader::new(compressed.data(), compressed.bits());
-        let base = if r.read_bit()? { r.read_bits(32)? as u32 } else { 0 };
+        let base = if r.read_bit()? {
+            r.read_bits(32)? as u32
+        } else {
+            0
+        };
         let dbp = Self::decode_planes(&mut r)?;
         let deltas = Self::planes_to_deltas(&dbp);
 
@@ -318,14 +328,20 @@ mod tests {
         let entry = entry_from_words(|i| 7 + 3 * i as u32);
         let bits = round_trip(&entry);
         // Constant delta of 3: two low planes identical-ones, rest zero.
-        assert!(bits < 128, "ramp should compress far below 128 bits, got {bits}");
+        assert!(
+            bits < 128,
+            "ramp should compress far below 128 bits, got {bits}"
+        );
     }
 
     #[test]
     fn smooth_floats_compress() {
         let entry = entry_from_words(|i| (1.0f32 + i as f32 * 1e-4).to_bits());
         let bits = round_trip(&entry);
-        assert!(bits < 512, "smooth floats should compress below 64 B, got {bits}");
+        assert!(
+            bits < 512,
+            "smooth floats should compress below 64 B, got {bits}"
+        );
     }
 
     #[test]
@@ -339,7 +355,10 @@ mod tests {
             (state >> 16) as u32
         });
         let bits = round_trip(&entry);
-        assert!(bits > 1024, "random data should exceed 128 B, got {bits} bits");
+        assert!(
+            bits > 1024,
+            "random data should exceed 128 B, got {bits} bits"
+        );
     }
 
     #[test]
@@ -379,7 +398,10 @@ mod tests {
         let entry = entry_from_words(|i| i as u32 * 977);
         let c = codec.compress(&entry);
         let truncated = Compressed::new(BitPlane::NAME, c.bits() / 2, c.data().to_vec());
-        assert!(matches!(codec.decompress(&truncated), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            codec.decompress(&truncated),
+            Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl BitWriter {
 
     /// Creates an empty bit buffer with room for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
-        Self { buf: Vec::with_capacity(bits.div_ceil(8)), len_bits: 0 }
+        Self {
+            buf: Vec::with_capacity(bits.div_ceil(8)),
+            len_bits: 0,
+        }
     }
 
     /// Appends the low `n` bits of `value`, most-significant bit first.
@@ -73,7 +76,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `data`, limited to `len_bits` valid bits.
     pub fn new(data: &'a [u8], len_bits: usize) -> Self {
-        Self { data, pos: 0, len_bits: len_bits.min(data.len() * 8) }
+        Self {
+            data,
+            pos: 0,
+            len_bits: len_bits.min(data.len() * 8),
+        }
     }
 
     /// Current read position in bits from the start of the stream.

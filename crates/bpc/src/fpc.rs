@@ -89,7 +89,11 @@ impl BlockCompressor for FrequentPattern {
                 w.push_bits(0b101, 3);
                 w.push_bits(((word >> 16) & 0xFF) as u64, 8);
                 w.push_bits((word & 0xFF) as u64, 8);
-            } else if word.to_le_bytes().iter().all(|&b| b == word.to_le_bytes()[0]) {
+            } else if word
+                .to_le_bytes()
+                .iter()
+                .all(|&b| b == word.to_le_bytes()[0])
+            {
                 w.push_bits(0b110, 3);
                 w.push_bits((word & 0xFF) as u64, 8);
             } else {
@@ -118,7 +122,9 @@ impl BlockCompressor for FrequentPattern {
                 0b000 => {
                     let run = r.read_bits(3)? as usize + 1;
                     if i + run > words.len() {
-                        return Err(DecodeError::InvalidCode { bit_offset: r.bit_offset() });
+                        return Err(DecodeError::InvalidCode {
+                            bit_offset: r.bit_offset(),
+                        });
                     }
                     i += run;
                     continue;
@@ -226,7 +232,10 @@ mod tests {
     fn incompressible_words() {
         let entry = entry_from_words(|i| 0x1234_5601 + (i as u32) * 0x0101_0733);
         let bits = round_trip(&entry);
-        assert!(bits >= 32 * 32, "random-ish words should mostly be raw: {bits}");
+        assert!(
+            bits >= 32 * 32,
+            "random-ish words should mostly be raw: {bits}"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl Compressed {
     /// Creates a compressed block from raw encoder output.
     pub fn new(algorithm: &'static str, bits: usize, data: Vec<u8>) -> Self {
         debug_assert!(data.len() * 8 >= bits, "bitstream shorter than declared");
-        Self { algorithm, bits, data }
+        Self {
+            algorithm,
+            bits,
+            data,
+        }
     }
 
     /// Name of the algorithm that produced this block.
@@ -130,7 +134,13 @@ impl Compressed {
 
 impl fmt::Display for Compressed {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} bits ({})", self.algorithm, self.bits, self.size_class())
+        write!(
+            f,
+            "{}: {} bits ({})",
+            self.algorithm,
+            self.bits,
+            self.size_class()
+        )
     }
 }
 
@@ -260,7 +270,11 @@ mod tests {
             "invalid code word at bit offset 5"
         );
         assert_eq!(
-            DecodeError::WrongAlgorithm { found: "a", expected: "b" }.to_string(),
+            DecodeError::WrongAlgorithm {
+                found: "a",
+                expected: "b"
+            }
+            .to_string(),
             "block was compressed with a, not b"
         );
     }

@@ -104,6 +104,9 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let c = Compressed::new(ZeroRle::NAME, 0, vec![]);
-        assert!(matches!(ZeroRle::new().decompress(&c), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            ZeroRle::new().decompress(&c),
+            Err(DecodeError::Truncated)
+        ));
     }
 }

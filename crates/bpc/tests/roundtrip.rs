@@ -7,8 +7,8 @@
 //! boundary patterns.
 
 use bpc::{
-    BaseDeltaImmediate, BitPlane, BlockCompressor, Compressed, FrequentPattern, SizeClass,
-    ZeroRle, ENTRY_BYTES,
+    BaseDeltaImmediate, BitPlane, BlockCompressor, Compressed, FrequentPattern, SizeClass, ZeroRle,
+    ENTRY_BYTES,
 };
 use proptest::prelude::*;
 
@@ -32,8 +32,12 @@ fn entry_strategy() -> impl Strategy<Value = [u8; ENTRY_BYTES]> {
 
 /// Structured data: base + small noise, the regime where BPC/BDI shine.
 fn structured_strategy() -> impl Strategy<Value = [u8; ENTRY_BYTES]> {
-    (any::<u32>(), 0u32..1024, proptest::array::uniform32(0u32..256)).prop_map(
-        |(base, stride, noise)| {
+    (
+        any::<u32>(),
+        0u32..1024,
+        proptest::array::uniform32(0u32..256),
+    )
+        .prop_map(|(base, stride, noise)| {
             let mut entry = [0u8; ENTRY_BYTES];
             for (i, chunk) in entry.chunks_exact_mut(4).enumerate() {
                 let v = base
@@ -42,8 +46,7 @@ fn structured_strategy() -> impl Strategy<Value = [u8; ENTRY_BYTES]> {
                 chunk.copy_from_slice(&v.to_le_bytes());
             }
             entry
-        },
-    )
+        })
 }
 
 /// Floating-point-like data: a smooth f32 ramp.

@@ -15,6 +15,10 @@ use bpc::{BitPlane, BlockCompressor, Compressed, Entry, SizeClass, ENTRY_BYTES, 
 use std::error::Error;
 use std::fmt;
 
+/// An entry's storage fingerprint: its `(offset, length)` byte range in
+/// device memory and in the buddy carve-out.
+pub type StorageRanges = ((u64, u64), (u64, u64));
+
 /// Errors returned by allocation and access operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeviceError {
@@ -46,15 +50,30 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeviceError::OutOfDeviceMemory { requested, available } => {
-                write!(f, "out of device memory: need {requested} B, {available} B free")
+            DeviceError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of device memory: need {requested} B, {available} B free"
+                )
             }
-            DeviceError::OutOfBuddyMemory { requested, available } => {
-                write!(f, "out of buddy memory: need {requested} B, {available} B free")
+            DeviceError::OutOfBuddyMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of buddy memory: need {requested} B, {available} B free"
+                )
             }
             DeviceError::BadAllocation => write!(f, "unknown allocation id"),
             DeviceError::BadIndex { index, entries } => {
-                write!(f, "entry index {index} out of range (allocation has {entries})")
+                write!(
+                    f,
+                    "entry index {index} out of range (allocation has {entries})"
+                )
             }
         }
     }
@@ -153,7 +172,10 @@ impl Default for DeviceConfig {
     fn default() -> Self {
         // A scaled-down GPU for tests and harnesses; figure binaries size
         // this from the workload instead.
-        Self { device_capacity: 64 << 20, carve_out_factor: 3 }
+        Self {
+            device_capacity: 64 << 20,
+            carve_out_factor: 3,
+        }
     }
 }
 
@@ -232,7 +254,10 @@ impl BuddyDevice {
 
     /// Uncompressed bytes represented by all allocations.
     pub fn logical_bytes(&self) -> u64 {
-        self.allocations.iter().map(|a| a.entries * ENTRY_BYTES as u64).sum()
+        self.allocations
+            .iter()
+            .map(|a| a.entries * ENTRY_BYTES as u64)
+            .sum()
     }
 
     /// Effective device compression ratio achieved by the current
@@ -319,7 +344,10 @@ impl BuddyDevice {
 
     fn check_index(alloc: &Allocation, index: u64) -> Result<(), DeviceError> {
         if index >= alloc.entries {
-            Err(DeviceError::BadIndex { index, entries: alloc.entries })
+            Err(DeviceError::BadIndex {
+                index,
+                entries: alloc.entries,
+            })
         } else {
             Ok(())
         }
@@ -435,11 +463,7 @@ impl BuddyDevice {
 
     /// Raw storage fingerprint of an entry: the device and buddy byte ranges
     /// it owns. Used by tests to prove that writes never move other entries.
-    pub fn storage_ranges(
-        &self,
-        id: AllocId,
-        index: u64,
-    ) -> Result<((u64, u64), (u64, u64)), DeviceError> {
+    pub fn storage_ranges(&self, id: AllocId, index: u64) -> Result<StorageRanges, DeviceError> {
         let alloc = self.allocation(id)?;
         Self::check_index(alloc, index)?;
         Ok((
@@ -511,9 +535,7 @@ impl BuddyDevice {
             // The 8 B granule still costs one sector access.
             EntryState::ZeroPageFit => 1,
             EntryState::ZeroPageOverflow => 0,
-            EntryState::Compressed { sectors } => {
-                sectors.min(alloc.target.device_sectors()) as u64
-            }
+            EntryState::Compressed { sectors } => sectors.min(alloc.target.device_sectors()) as u64,
         }
     }
 
@@ -553,7 +575,10 @@ mod tests {
     }
 
     fn small_device() -> BuddyDevice {
-        BuddyDevice::new(DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 })
+        BuddyDevice::new(DeviceConfig {
+            device_capacity: 1 << 20,
+            carve_out_factor: 3,
+        })
     }
 
     #[test]
@@ -612,7 +637,9 @@ mod tests {
         // Make entry 4 incompressible; neighbours must read back unchanged.
         let mut x = 99u64;
         let noisy = entry_of_words(|_| {
-            x = x.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7EF767814F);
+            x = x
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(0x14057B7EF767814F);
             (x >> 30) as u32
         });
         dev.write_entry(a, 4, &noisy).unwrap();
@@ -628,7 +655,10 @@ mod tests {
         let a = dev.alloc("zp", 8, TargetRatio::ZeroPage16).unwrap();
         // Constant entry: 41 bits → 6 bytes → fits the 8 B granule.
         let constant = entry_of_words(|_| 0xABCD_1234);
-        assert_eq!(dev.write_entry(a, 0, &constant).unwrap(), EntryState::ZeroPageFit);
+        assert_eq!(
+            dev.write_entry(a, 0, &constant).unwrap(),
+            EntryState::ZeroPageFit
+        );
         assert_eq!(dev.read_entry(a, 0).unwrap(), constant);
         // A ramp costs more than 8 B? No — still tiny. Use noisy data.
         let mut x = 3u64;
@@ -636,7 +666,10 @@ mod tests {
             x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(13);
             (x >> 24) as u32
         });
-        assert_eq!(dev.write_entry(a, 1, &noisy).unwrap(), EntryState::ZeroPageOverflow);
+        assert_eq!(
+            dev.write_entry(a, 1, &noisy).unwrap(),
+            EntryState::ZeroPageOverflow
+        );
         assert_eq!(dev.read_entry(a, 1).unwrap(), noisy);
         // Overflow reads are pure buddy traffic.
         dev.reset_stats();
@@ -647,7 +680,10 @@ mod tests {
 
     #[test]
     fn capacity_accounting() {
-        let mut dev = BuddyDevice::new(DeviceConfig { device_capacity: 4096, carve_out_factor: 3 });
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4096,
+            carve_out_factor: 3,
+        });
         // 2x target: 64 B device per entry → 64 entries max.
         let a = dev.alloc("a", 32, TargetRatio::R2).unwrap();
         assert_eq!(dev.device_used(), 32 * 64);
@@ -662,7 +698,10 @@ mod tests {
     #[test]
     fn buddy_exhaustion_detected() {
         // Carve-out factor 0: no buddy at all — only 1x allocations succeed.
-        let mut dev = BuddyDevice::new(DeviceConfig { device_capacity: 4096, carve_out_factor: 0 });
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4096,
+            carve_out_factor: 0,
+        });
         assert!(dev.alloc("plain", 4, TargetRatio::R1).is_ok());
         let err = dev.alloc("compressed", 4, TargetRatio::R2).unwrap_err();
         assert!(matches!(err, DeviceError::OutOfBuddyMemory { .. }));
@@ -678,7 +717,10 @@ mod tests {
         ));
         assert!(matches!(
             dev.read_entry(a, 4),
-            Err(DeviceError::BadIndex { index: 4, entries: 4 })
+            Err(DeviceError::BadIndex {
+                index: 4,
+                entries: 4
+            })
         ));
     }
 
@@ -701,7 +743,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DeviceError::OutOfDeviceMemory { requested: 10, available: 5 };
+        let e = DeviceError::OutOfDeviceMemory {
+            requested: 10,
+            available: 5,
+        };
         assert_eq!(e.to_string(), "out of device memory: need 10 B, 5 B free");
     }
 }

@@ -55,7 +55,7 @@ pub mod metadata;
 pub mod profile;
 pub mod target;
 
-pub use device::{AccessStats, AllocId, BuddyDevice, DeviceConfig, DeviceError};
+pub use device::{AccessStats, AllocId, BuddyDevice, DeviceConfig, DeviceError, StorageRanges};
 pub use metadata::{EntryState, Gbbr, MetadataStore, ENTRIES_PER_METADATA_LINE};
 pub use profile::{
     best_achievable, choose_naive, choose_targets, AllocationProfile, ProfileConfig,

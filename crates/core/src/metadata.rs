@@ -87,7 +87,10 @@ pub const ENTRIES_PER_METADATA_LINE: u64 = 64;
 impl MetadataStore {
     /// Creates metadata for `entries` memory-entries, all initially zero.
     pub fn new(entries: u64) -> Self {
-        Self { nibbles: vec![0u8; entries.div_ceil(2) as usize], entries }
+        Self {
+            nibbles: vec![0u8; entries.div_ceil(2) as usize],
+            entries,
+        }
     }
 
     /// Number of entries tracked.
@@ -109,7 +112,11 @@ impl MetadataStore {
     pub fn get(&self, index: u64) -> EntryState {
         assert!(index < self.entries, "metadata index {index} out of range");
         let byte = self.nibbles[(index / 2) as usize];
-        let nibble = if index % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        let nibble = if index % 2 == 0 {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        };
         EntryState::decode(nibble).expect("stored nibble is always valid")
     }
 

@@ -37,7 +37,9 @@ impl AllocationProfile {
         }
         let fits = match t {
             TargetRatio::ZeroPage16 => self.histogram.fraction_at_most(SizeClass::B8),
-            other => self.histogram.fraction_within_sectors(other.device_sectors()),
+            other => self
+                .histogram
+                .fraction_within_sectors(other.device_sectors()),
         };
         1.0 - fits
     }
@@ -81,12 +83,18 @@ impl ProfileConfig {
     /// Per-allocation targets without the zero-page optimization (the
     /// middle bars of Figure 7).
     pub fn per_allocation_only() -> Self {
-        Self { zero_page: false, ..Self::default() }
+        Self {
+            zero_page: false,
+            ..Self::default()
+        }
     }
 
     /// Same policy with a different Buddy Threshold (Figure 9 sweep).
     pub fn with_threshold(threshold: f64) -> Self {
-        Self { buddy_threshold: threshold, ..Self::default() }
+        Self {
+            buddy_threshold: threshold,
+            ..Self::default()
+        }
     }
 }
 
@@ -115,7 +123,11 @@ impl ProfileOutcome {
     /// (uncompressed bytes / device-resident bytes) — the bar heights of
     /// Figures 7 and 9.
     pub fn device_compression_ratio(&self) -> f64 {
-        let logical: u64 = self.choices.iter().map(|c| c.entries * ENTRY_BYTES as u64).sum();
+        let logical: u64 = self
+            .choices
+            .iter()
+            .map(|c| c.entries * ENTRY_BYTES as u64)
+            .sum();
         let device: u64 = self
             .choices
             .iter()
@@ -212,12 +224,10 @@ fn pick_target(profile: &AllocationProfile, config: &ProfileConfig) -> TargetCho
 /// After the per-allocation picks, zero-page choices are demoted to 4× one
 /// by one (largest allocations first) until the overall ratio respects the
 /// carve-out bound.
-pub fn choose_targets(
-    profiles: &[AllocationProfile],
-    config: &ProfileConfig,
-) -> ProfileOutcome {
-    let mut outcome =
-        ProfileOutcome { choices: profiles.iter().map(|p| pick_target(p, config)).collect() };
+pub fn choose_targets(profiles: &[AllocationProfile], config: &ProfileConfig) -> ProfileOutcome {
+    let mut outcome = ProfileOutcome {
+        choices: profiles.iter().map(|p| pick_target(p, config)).collect(),
+    };
 
     // Enforce the carve-out bound by demoting 16x choices.
     while outcome.device_compression_ratio() > config.max_overall_ratio {
@@ -261,7 +271,10 @@ pub fn choose_naive(profiles: &[AllocationProfile], _config: &ProfileConfig) -> 
             p.entries as f64 / p.histogram.total() as f64
         };
         for class in SizeClass::ALL {
-            merged.record_n(class, (p.histogram.count(class) as f64 * scale).round() as u64);
+            merged.record_n(
+                class,
+                (p.histogram.count(class) as f64 * scale).round() as u64,
+            );
         }
     }
     let program_ratio = merged.compression_ratio();
@@ -293,8 +306,7 @@ pub fn best_achievable(profiles: &[AllocationProfile]) -> f64 {
             continue;
         }
         logical += p.entries as f64 * ENTRY_BYTES as f64;
-        compressed +=
-            p.entries as f64 * (ENTRY_BYTES as f64 / p.histogram.compression_ratio());
+        compressed += p.entries as f64 * (ENTRY_BYTES as f64 / p.histogram.compression_ratio());
     }
     if compressed == 0.0 {
         1.0
@@ -312,7 +324,11 @@ mod tests {
         for &(class, n) in classes {
             histogram.record_n(class, n);
         }
-        AllocationProfile { name: name.to_owned(), entries, histogram }
+        AllocationProfile {
+            name: name.to_owned(),
+            entries,
+            histogram,
+        }
     }
 
     #[test]
@@ -329,7 +345,10 @@ mod tests {
     fn threshold_gates_aggressiveness() {
         let p = profile_of("a", 100, &[(SizeClass::B32, 60), (SizeClass::B64, 40)]);
         // 40% of entries need 2 sectors: 4x overflows 40%.
-        let strict = choose_targets(&[p.clone()], &ProfileConfig::with_threshold(0.10));
+        let strict = choose_targets(
+            std::slice::from_ref(&p),
+            &ProfileConfig::with_threshold(0.10),
+        );
         assert_eq!(strict.choices[0].target, TargetRatio::R2);
         let loose = choose_targets(&[p], &ProfileConfig::with_threshold(0.45));
         assert_eq!(loose.choices[0].target, TargetRatio::R4);
@@ -340,7 +359,11 @@ mod tests {
         let zeros = profile_of(
             "zeros",
             1000,
-            &[(SizeClass::B0, 970), (SizeClass::B8, 20), (SizeClass::B64, 10)],
+            &[
+                (SizeClass::B0, 970),
+                (SizeClass::B8, 20),
+                (SizeClass::B64, 10),
+            ],
         );
         // A second incompressible allocation keeps the overall ratio under
         // the 4x carve-out bound, so the zero-page pick survives.
@@ -349,8 +372,7 @@ mod tests {
         assert_eq!(outcome.choices[0].target, TargetRatio::ZeroPage16);
         assert_eq!(outcome.choices[1].target, TargetRatio::R1);
         // Disabled zero-page: falls back to 4x.
-        let outcome =
-            choose_targets(&[zeros.clone(), raw], &ProfileConfig::per_allocation_only());
+        let outcome = choose_targets(&[zeros.clone(), raw], &ProfileConfig::per_allocation_only());
         assert_eq!(outcome.choices[0].target, TargetRatio::R4);
         // A lone 16x allocation would exceed the 4x bound and is demoted.
         let outcome = choose_targets(&[zeros], &ProfileConfig::default());
@@ -366,7 +388,7 @@ mod tests {
         let outcome = choose_targets(&[a, b], &ProfileConfig::default());
         assert!(outcome.device_compression_ratio() <= 4.0 + 1e-9);
         assert_eq!(outcome.choices[0].target, TargetRatio::R4); // demoted (larger)
-        // The smaller one may stay 16x if the bound is met.
+                                                                // The smaller one may stay 16x if the bound is met.
         let ratio = outcome.device_compression_ratio();
         assert!(ratio > 3.9, "should stay close to the cap, got {ratio}");
     }
@@ -377,7 +399,10 @@ mod tests {
         let b = profile_of("incompressible", 500, &[(SizeClass::B128, 100)]);
         let outcome = choose_naive(&[a, b], &ProfileConfig::default());
         let targets: Vec<_> = outcome.choices.iter().map(|c| c.target).collect();
-        assert_eq!(targets[0], targets[1], "naive must pick one program-wide target");
+        assert_eq!(
+            targets[0], targets[1],
+            "naive must pick one program-wide target"
+        );
         // Program-wide optimistic ratio is 1.6x → quantized down to 1.33x.
         assert_eq!(targets[0], TargetRatio::R1_33);
         // The incompressible half overflows entirely: the naive policy's
@@ -409,8 +434,12 @@ mod tests {
         // FF_HPGMG-style: 50% of entries incompressible — no standard target
         // admissible except 1x at a 30% threshold, but an 80% threshold
         // unlocks 4x... (the paper: "requires more than 80% Buddy Threshold").
-        let p = profile_of("structs", 100, &[(SizeClass::B16, 50), (SizeClass::B128, 50)]);
-        let at30 = choose_targets(&[p.clone()], &ProfileConfig::default());
+        let p = profile_of(
+            "structs",
+            100,
+            &[(SizeClass::B16, 50), (SizeClass::B128, 50)],
+        );
+        let at30 = choose_targets(std::slice::from_ref(&p), &ProfileConfig::default());
         assert_eq!(at30.choices[0].target, TargetRatio::R1);
         let at80 = choose_targets(&[p], &ProfileConfig::with_threshold(0.85));
         assert!(at80.choices[0].target >= TargetRatio::R2);
@@ -430,7 +459,9 @@ mod tests {
             target: TargetRatio::R2,
             overflow_frac: 0.5,
         };
-        let outcome = ProfileOutcome { choices: vec![a, b] };
+        let outcome = ProfileOutcome {
+            choices: vec![a, b],
+        };
         assert!((outcome.static_buddy_fraction() - 0.05).abs() < 1e-12);
     }
 

@@ -40,8 +40,12 @@ impl TargetRatio {
     ];
 
     /// The four standard targets (no zero-page mode).
-    pub const STANDARD_DESCENDING: [TargetRatio; 4] =
-        [TargetRatio::R4, TargetRatio::R2, TargetRatio::R1_33, TargetRatio::R1];
+    pub const STANDARD_DESCENDING: [TargetRatio; 4] = [
+        TargetRatio::R4,
+        TargetRatio::R2,
+        TargetRatio::R1_33,
+        TargetRatio::R1,
+    ];
 
     /// Device bytes reserved per 128 B entry.
     pub fn device_bytes_per_entry(self) -> u32 {

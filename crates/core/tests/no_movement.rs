@@ -42,7 +42,10 @@ fn entry_of_kind(kind: u8, seed: u64) -> Entry {
 }
 
 fn device() -> BuddyDevice {
-    BuddyDevice::new(DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 })
+    BuddyDevice::new(DeviceConfig {
+        device_capacity: 1 << 20,
+        carve_out_factor: 3,
+    })
 }
 
 #[test]
@@ -88,7 +91,11 @@ fn compressibility_change_never_disturbs_neighbors() {
                 if i == 7 {
                     assert_eq!(dev.read_entry(a, 7).unwrap(), update, "{target}: self");
                 } else {
-                    assert_eq!(dev.read_entry(a, i as u64).unwrap(), *e, "{target}: entry {i}");
+                    assert_eq!(
+                        dev.read_entry(a, i as u64).unwrap(),
+                        *e,
+                        "{target}: entry {i}"
+                    );
                 }
             }
         }
@@ -103,13 +110,21 @@ fn allocations_do_not_interfere() {
     let c = dev.alloc("c", 16, TargetRatio::ZeroPage16).unwrap();
     for i in 0..16u64 {
         dev.write_entry(a, i, &entry_of_kind(i as u8, i)).unwrap();
-        dev.write_entry(b, i, &entry_of_kind((i + 1) as u8, 100 + i)).unwrap();
-        dev.write_entry(c, i, &entry_of_kind((i + 2) as u8, 200 + i)).unwrap();
+        dev.write_entry(b, i, &entry_of_kind((i + 1) as u8, 100 + i))
+            .unwrap();
+        dev.write_entry(c, i, &entry_of_kind((i + 2) as u8, 200 + i))
+            .unwrap();
     }
     for i in 0..16u64 {
         assert_eq!(dev.read_entry(a, i).unwrap(), entry_of_kind(i as u8, i));
-        assert_eq!(dev.read_entry(b, i).unwrap(), entry_of_kind((i + 1) as u8, 100 + i));
-        assert_eq!(dev.read_entry(c, i).unwrap(), entry_of_kind((i + 2) as u8, 200 + i));
+        assert_eq!(
+            dev.read_entry(b, i).unwrap(),
+            entry_of_kind((i + 1) as u8, 100 + i)
+        );
+        assert_eq!(
+            dev.read_entry(c, i).unwrap(),
+            entry_of_kind((i + 2) as u8, 200 + i)
+        );
     }
 }
 
@@ -127,7 +142,10 @@ fn buddy_fraction_tracks_overflow_rate() {
         dev.read_entry(a, i).unwrap();
     }
     let frac = dev.stats().buddy_access_fraction();
-    assert!((frac - 0.5).abs() < 0.01, "expected ~50% buddy accesses, got {frac}");
+    assert!(
+        (frac - 0.5).abs() < 0.01,
+        "expected ~50% buddy accesses, got {frac}"
+    );
 }
 
 proptest! {

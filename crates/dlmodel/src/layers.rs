@@ -112,18 +112,37 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a network with `channels × hw × hw` image input.
     pub fn image_input(name: &'static str, channels: u64, hw: u64) -> Self {
-        Self { name, channels, hw, flat: 0, max_im2col: 0, layers: Vec::new() }
+        Self {
+            name,
+            channels,
+            hw,
+            flat: 0,
+            max_im2col: 0,
+            layers: Vec::new(),
+        }
     }
 
     /// Starts a network with flat vector input (RNNs).
     pub fn flat_input(name: &'static str, features: u64) -> Self {
-        Self { name, channels: 0, hw: 0, flat: features, max_im2col: 0, layers: Vec::new() }
+        Self {
+            name,
+            channels: 0,
+            hw: 0,
+            flat: features,
+            max_im2col: 0,
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer.
     pub fn layer(mut self, name: &str, kind: LayerKind) -> Self {
         let info = match kind {
-            LayerKind::Conv { out_ch, kernel, stride, pad } => {
+            LayerKind::Conv {
+                out_ch,
+                kernel,
+                stride,
+                pad,
+            } => {
                 let out_hw = (self.hw + 2 * pad - kernel) / stride + 1;
                 let params = out_ch * self.channels * kernel * kernel + out_ch;
                 let act = out_ch * out_hw * out_hw;
@@ -132,17 +151,31 @@ impl NetworkBuilder {
                 self.max_im2col = self.max_im2col.max(im2col);
                 self.channels = out_ch;
                 self.hw = out_hw;
-                LayerInfo { name: name.to_owned(), params, act_elems: act, flops }
+                LayerInfo {
+                    name: name.to_owned(),
+                    params,
+                    act_elems: act,
+                    flops,
+                }
             }
             LayerKind::Pool { kernel, stride } => {
                 let out_hw = (self.hw - kernel) / stride + 1;
                 let act = self.channels * out_hw * out_hw;
                 let flops = kernel * kernel * act;
                 self.hw = out_hw;
-                LayerInfo { name: name.to_owned(), params: 0, act_elems: act, flops }
+                LayerInfo {
+                    name: name.to_owned(),
+                    params: 0,
+                    act_elems: act,
+                    flops,
+                }
             }
             LayerKind::Fc { outputs } => {
-                let inputs = if self.flat > 0 { self.flat } else { self.channels * self.hw * self.hw };
+                let inputs = if self.flat > 0 {
+                    self.flat
+                } else {
+                    self.channels * self.hw * self.hw
+                };
                 let params = inputs * outputs + outputs;
                 self.flat = outputs;
                 self.channels = 0;
@@ -154,7 +187,11 @@ impl NetworkBuilder {
                     flops: 2 * inputs * outputs,
                 }
             }
-            LayerKind::Lstm { hidden, proj, steps } => {
+            LayerKind::Lstm {
+                hidden,
+                proj,
+                steps,
+            } => {
                 let input = self.flat;
                 // Four gates, input + recurrent (projected) matrices.
                 let params = 4 * hidden * (input + proj) + 4 * hidden + hidden * proj;
@@ -163,7 +200,12 @@ impl NetworkBuilder {
                 let act = steps * (4 * hidden + hidden + proj);
                 let flops = steps * 2 * (4 * hidden * (input + proj) + hidden * proj);
                 self.flat = proj;
-                LayerInfo { name: name.to_owned(), params, act_elems: act, flops }
+                LayerInfo {
+                    name: name.to_owned(),
+                    params,
+                    act_elems: act,
+                    flops,
+                }
             }
             LayerKind::Embedding { vocab, dim, steps } => {
                 let params = vocab * dim;
@@ -171,13 +213,23 @@ impl NetworkBuilder {
                 // Gather is bandwidth, not FLOPs; count the lookup scaling.
                 let flops = steps * 2 * dim;
                 self.flat = dim;
-                LayerInfo { name: name.to_owned(), params, act_elems: act, flops }
+                LayerInfo {
+                    name: name.to_owned(),
+                    params,
+                    act_elems: act,
+                    flops,
+                }
             }
             LayerKind::SoftmaxLm { vocab, proj, steps } => {
                 let params = vocab * proj + vocab;
                 let act = steps * vocab;
                 let flops = steps * 2 * proj * vocab;
-                LayerInfo { name: name.to_owned(), params, act_elems: act, flops }
+                LayerInfo {
+                    name: name.to_owned(),
+                    params,
+                    act_elems: act,
+                    flops,
+                }
             }
         };
         self.layers.push(info);
@@ -259,7 +311,15 @@ mod tests {
     fn conv_math() {
         // 3→96 channels, 11x11 stride 4 on 227: AlexNet conv1.
         let net = NetworkBuilder::image_input("t", 3, 227)
-            .layer("conv1", LayerKind::Conv { out_ch: 96, kernel: 11, stride: 4, pad: 0 })
+            .layer(
+                "conv1",
+                LayerKind::Conv {
+                    out_ch: 96,
+                    kernel: 11,
+                    stride: 4,
+                    pad: 0,
+                },
+            )
             .build(0);
         let l = &net.layers[0];
         assert_eq!(l.params, 96 * 3 * 11 * 11 + 96);
@@ -279,7 +339,15 @@ mod tests {
     #[test]
     fn footprint_grows_linearly_in_batch() {
         let net = NetworkBuilder::image_input("t", 3, 32)
-            .layer("c", LayerKind::Conv { out_ch: 16, kernel: 3, stride: 1, pad: 1 })
+            .layer(
+                "c",
+                LayerKind::Conv {
+                    out_ch: 16,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            )
             .build(1000);
         let f1 = net.footprint_bytes(1);
         let f2 = net.footprint_bytes(2);
@@ -291,7 +359,15 @@ mod tests {
     #[test]
     fn max_batch_inverts_footprint() {
         let net = NetworkBuilder::image_input("t", 3, 64)
-            .layer("c", LayerKind::Conv { out_ch: 32, kernel: 3, stride: 1, pad: 1 })
+            .layer(
+                "c",
+                LayerKind::Conv {
+                    out_ch: 32,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            )
             .build(0);
         let capacity = net.footprint_bytes(37);
         let max = net.max_batch_within(capacity);
@@ -311,8 +387,22 @@ mod tests {
     #[test]
     fn pool_halves_spatial_dims() {
         let net = NetworkBuilder::image_input("t", 8, 32)
-            .layer("p", LayerKind::Pool { kernel: 2, stride: 2 })
-            .layer("c", LayerKind::Conv { out_ch: 8, kernel: 1, stride: 1, pad: 0 })
+            .layer(
+                "p",
+                LayerKind::Pool {
+                    kernel: 2,
+                    stride: 2,
+                },
+            )
+            .layer(
+                "c",
+                LayerKind::Conv {
+                    out_ch: 8,
+                    kernel: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+            )
             .build(0);
         // After 2x2/2 pool on 32: 16x16.
         assert_eq!(net.layers[1].act_elems, 8 * 16 * 16);
@@ -321,8 +411,22 @@ mod tests {
     #[test]
     fn lstm_and_embedding_accounting() {
         let net = NetworkBuilder::flat_input("lm", 512)
-            .layer("embed", LayerKind::Embedding { vocab: 10_000, dim: 512, steps: 20 })
-            .layer("lstm", LayerKind::Lstm { hidden: 1024, proj: 512, steps: 20 })
+            .layer(
+                "embed",
+                LayerKind::Embedding {
+                    vocab: 10_000,
+                    dim: 512,
+                    steps: 20,
+                },
+            )
+            .layer(
+                "lstm",
+                LayerKind::Lstm {
+                    hidden: 1024,
+                    proj: 512,
+                    steps: 20,
+                },
+            )
             .build(0);
         assert_eq!(net.layers[0].params, 10_000 * 512);
         let lstm = &net.layers[1];
@@ -333,7 +437,14 @@ mod tests {
     #[test]
     fn softmax_lm_accounting() {
         let net = NetworkBuilder::flat_input("lm", 1024)
-            .layer("sm", LayerKind::SoftmaxLm { vocab: 10_000, proj: 1024, steps: 8 })
+            .layer(
+                "sm",
+                LayerKind::SoftmaxLm {
+                    vocab: 10_000,
+                    proj: 1024,
+                    steps: 8,
+                },
+            )
             .build(0);
         let l = &net.layers[0];
         assert_eq!(l.params, 10_000 * 1024 + 10_000);
@@ -345,7 +456,15 @@ mod tests {
     fn calibrated_build_hits_target() {
         let target = 1u64 << 30;
         let net = NetworkBuilder::image_input("t", 3, 64)
-            .layer("c", LayerKind::Conv { out_ch: 32, kernel: 3, stride: 1, pad: 1 })
+            .layer(
+                "c",
+                LayerKind::Conv {
+                    out_ch: 32,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            )
             .build_calibrated(target, 16);
         assert_eq!(net.footprint_bytes(16), target);
     }
@@ -354,7 +473,15 @@ mod tests {
     fn workspace_is_capped() {
         // A 3x3 conv over 512x512x64 has an enormous im2col buffer.
         let net = NetworkBuilder::image_input("t", 64, 512)
-            .layer("c", LayerKind::Conv { out_ch: 64, kernel: 3, stride: 1, pad: 1 })
+            .layer(
+                "c",
+                LayerKind::Conv {
+                    out_ch: 64,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            )
             .build(0);
         assert_eq!(net.workspace_elems, WORKSPACE_CAP_ELEMS);
     }

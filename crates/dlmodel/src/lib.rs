@@ -13,7 +13,7 @@
 //! * a **real SGD experiment** ([`training`]) — minibatch SGD with batch
 //!   normalization on a synthetic task, demonstrating the
 //!   tiny-batch-accuracy mechanism of Figure 13d (training ResNet50 on
-//!   CIFAR100 is out of scope for a CPU-only reproduction; see DESIGN.md).
+//!   CIFAR100 is out of scope for a CPU-only reproduction; see DESIGN.md §4).
 //!
 //! # Example
 //!

@@ -17,7 +17,12 @@ fn gib(x: f64) -> u64 {
 }
 
 fn conv(out_ch: u64, kernel: u64, stride: u64, pad: u64) -> LayerKind {
-    LayerKind::Conv { out_ch, kernel, stride, pad }
+    LayerKind::Conv {
+        out_ch,
+        kernel,
+        stride,
+        pad,
+    }
 }
 
 fn pool(kernel: u64, stride: u64) -> LayerKind {
@@ -79,8 +84,12 @@ pub fn resnet50() -> Network {
         .layer("conv1", conv(64, 7, 2, 3))
         .layer("pool1", pool(3, 2));
     // Stage (out_ch of the bottleneck 1x1-3x3-1x1 triple), blocks, stride.
-    let stages: [(u64, u64, u64, u64); 4] =
-        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     for (stage_idx, (mid, out, blocks, stride)) in stages.into_iter().enumerate() {
         for block in 0..blocks {
             let s = if block == 0 { stride } else { 1 };
@@ -91,7 +100,9 @@ pub fn resnet50() -> Network {
                 .layer(&format!("{name}_1x1b"), conv(out, 1, 1, 0));
         }
     }
-    b.layer("pool5", pool(7, 7)).layer("fc", fc(1000)).build_calibrated(gib(4.50), 32)
+    b.layer("pool5", pool(7, 7))
+        .layer("fc", fc(1000))
+        .build_calibrated(gib(4.50), 32)
 }
 
 /// Inception v2 (Szegedy et al., 2016), modules summed into equivalent
@@ -149,13 +160,41 @@ pub fn squeezenet() -> Network {
 /// makes BigLSTM capacity-limited at small batches — the property §4.4
 /// relies on ("unable to fit the mini-batch size of 64"). Reference batch
 /// 4 → 2.71 GB (Table 1); the layer model alone slightly exceeds Table 1,
-/// so the calibrated overhead clamps to zero (documented in DESIGN.md).
+/// so the calibrated overhead clamps to zero (documented in DESIGN.md §4).
 pub fn biglstm() -> Network {
     NetworkBuilder::flat_input("BigLSTM", 1024)
-        .layer("embedding", LayerKind::Embedding { vocab: 10_000, dim: 1024, steps: 256 })
-        .layer("lstm1", LayerKind::Lstm { hidden: 8192, proj: 1024, steps: 256 })
-        .layer("lstm2", LayerKind::Lstm { hidden: 8192, proj: 1024, steps: 256 })
-        .layer("softmax", LayerKind::SoftmaxLm { vocab: 10_000, proj: 1024, steps: 256 })
+        .layer(
+            "embedding",
+            LayerKind::Embedding {
+                vocab: 10_000,
+                dim: 1024,
+                steps: 256,
+            },
+        )
+        .layer(
+            "lstm1",
+            LayerKind::Lstm {
+                hidden: 8192,
+                proj: 1024,
+                steps: 256,
+            },
+        )
+        .layer(
+            "lstm2",
+            LayerKind::Lstm {
+                hidden: 8192,
+                proj: 1024,
+                steps: 256,
+            },
+        )
+        .layer(
+            "softmax",
+            LayerKind::SoftmaxLm {
+                vocab: 10_000,
+                proj: 1024,
+                steps: 256,
+            },
+        )
         .build_calibrated(gib(2.71), 4)
 }
 
@@ -206,7 +245,10 @@ mod tests {
         let alex = alexnet();
         let weights_fraction =
             |n: &Network, b: u64| 3.0 * n.params() as f64 * 4.0 / n.footprint_bytes(b) as f64;
-        assert!(weights_fraction(&alex, 64) > 0.20, "AlexNet is parameter-heavy");
+        assert!(
+            weights_fraction(&alex, 64) > 0.20,
+            "AlexNet is parameter-heavy"
+        );
         let vgg = vgg16();
         assert!(
             weights_fraction(&vgg, 64) < weights_fraction(&alex, 64),
@@ -219,7 +261,14 @@ mod tests {
         let names: Vec<&str> = all_networks().iter().map(|(n, _, _)| n.name).collect();
         assert_eq!(
             names,
-            ["BigLSTM", "AlexNet", "Inception_V2", "SqueezeNet", "VGG16", "ResNet50"]
+            [
+                "BigLSTM",
+                "AlexNet",
+                "Inception_V2",
+                "SqueezeNet",
+                "VGG16",
+                "ResNet50"
+            ]
         );
     }
 

@@ -61,8 +61,7 @@ pub fn iteration_time_us(net: &Network, batch: u64, gpu: &GpuPerf) -> f64 {
         // Forward + backward-data + backward-weights.
         let flops = 3.0 * layer.flops as f64 * batch as f64;
         let compute_us = flops / (gpu.peak_gflops * 1e3 * eff);
-        let bytes = (layer.params as f64 * 3.0
-            + layer.act_elems as f64 * batch as f64 * 2.0)
+        let bytes = (layer.params as f64 * 3.0 + layer.act_elems as f64 * batch as f64 * 2.0)
             * BYTES_PER_ELEM as f64;
         let memory_us = bytes / (gpu.dram_gbps * 1e3);
         total_us += compute_us.max(memory_us) + 3.0 * gpu.launch_overhead_us;
@@ -122,7 +121,12 @@ pub fn capacity_speedup(
     let buddy_batch = net.max_batch_within(expanded).min(max_batch).max(1);
     let baseline_throughput = throughput(net, baseline_batch, gpu);
     let buddy_throughput = throughput(net, buddy_batch, gpu) * (1.0 - buddy_overhead);
-    CapacitySpeedup { baseline_batch, buddy_batch, baseline_throughput, buddy_throughput }
+    CapacitySpeedup {
+        baseline_batch,
+        buddy_batch,
+        baseline_throughput,
+        buddy_throughput,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +152,11 @@ mod tests {
             let t16 = throughput(&net, 16, &gpu);
             let t64 = throughput(&net, 64, &gpu);
             let t256 = throughput(&net, 256, &gpu);
-            assert!(t64 > t16 * 1.05, "{}: 64 ≫ 16 ({t64:.0} vs {t16:.0})", net.name);
+            assert!(
+                t64 > t16 * 1.05,
+                "{}: 64 ≫ 16 ({t64:.0} vs {t16:.0})",
+                net.name
+            );
             let plateau_gain = t256 / t64;
             assert!(
                 plateau_gain < t64 / t16,
@@ -181,7 +189,12 @@ mod tests {
                 cs.baseline_batch
             );
             assert!(cs.buddy_batch > cs.baseline_batch);
-            assert!(cs.speedup() > 1.10, "{}: speedup {:.2}", net.name, cs.speedup());
+            assert!(
+                cs.speedup() > 1.10,
+                "{}: speedup {:.2}",
+                net.name,
+                cs.speedup()
+            );
         }
     }
 

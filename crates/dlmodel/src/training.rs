@@ -46,8 +46,9 @@ impl Dataset {
     ) -> (Self, Self) {
         let mut rng = SmallRng::seed_from_u64(seed);
         // Random unit-ish class centroids, shared by both splits.
-        let centroids: Vec<f32> =
-            (0..classes * features).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let centroids: Vec<f32> = (0..classes * features)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
         let mut draw = |n: usize| {
             let mut x = Vec::with_capacity(n * features);
             let mut y = Vec::with_capacity(n);
@@ -63,7 +64,12 @@ impl Dataset {
                 }
                 y.push(class);
             }
-            Dataset { x, y, features, classes }
+            Dataset {
+                x,
+                y,
+                features,
+                classes,
+            }
         };
         let train = draw(n_train);
         let val = draw(n_val);
@@ -104,7 +110,12 @@ impl Dataset {
                 x.extend_from_slice(&v);
                 y.push(class);
             }
-            Dataset { x, y, features, classes }
+            Dataset {
+                x,
+                y,
+                features,
+                classes,
+            }
         };
         let train = draw(n_train);
         let val = draw(n_val);
@@ -142,7 +153,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { batch: 64, epochs: 100, base_lr: 0.05, momentum: 0.9, hidden: 48, seed: 7 }
+        Self {
+            batch: 64,
+            epochs: 100,
+            base_lr: 0.05,
+            momentum: 0.9,
+            hidden: 48,
+            seed: 7,
+        }
     }
 }
 
@@ -171,7 +189,10 @@ impl TrainResult {
     /// First epoch reaching `threshold` accuracy, if any (convergence
     /// speed).
     pub fn epochs_to_reach(&self, threshold: f64) -> Option<usize> {
-        self.val_accuracy.iter().position(|&a| a >= threshold).map(|e| e + 1)
+        self.val_accuracy
+            .iter()
+            .position(|&a| a >= threshold)
+            .map(|e| e + 1)
     }
 }
 
@@ -387,8 +408,8 @@ impl Mlp {
         let mut hidden = vec![0.0f32; h];
         for (j, out) in hidden.iter_mut().enumerate() {
             let mut acc = self.b1[j];
-            for f in 0..d {
-                acc += x[f] * self.w1[f * h + j];
+            for (f, &xf) in x.iter().enumerate().take(d) {
+                acc += xf * self.w1[f * h + j];
             }
             let norm = (acc - self.run_mean[j]) / (self.run_var[j] + BN_EPS).sqrt();
             *out = (self.gamma[j] * norm + self.beta[j]).max(0.0);
@@ -410,9 +431,17 @@ impl Mlp {
 /// Trains the MLP on `train`, evaluating on `val` after each epoch.
 pub fn train(train_set: &Dataset, val_set: &Dataset, config: &TrainConfig) -> TrainResult {
     assert_eq!(train_set.features, val_set.features);
-    assert!(config.batch > 0 && config.epochs > 0, "batch and epochs must be positive");
+    assert!(
+        config.batch > 0 && config.epochs > 0,
+        "batch and epochs must be positive"
+    );
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut model = Mlp::new(train_set.features, config.hidden, train_set.classes, &mut rng);
+    let mut model = Mlp::new(
+        train_set.features,
+        config.hidden,
+        train_set.classes,
+        &mut rng,
+    );
     // Linear LR scaling relative to the reference batch of 64.
     let lr = config.base_lr * config.batch as f32 / 64.0;
 
@@ -444,7 +473,10 @@ pub fn train(train_set: &Dataset, val_set: &Dataset, config: &TrainConfig) -> Tr
             .count();
         val_accuracy.push(correct as f64 / val_set.len() as f64);
     }
-    TrainResult { batch: config.batch, val_accuracy }
+    TrainResult {
+        batch: config.batch,
+        val_accuracy,
+    }
 }
 
 /// Runs the full Figure 13d sweep over mini-batch sizes on the radial
@@ -491,7 +523,11 @@ mod tests {
         let result = train(
             &train_set,
             &val_set,
-            &TrainConfig { batch: 64, epochs: 10, ..TrainConfig::default() },
+            &TrainConfig {
+                batch: 64,
+                epochs: 10,
+                ..TrainConfig::default()
+            },
         );
         assert!(
             result.best() > 0.80,
@@ -507,9 +543,18 @@ mod tests {
         let result = train(
             &train_set,
             &val_set,
-            &TrainConfig { batch: 64, epochs: 30, base_lr: 0.08, ..TrainConfig::default() },
+            &TrainConfig {
+                batch: 64,
+                epochs: 30,
+                base_lr: 0.08,
+                ..TrainConfig::default()
+            },
         );
-        assert!(result.best() > 0.55, "shells should be learnable: {:.3}", result.best());
+        assert!(
+            result.best() > 0.55,
+            "shells should be learnable: {:.3}",
+            result.best()
+        );
         // Accuracy improves substantially over training.
         assert!(result.val_accuracy[29] > result.val_accuracy[0] + 0.1);
     }
@@ -530,7 +575,10 @@ mod tests {
 
     #[test]
     fn result_helpers() {
-        let r = TrainResult { batch: 64, val_accuracy: vec![0.2, 0.5, 0.9, 0.85] };
+        let r = TrainResult {
+            batch: 64,
+            val_accuracy: vec![0.2, 0.5, 0.9, 0.85],
+        };
         assert_eq!(r.best(), 0.9);
         assert_eq!(r.epochs_to_reach(0.5), Some(2));
         assert_eq!(r.epochs_to_reach(0.95), None);
@@ -541,6 +589,13 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_batch_panics() {
         let d = Dataset::synthetic(10, 4, 2, 0.1, 1);
-        train(&d, &d, &TrainConfig { batch: 0, ..TrainConfig::default() });
+        train(
+            &d,
+            &d,
+            &TrainConfig {
+                batch: 0,
+                ..TrainConfig::default()
+            },
+        );
     }
 }

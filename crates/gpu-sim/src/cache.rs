@@ -135,7 +135,10 @@ impl SectoredCache {
             .expect("set is full, victim exists");
         let victim = std::mem::replace(&mut set[victim_idx], new_slot);
         if victim.dirty_mask != 0 {
-            Some(Eviction { tag: victim.tag, dirty_mask: victim.dirty_mask })
+            Some(Eviction {
+                tag: victim.tag,
+                dirty_mask: victim.dirty_mask,
+            })
         } else {
             None
         }
@@ -205,7 +208,13 @@ mod tests {
         // Now 1 (dirty) is LRU after touching 3.
         assert_eq!(c.lookup(3, 0b0001), Lookup::Hit);
         let evicted = c.fill(4, 0b1111, false);
-        assert_eq!(evicted, Some(Eviction { tag: 1, dirty_mask: 0b1111 }));
+        assert_eq!(
+            evicted,
+            Some(Eviction {
+                tag: 1,
+                dirty_mask: 0b1111
+            })
+        );
     }
 
     #[test]
@@ -224,7 +233,13 @@ mod tests {
         c1.fill(10, 0b1111, false);
         c1.lookup(10, 1);
         let ev = c1.fill(11, 0b1111, false);
-        assert_eq!(ev, Some(Eviction { tag: 9, dirty_mask: 0b0011 }));
+        assert_eq!(
+            ev,
+            Some(Eviction {
+                tag: 9,
+                dirty_mask: 0b0011
+            })
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl GpuConfig {
     /// The same machine with a different interconnect bandwidth (the
     /// Figure 11 sweep: 50, 100, 150, 200 GB/s full-duplex).
     pub fn with_link_bandwidth(self, gbps: f64) -> Self {
-        Self { link_bandwidth_gbps: gbps, ..self }
+        Self {
+            link_bandwidth_gbps: gbps,
+            ..self
+        }
     }
 
     /// Core cycles one 32 B sector occupies one DRAM channel.
@@ -116,8 +119,11 @@ impl Default for GpuConfig {
 
 impl fmt::Display for GpuConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Core      {} SMs @ {:.1} GHz; max {} warps/SM",
-            self.sms, self.core_clock_ghz, self.max_warps_per_sm)?;
+        writeln!(
+            f,
+            "Core      {} SMs @ {:.1} GHz; max {} warps/SM",
+            self.sms, self.core_clock_ghz, self.max_warps_per_sm
+        )?;
         writeln!(
             f,
             "Caches    {} MB shared L2, {} slices, {} B lines ({} B sectors), {} ways",

@@ -256,7 +256,9 @@ impl<'a> Engine<'a> {
             return ready_after;
         }
         self.stats.link_sectors_in += sectors as u64;
-        let exit = self.link_in.reserve(now, sectors as f64 * self.cfg.link_sector_cycles());
+        let exit = self
+            .link_in
+            .reserve(now, sectors as f64 * self.cfg.link_sector_cycles());
         exit.max(ready_after) + self.cfg.link_latency_cycles
     }
 
@@ -266,7 +268,8 @@ impl<'a> Engine<'a> {
             return;
         }
         self.stats.link_sectors_out += sectors as u64;
-        self.link_out.reserve(now, sectors as f64 * self.cfg.link_sector_cycles());
+        self.link_out
+            .reserve(now, sectors as f64 * self.cfg.link_sector_cycles());
     }
 
     /// Metadata lookup for `entry`; returns the time the metadata is known.
@@ -382,8 +385,11 @@ impl<'a> Engine<'a> {
                         // recompressed as a whole → read-modify-write fetch.
                         _ => self.compressed_fill(now, req.entry),
                     };
-                    let fill_mask =
-                        if self.mode == MemoryMode::Uncompressed { req.sector_mask } else { 0b1111 };
+                    let fill_mask = if self.mode == MemoryMode::Uncompressed {
+                        req.sector_mask
+                    } else {
+                        0b1111
+                    };
                     if let Some(ev) = self.l2.fill(req.entry, fill_mask, false) {
                         self.writeback_victim(now, ev.tag, ev.dirty_mask);
                     }
@@ -400,15 +406,16 @@ impl<'a> Engine<'a> {
                 Lookup::Partial { missing } => {
                     self.stats.l2_misses += 1;
                     let done = match self.mode {
-                        MemoryMode::Uncompressed => self.dram_fetch(
-                            now,
-                            req.entry,
-                            missing.count_ones() as u8,
-                        ),
+                        MemoryMode::Uncompressed => {
+                            self.dram_fetch(now, req.entry, missing.count_ones() as u8)
+                        }
                         _ => self.compressed_fill(now, req.entry),
                     };
-                    let fill_mask =
-                        if self.mode == MemoryMode::Uncompressed { missing } else { 0b1111 };
+                    let fill_mask = if self.mode == MemoryMode::Uncompressed {
+                        missing
+                    } else {
+                        0b1111
+                    };
                     if let Some(ev) = self.l2.fill(req.entry, fill_mask, false) {
                         self.writeback_victim(now, ev.tag, ev.dirty_mask);
                     }
@@ -417,11 +424,9 @@ impl<'a> Engine<'a> {
                 Lookup::Miss => {
                     self.stats.l2_misses += 1;
                     let done = match self.mode {
-                        MemoryMode::Uncompressed => self.dram_fetch(
-                            now,
-                            req.entry,
-                            req.sector_mask.count_ones() as u8,
-                        ),
+                        MemoryMode::Uncompressed => {
+                            self.dram_fetch(now, req.entry, req.sector_mask.count_ones() as u8)
+                        }
                         _ => self.compressed_fill(now, req.entry),
                     };
                     let fill_mask = if self.mode == MemoryMode::Uncompressed {
@@ -485,28 +490,42 @@ mod tests {
         accesses: u64,
     ) -> SimStats {
         let cfg = GpuConfig::p100();
-        let exec = ExecConfig { lanes: 3584, compute_cycles: 20.0, accesses };
+        let exec = ExecConfig {
+            lanes: 3584,
+            compute_cycles: 20.0,
+            accesses,
+        };
         Engine::new(cfg, exec, mode, Fidelity::Fast, layout).run(trace)
     }
 
     #[test]
     fn small_working_set_hits_l2() {
         // 1 MB footprint < 4 MB L2: after the cold pass everything hits.
-        let layout = UniformLayout { entries: 8192, placement: EntryPlacement::device(4) };
+        let layout = UniformLayout {
+            entries: 8192,
+            placement: EntryPlacement::device(4),
+        };
         let stats = run(
             MemoryMode::Uncompressed,
             &layout,
             &mut streaming_trace(8192, 0b1111),
             80_000,
         );
-        assert!(stats.l2_hit_rate() > 0.85, "hit rate {}", stats.l2_hit_rate());
+        assert!(
+            stats.l2_hit_rate() > 0.85,
+            "hit rate {}",
+            stats.l2_hit_rate()
+        );
     }
 
     #[test]
     fn bandwidth_compression_speeds_up_streaming() {
         // Footprint 64 MB >> L2; coalesced streaming; compressed to 1 sector.
         let entries = 512 * 1024;
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(1) };
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(1),
+        };
         let base = run(
             MemoryMode::Uncompressed,
             &layout,
@@ -522,7 +541,10 @@ mod tests {
         let speedup = comp.speedup_vs(&base);
         // The baseline is DRAM-bound (~5.4 accesses/cycle) while the
         // compressed run becomes latency-bound (~8/cycle): speedup ≈ 1.5.
-        assert!(speedup > 1.3, "4:1 compression should speed up streaming: {speedup:.2}");
+        assert!(
+            speedup > 1.3,
+            "4:1 compression should speed up streaming: {speedup:.2}"
+        );
         assert!(comp.dram_sectors < base.dram_sectors / 2);
     }
 
@@ -531,7 +553,10 @@ mod tests {
         // Random single-sector reads over a huge footprint: compression
         // over-fetches whole blocks (4 sectors for incompressible data).
         let entries = 4 * 1024 * 1024;
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(4) };
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(4),
+        };
         let mut rng_state = 1u64;
         let mut random_trace = std::iter::from_fn(move || {
             rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -552,10 +577,23 @@ mod tests {
                 to_host: false,
             })
         });
-        let base = run(MemoryMode::Uncompressed, &layout, &mut random_trace, 100_000);
-        let comp = run(MemoryMode::BandwidthCompressed, &layout, &mut random_trace2, 100_000);
+        let base = run(
+            MemoryMode::Uncompressed,
+            &layout,
+            &mut random_trace,
+            100_000,
+        );
+        let comp = run(
+            MemoryMode::BandwidthCompressed,
+            &layout,
+            &mut random_trace2,
+            100_000,
+        );
         let speedup = comp.speedup_vs(&base);
-        assert!(speedup < 1.0, "over-fetch should slow random access: {speedup:.2}");
+        assert!(
+            speedup < 1.0,
+            "over-fetch should slow random access: {speedup:.2}"
+        );
         assert!(comp.dram_sectors > base.dram_sectors * 2);
     }
 
@@ -564,12 +602,24 @@ mod tests {
         let entries = 1024 * 1024;
         let layout = UniformLayout {
             entries,
-            placement: EntryPlacement { device_sectors: 2, buddy_sectors: 2 },
+            placement: EntryPlacement {
+                device_sectors: 2,
+                buddy_sectors: 2,
+            },
         };
-        let stats = run(MemoryMode::Buddy, &layout, &mut streaming_trace(entries, 0b1111), 50_000);
+        let stats = run(
+            MemoryMode::Buddy,
+            &layout,
+            &mut streaming_trace(entries, 0b1111),
+            50_000,
+        );
         assert!(stats.buddy_accesses > 0);
         assert!(stats.link_sectors_in > 0);
-        assert!(stats.buddy_fraction() > 0.5, "every miss overflows: {}", stats.buddy_fraction());
+        assert!(
+            stats.buddy_fraction() > 0.5,
+            "every miss overflows: {}",
+            stats.buddy_fraction()
+        );
     }
 
     #[test]
@@ -577,7 +627,10 @@ mod tests {
         let entries = 1024 * 1024;
         let overflowing = UniformLayout {
             entries,
-            placement: EntryPlacement { device_sectors: 2, buddy_sectors: 2 },
+            placement: EntryPlacement {
+                device_sectors: 2,
+                buddy_sectors: 2,
+            },
         };
         let bw = run(
             MemoryMode::BandwidthCompressed,
@@ -602,24 +655,51 @@ mod tests {
     fn metadata_cache_hits_on_streaming() {
         // Sequential access: one metadata line covers 64 entries → ~98% hits.
         let entries = 1024 * 1024;
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(2) };
-        let stats = run(MemoryMode::Buddy, &layout, &mut streaming_trace(entries, 0b1111), 60_000);
-        assert!(stats.md_hit_rate() > 0.9, "streaming md hit rate {}", stats.md_hit_rate());
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(2),
+        };
+        let stats = run(
+            MemoryMode::Buddy,
+            &layout,
+            &mut streaming_trace(entries, 0b1111),
+            60_000,
+        );
+        assert!(
+            stats.md_hit_rate() > 0.9,
+            "streaming md hit rate {}",
+            stats.md_hit_rate()
+        );
     }
 
     #[test]
     fn zero_entries_cost_no_dram_traffic() {
         let entries = 1024 * 1024;
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(0) };
-        let stats = run(MemoryMode::Buddy, &layout, &mut streaming_trace(entries, 0b1111), 30_000);
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(0),
+        };
+        let stats = run(
+            MemoryMode::Buddy,
+            &layout,
+            &mut streaming_trace(entries, 0b1111),
+            30_000,
+        );
         // Only metadata fetches hit DRAM.
-        assert!(stats.dram_sectors < stats.accesses, "{} sectors", stats.dram_sectors);
+        assert!(
+            stats.dram_sectors < stats.accesses,
+            "{} sectors",
+            stats.dram_sectors
+        );
     }
 
     #[test]
     fn host_native_traffic_uses_link_in_all_modes() {
         let entries = 1024u64;
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(4) };
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(4),
+        };
         let mut trace = (0..).map(|i| MemRequest {
             entry: i % entries,
             sector_mask: 0b1111,
@@ -635,9 +715,16 @@ mod tests {
     #[test]
     fn detailed_mode_correlates_with_fast() {
         let entries = 512 * 1024;
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(2) };
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(2),
+        };
         let cfg = GpuConfig::p100();
-        let exec = ExecConfig { lanes: 512, compute_cycles: 20.0, accesses: 40_000 };
+        let exec = ExecConfig {
+            lanes: 512,
+            compute_cycles: 20.0,
+            accesses: 40_000,
+        };
         let fast = Engine::new(cfg, exec, MemoryMode::Buddy, Fidelity::Fast, &layout)
             .run(&mut streaming_trace(entries, 0b1111));
         let detailed = Engine::new(cfg, exec, MemoryMode::Buddy, Fidelity::Detailed, &layout)
@@ -652,7 +739,10 @@ mod tests {
     #[test]
     fn writes_generate_writeback_traffic() {
         let entries = 1024 * 1024; // footprint >> L2 so dirty lines evict
-        let layout = UniformLayout { entries, placement: EntryPlacement::device(2) };
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement::device(2),
+        };
         let mut trace = (0..).map(move |i| MemRequest {
             entry: i % entries,
             sector_mask: 0b1111,
@@ -661,7 +751,10 @@ mod tests {
         });
         let stats = run(MemoryMode::Buddy, &layout, &mut trace, 120_000);
         assert!(stats.writes == 120_000);
-        assert!(stats.dram_sectors > 0, "evicted dirty lines must write back");
+        assert!(
+            stats.dram_sectors > 0,
+            "evicted dirty lines must write back"
+        );
     }
 
     #[test]
@@ -669,9 +762,16 @@ mod tests {
         let entries = 1024 * 1024;
         let layout = UniformLayout {
             entries,
-            placement: EntryPlacement { device_sectors: 2, buddy_sectors: 2 },
+            placement: EntryPlacement {
+                device_sectors: 2,
+                buddy_sectors: 2,
+            },
         };
-        let exec = ExecConfig { lanes: 3584, compute_cycles: 20.0, accesses: 60_000 };
+        let exec = ExecConfig {
+            lanes: 3584,
+            compute_cycles: 20.0,
+            accesses: 60_000,
+        };
         let fast_link = Engine::new(
             GpuConfig::p100().with_link_bandwidth(150.0),
             exec,

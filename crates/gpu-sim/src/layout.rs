@@ -18,7 +18,10 @@ pub struct EntryPlacement {
 impl EntryPlacement {
     /// An entry fully resident in device memory.
     pub fn device(sectors: u8) -> Self {
-        Self { device_sectors: sectors, buddy_sectors: 0 }
+        Self {
+            device_sectors: sectors,
+            buddy_sectors: 0,
+        }
     }
 
     /// Total compressed sectors.
@@ -96,7 +99,9 @@ impl<F: Fn(u64) -> EntryPlacement> MemoryLayout for FnLayout<F> {
 
 impl<F> std::fmt::Debug for FnLayout<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnLayout").field("entries", &self.entries).finish()
+        f.debug_struct("FnLayout")
+            .field("entries", &self.entries)
+            .finish()
     }
 }
 
@@ -109,7 +114,10 @@ mod tests {
         let p = EntryPlacement::device(3);
         assert_eq!(p.total(), 3);
         assert!(!p.touches_buddy());
-        let q = EntryPlacement { device_sectors: 2, buddy_sectors: 2 };
+        let q = EntryPlacement {
+            device_sectors: 2,
+            buddy_sectors: 2,
+        };
         assert_eq!(q.total(), 4);
         assert!(q.touches_buddy());
     }
@@ -118,7 +126,10 @@ mod tests {
     fn uniform_layout() {
         let l = UniformLayout {
             entries: 10,
-            placement: EntryPlacement { device_sectors: 1, buddy_sectors: 0 },
+            placement: EntryPlacement {
+                device_sectors: 1,
+                buddy_sectors: 0,
+            },
         };
         assert_eq!(l.total_entries(), 10);
         assert_eq!(l.placement(7).device_sectors, 1);
@@ -131,7 +142,10 @@ mod tests {
             if e % 2 == 0 {
                 EntryPlacement::device(1)
             } else {
-                EntryPlacement { device_sectors: 2, buddy_sectors: 2 }
+                EntryPlacement {
+                    device_sectors: 2,
+                    buddy_sectors: 2,
+                }
             }
         });
         assert_eq!(l.placement(0).total(), 1);

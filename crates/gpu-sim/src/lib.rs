@@ -22,7 +22,7 @@
 //! A [`Fidelity::Detailed`] mode adds sector-granular DRAM bank timing and
 //! stands in for the cycle-accurate reference simulator in the Figure 10
 //! correlation study (the real study correlated against V100 silicon, which
-//! is unavailable here; see DESIGN.md).
+//! is unavailable here; see DESIGN.md §3).
 //!
 //! # Example
 //!

@@ -135,11 +135,23 @@ mod tests {
 
     #[test]
     fn speedup_normalizes_by_access_count() {
-        let baseline = SimStats { cycles: 1000.0, accesses: 100, ..Default::default() };
-        let half_speed = SimStats { cycles: 2000.0, accesses: 100, ..Default::default() };
+        let baseline = SimStats {
+            cycles: 1000.0,
+            accesses: 100,
+            ..Default::default()
+        };
+        let half_speed = SimStats {
+            cycles: 2000.0,
+            accesses: 100,
+            ..Default::default()
+        };
         assert!((half_speed.speedup_vs(&baseline) - 0.5).abs() < 1e-12);
         // Same per-access cost at twice the length: speedup 1.
-        let longer = SimStats { cycles: 2000.0, accesses: 200, ..Default::default() };
+        let longer = SimStats {
+            cycles: 2000.0,
+            accesses: 200,
+            ..Default::default()
+        };
         assert!((longer.speedup_vs(&baseline) - 1.0).abs() < 1e-12);
     }
 
@@ -155,7 +167,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let s = SimStats { cycles: 10.0, accesses: 5, ..Default::default() };
+        let s = SimStats {
+            cycles: 10.0,
+            accesses: 5,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("10 cycles"));
         assert!(text.contains("5 accesses"));

@@ -250,10 +250,7 @@ pub fn simulate(
 
 /// Convenience: runtime of the native run (everything device-resident,
 /// copied up-front as the original non-UM application would).
-pub fn native_baseline(
-    trace: impl IntoIterator<Item = PageAccess>,
-    config: &UmConfig,
-) -> UmStats {
+pub fn native_baseline(trace: impl IntoIterator<Item = PageAccess>, config: &UmConfig) -> UmStats {
     simulate(trace, Policy::DeviceResident, config)
 }
 
@@ -263,11 +260,18 @@ mod tests {
 
     /// Cyclic sweep over `pages` pages, `len` accesses.
     fn sweep(pages: u64, len: u64) -> impl Iterator<Item = PageAccess> {
-        (0..len).map(move |i| PageAccess { page: i % pages, bytes: 4096, write: i % 3 == 0 })
+        (0..len).map(move |i| PageAccess {
+            page: i % pages,
+            bytes: 4096,
+            write: i % 3 == 0,
+        })
     }
 
     fn config_with_device(bytes: u64) -> UmConfig {
-        UmConfig { device_bytes: bytes, ..UmConfig::default() }
+        UmConfig {
+            device_bytes: bytes,
+            ..UmConfig::default()
+        }
     }
 
     #[test]
@@ -307,7 +311,10 @@ mod tests {
             );
             last = slowdown;
         }
-        assert!(last > 4.0, "40% oversubscription should hurt badly: {last:.1}x");
+        assert!(
+            last > 4.0,
+            "40% oversubscription should hurt badly: {last:.1}x"
+        );
     }
 
     #[test]
@@ -324,7 +331,10 @@ mod tests {
             (slowdowns[0] - slowdowns[1]).abs() < 1e-9,
             "pinned runtime does not depend on device capacity: {slowdowns:?}"
         );
-        assert!(slowdowns[0] > 1.0, "link-bound must be slower than device-bound");
+        assert!(
+            slowdowns[0] > 1.0,
+            "link-bound must be slower than device-bound"
+        );
     }
 
     #[test]
@@ -345,20 +355,45 @@ mod tests {
     #[test]
     fn dirty_evictions_double_migration_traffic() {
         let cfg = config_with_device(10 * (64 << 10));
-        let mut all_writes =
-            (0..10_000u64).map(|i| PageAccess { page: i % 50, bytes: 4096, write: true });
-        let writes = simulate(&mut all_writes as &mut dyn Iterator<Item = _>, Policy::UnifiedMemory, &cfg);
-        let mut all_reads =
-            (0..10_000u64).map(|i| PageAccess { page: i % 50, bytes: 4096, write: false });
-        let reads = simulate(&mut all_reads as &mut dyn Iterator<Item = _>, Policy::UnifiedMemory, &cfg);
-        assert!(writes.link_bytes > reads.link_bytes, "dirty pages must be written back");
+        let mut all_writes = (0..10_000u64).map(|i| PageAccess {
+            page: i % 50,
+            bytes: 4096,
+            write: true,
+        });
+        let writes = simulate(
+            &mut all_writes as &mut dyn Iterator<Item = _>,
+            Policy::UnifiedMemory,
+            &cfg,
+        );
+        let mut all_reads = (0..10_000u64).map(|i| PageAccess {
+            page: i % 50,
+            bytes: 4096,
+            write: false,
+        });
+        let reads = simulate(
+            &mut all_reads as &mut dyn Iterator<Item = _>,
+            Policy::UnifiedMemory,
+            &cfg,
+        );
+        assert!(
+            writes.link_bytes > reads.link_bytes,
+            "dirty pages must be written back"
+        );
         assert!(writes.runtime_us > reads.runtime_us);
     }
 
     #[test]
     fn stats_helpers() {
-        let native = UmStats { runtime_us: 100.0, ..Default::default() };
-        let slow = UmStats { runtime_us: 450.0, faults: 30, accesses: 3000, ..Default::default() };
+        let native = UmStats {
+            runtime_us: 100.0,
+            ..Default::default()
+        };
+        let slow = UmStats {
+            runtime_us: 450.0,
+            faults: 30,
+            accesses: 3000,
+            ..Default::default()
+        };
         assert!((slow.slowdown_vs(&native) - 4.5).abs() < 1e-12);
         assert!((slow.faults_per_kilo_access() - 10.0).abs() < 1e-12);
         assert!(slow.to_string().contains("faults"));

@@ -105,7 +105,11 @@ impl EntryClass {
                 let noise_bits = noise_bits.min(31);
                 // Keep the base away from wrap-around so deltas stay small.
                 let base: u32 = rng.gen_range(1u32 << 28..1u32 << 30);
-                let mask = if noise_bits == 0 { 0 } else { (1u32 << noise_bits) - 1 };
+                let mask = if noise_bits == 0 {
+                    0
+                } else {
+                    (1u32 << noise_bits) - 1
+                };
                 for chunk in entry.chunks_exact_mut(4) {
                     let v = base.wrapping_add(rng.gen::<u32>() & mask);
                     chunk.copy_from_slice(&v.to_le_bytes());
@@ -144,7 +148,10 @@ impl MixtureProfile {
     /// Panics if `components` is empty or any weight is negative or all
     /// weights are zero.
     pub fn new(components: Vec<(f64, EntryClass)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         assert!(
             components.iter().all(|(w, _)| *w >= 0.0),
             "mixture weights must be non-negative"
@@ -281,10 +288,7 @@ mod tests {
 
     #[test]
     fn mixture_pick_respects_weights() {
-        let m = MixtureProfile::new(vec![
-            (3.0, EntryClass::Zero),
-            (1.0, EntryClass::Random),
-        ]);
+        let m = MixtureProfile::new(vec![(3.0, EntryClass::Zero), (1.0, EntryClass::Random)]);
         assert_eq!(m.pick(0.0), EntryClass::Zero);
         assert_eq!(m.pick(0.74), EntryClass::Zero);
         assert_eq!(m.pick(0.76), EntryClass::Random);

@@ -96,7 +96,11 @@ pub struct SnapshotConfig {
 
 impl Default for SnapshotConfig {
     fn default() -> Self {
-        Self { phase: 0.5, seed: 0xB0DD_7, sample_cap: 8192 }
+        Self {
+            phase: 0.5,
+            seed: 0xB0DD7,
+            sample_cap: 8192,
+        }
     }
 }
 
@@ -213,7 +217,11 @@ pub fn heatmap(benchmark: &Benchmark, seed: u64, phase: f64, max_pages: usize) -
             cells.push(cell);
         }
     }
-    Heatmap { name: benchmark.name, rows: pages as usize, cells }
+    Heatmap {
+        name: benchmark.name,
+        rows: pages as usize,
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +241,11 @@ mod tests {
     #[test]
     fn capture_is_deterministic() {
         let b = small_bench();
-        let cfg = SnapshotConfig { phase: 0.3, seed: 1, sample_cap: 512 };
+        let cfg = SnapshotConfig {
+            phase: 0.3,
+            seed: 1,
+            sample_cap: 512,
+        };
         let a = capture(&b, cfg);
         let c = capture(&b, cfg);
         assert_eq!(a, c);
@@ -242,7 +254,14 @@ mod tests {
     #[test]
     fn ratio_matches_nominal_within_tolerance() {
         let b = small_bench();
-        let stats = capture(&b, SnapshotConfig { phase: 0.5, seed: 2, sample_cap: 4096 });
+        let stats = capture(
+            &b,
+            SnapshotConfig {
+                phase: 0.5,
+                seed: 2,
+                sample_cap: 4096,
+            },
+        );
         let measured = stats.compression_ratio();
         let nominal = b.nominal_ratio(0.5);
         let rel = (measured - nominal).abs() / nominal;
@@ -255,8 +274,22 @@ mod tests {
     #[test]
     fn sampling_approximates_full_capture() {
         let b = small_bench();
-        let full = capture(&b, SnapshotConfig { phase: 0.5, seed: 3, sample_cap: u64::MAX });
-        let sampled = capture(&b, SnapshotConfig { phase: 0.5, seed: 3, sample_cap: 1024 });
+        let full = capture(
+            &b,
+            SnapshotConfig {
+                phase: 0.5,
+                seed: 3,
+                sample_cap: u64::MAX,
+            },
+        );
+        let sampled = capture(
+            &b,
+            SnapshotConfig {
+                phase: 0.5,
+                seed: 3,
+                sample_cap: 1024,
+            },
+        );
         let rel = (full.compression_ratio() - sampled.compression_ratio()).abs()
             / full.compression_ratio();
         assert!(rel < 0.15, "sampled ratio diverges: {rel:.3}");
@@ -295,7 +328,9 @@ mod tests {
 
     #[test]
     fn empty_snapshot_ratio_is_one() {
-        let stats = SnapshotStats { allocations: vec![] };
+        let stats = SnapshotStats {
+            allocations: vec![],
+        };
         assert_eq!(stats.compression_ratio(), 1.0);
     }
 }

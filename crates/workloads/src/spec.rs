@@ -72,7 +72,13 @@ pub struct AllocationSpec {
 impl AllocationSpec {
     /// Convenience constructor for a stable, speckled allocation.
     pub fn speckled(name: &'static str, footprint_frac: f64, profile: MixtureProfile) -> Self {
-        Self { name, footprint_frac, profile, pattern: SpatialPattern::Speckled, drift: TemporalDrift::Stable }
+        Self {
+            name,
+            footprint_frac,
+            profile,
+            pattern: SpatialPattern::Speckled,
+            drift: TemporalDrift::Stable,
+        }
     }
 
     /// Convenience constructor for a stable, blocked allocation with the
@@ -94,7 +100,11 @@ impl AllocationSpec {
     /// without materializing the allocation.
     pub fn class_at(&self, seed: u64, entry_index: u64, phase: f64) -> EntryClass {
         // Temporal override: ZeroFill forces a phase-dependent zero set.
-        if let TemporalDrift::ZeroFill { start_zero, end_zero } = self.drift {
+        if let TemporalDrift::ZeroFill {
+            start_zero,
+            end_zero,
+        } = self.drift
+        {
             let zero_frac = start_zero + (end_zero - start_zero) * phase.clamp(0.0, 1.0);
             // Use a stable per-entry draw so entries fill in (or zero out)
             // progressively rather than re-shuffling every phase.
@@ -195,7 +205,10 @@ mod tests {
             assert_eq!(spec.class_at(9, i, 0.0), spec.class_at(9, i + 4, 0.0));
         }
         // First half of the period is the first component.
-        assert_eq!(spec.class_at(9, 0, 0.0), EntryClass::for_target(SizeClass::B32));
+        assert_eq!(
+            spec.class_at(9, 0, 0.0),
+            EntryClass::for_target(SizeClass::B32)
+        );
         assert_eq!(spec.class_at(9, 3, 0.0), EntryClass::Random);
     }
 
@@ -206,7 +219,10 @@ mod tests {
             footprint_frac: 1.0,
             profile: MixtureProfile::from_class_weights(&[(SizeClass::B64, 1.0)]),
             pattern: SpatialPattern::Speckled,
-            drift: TemporalDrift::ZeroFill { start_zero: 0.9, end_zero: 0.1 },
+            drift: TemporalDrift::ZeroFill {
+                start_zero: 0.9,
+                end_zero: 0.1,
+            },
         };
         let count_zero = |phase: f64| {
             (0..2000)
@@ -226,7 +242,10 @@ mod tests {
             footprint_frac: 1.0,
             profile: MixtureProfile::from_class_weights(&[(SizeClass::B64, 1.0)]),
             pattern: SpatialPattern::Speckled,
-            drift: TemporalDrift::ZeroFill { start_zero: 1.0, end_zero: 0.0 },
+            drift: TemporalDrift::ZeroFill {
+                start_zero: 1.0,
+                end_zero: 0.0,
+            },
         };
         // An entry that is non-zero at phase p must stay non-zero at all
         // later phases (monotone fill-in).
@@ -255,8 +274,14 @@ mod tests {
         let changed = (0..500)
             .filter(|&i| spec.entry_at(11, i, 0.0) != spec.entry_at(11, i, 1.0))
             .count();
-        assert!(changed > 150, "churn should alter a sizable fraction: {changed}/500");
-        assert!(changed < 400, "churn should not alter everything: {changed}/500");
+        assert!(
+            changed > 150,
+            "churn should alter a sizable fraction: {changed}/500"
+        );
+        assert!(
+            changed < 400,
+            "churn should not alter everything: {changed}/500"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! FF_HPGMG).
 //!
 //! `paper_fig3_ratio` values are visual digitizations of Figure 3 (the paper
-//! provides no table); they are calibration *targets*, and EXPERIMENTS.md
-//! records measured-vs-paper for each.
+//! provides no table); they are calibration *targets* — the `fig03`
+//! harness prints measured-vs-paper for each (see DESIGN.md §5).
 
 use crate::entry_gen::MixtureProfile;
 use crate::spec::{AllocationSpec, SpatialPattern, TemporalDrift};
@@ -52,17 +52,26 @@ pub struct Scale {
 impl Scale {
     /// Default evaluation scale: 1/64 with an 8 MB floor.
     pub fn default_eval() -> Self {
-        Self { divisor: 64.0, floor_bytes: 8 << 20 }
+        Self {
+            divisor: 64.0,
+            floor_bytes: 8 << 20,
+        }
     }
 
     /// Smaller scale for fast unit tests: 1/512 with a 2 MB floor.
     pub fn test() -> Self {
-        Self { divisor: 512.0, floor_bytes: 2 << 20 }
+        Self {
+            divisor: 512.0,
+            floor_bytes: 2 << 20,
+        }
     }
 
     /// No scaling (use the Table 1 footprint as-is).
     pub fn unit() -> Self {
-        Self { divisor: 1.0, floor_bytes: 0 }
+        Self {
+            divisor: 1.0,
+            floor_bytes: 0,
+        }
     }
 
     /// Simulated footprint for a benchmark with the given true footprint.
@@ -135,7 +144,10 @@ impl Benchmark {
             .map(|a| {
                 let body = a.profile.nominal_bytes_per_entry();
                 let bytes = match a.drift {
-                    TemporalDrift::ZeroFill { start_zero, end_zero } => {
+                    TemporalDrift::ZeroFill {
+                        start_zero,
+                        end_zero,
+                    } => {
                         let zf = start_zero + (end_zero - start_zero) * phase.clamp(0.0, 1.0);
                         zf * 8.0 + (1.0 - zf) * body
                     }
@@ -275,7 +287,10 @@ fn seismic() -> Benchmark {
                 pattern: SpatialPattern::Blocked { run_entries: 1024 },
                 // §3.1: "begins with many zero values but slowly asymptotes
                 // to a 2x compression ratio over its execution".
-                drift: TemporalDrift::ZeroFill { start_zero: 0.85, end_zero: 0.05 },
+                drift: TemporalDrift::ZeroFill {
+                    start_zero: 0.85,
+                    end_zero: 0.05,
+                },
             },
             AllocationSpec::blocked("velocity_model", 0.17, mix_of(&[(B16, 1.0)])),
             AllocationSpec::blocked("fft_scratch", 0.08, mix_of(&[(B128, 1.0)])),
@@ -462,7 +477,11 @@ fn dl_alloc(
         footprint_frac: frac,
         profile: mix_of(weights),
         pattern: SpatialPattern::Speckled,
-        drift: if churn { dl_drift() } else { TemporalDrift::Stable },
+        drift: if churn {
+            dl_drift()
+        } else {
+            TemporalDrift::Stable
+        },
     }
 }
 
@@ -473,10 +492,25 @@ fn biglstm() -> Benchmark {
         footprint_bytes: gb(2.71),
         scale: Scale::default(),
         allocations: vec![
-            dl_alloc("activations", 0.25, &[(B16, 0.3), (B32, 0.25), (B64, 0.25), (B128, 0.2)], true),
+            dl_alloc(
+                "activations",
+                0.25,
+                &[(B16, 0.3), (B32, 0.25), (B64, 0.25), (B128, 0.2)],
+                true,
+            ),
             dl_alloc("gradients", 0.15, &[(B64, 0.6), (B32, 0.4)], true),
-            dl_alloc("lstm_weights", 0.25, &[(B96, 0.4), (B64, 0.4), (B128, 0.2)], false),
-            dl_alloc("embedding", 0.35, &[(B128, 0.5), (B96, 0.25), (B64, 0.25)], false),
+            dl_alloc(
+                "lstm_weights",
+                0.25,
+                &[(B96, 0.4), (B64, 0.4), (B128, 0.2)],
+                false,
+            ),
+            dl_alloc(
+                "embedding",
+                0.35,
+                &[(B128, 0.5), (B96, 0.25), (B64, 0.25)],
+                false,
+            ),
         ],
         access: AccessProfile::streaming_dl(),
         paper_fig3_ratio: 1.7,
@@ -490,10 +524,20 @@ fn alexnet() -> Benchmark {
         footprint_bytes: gb(8.85),
         scale: Scale::default(),
         allocations: vec![
-            dl_alloc("activations", 0.30, &[(B0, 0.3), (B16, 0.2), (B64, 0.25), (B128, 0.25)], true),
+            dl_alloc(
+                "activations",
+                0.30,
+                &[(B0, 0.3), (B16, 0.2), (B64, 0.25), (B128, 0.25)],
+                true,
+            ),
             dl_alloc("gradients", 0.15, &[(B32, 0.4), (B64, 0.6)], true),
             dl_alloc("conv_weights", 0.10, &[(B32, 1.0)], false),
-            dl_alloc("fc_weights", 0.45, &[(B96, 0.3), (B128, 0.35), (B64, 0.35)], false),
+            dl_alloc(
+                "fc_weights",
+                0.45,
+                &[(B96, 0.3), (B128, 0.35), (B64, 0.35)],
+                false,
+            ),
         ],
         access: AccessProfile::streaming_dl(),
         paper_fig3_ratio: 1.9,
@@ -507,7 +551,12 @@ fn inception() -> Benchmark {
         footprint_bytes: gb(3.21),
         scale: Scale::default(),
         allocations: vec![
-            dl_alloc("activations", 0.45, &[(B0, 0.25), (B32, 0.25), (B64, 0.3), (B128, 0.2)], true),
+            dl_alloc(
+                "activations",
+                0.45,
+                &[(B0, 0.25), (B32, 0.25), (B64, 0.3), (B128, 0.2)],
+                true,
+            ),
             dl_alloc("gradients", 0.15, &[(B32, 0.5), (B64, 0.5)], true),
             dl_alloc("workspace", 0.10, &[(B128, 0.7), (B64, 0.3)], true),
             dl_alloc("conv_weights", 0.30, &[(B64, 0.88), (B96, 0.12)], false),
@@ -524,9 +573,19 @@ fn squeezenet() -> Benchmark {
         footprint_bytes: gb(2.03),
         scale: Scale::default(),
         allocations: vec![
-            dl_alloc("activations", 0.50, &[(B64, 0.45), (B128, 0.25), (B32, 0.3)], true),
+            dl_alloc(
+                "activations",
+                0.50,
+                &[(B64, 0.45), (B128, 0.25), (B32, 0.3)],
+                true,
+            ),
             dl_alloc("gradients", 0.25, &[(B64, 0.5), (B96, 0.5)], true),
-            dl_alloc("weights", 0.25, &[(B128, 0.4), (B96, 0.4), (B64, 0.2)], false),
+            dl_alloc(
+                "weights",
+                0.25,
+                &[(B128, 0.4), (B96, 0.4), (B64, 0.2)],
+                false,
+            ),
         ],
         access: AccessProfile::streaming_dl(),
         paper_fig3_ratio: 1.55,
@@ -540,9 +599,19 @@ fn vgg16() -> Benchmark {
         footprint_bytes: gb(11.08),
         scale: Scale::default(),
         allocations: vec![
-            dl_alloc("activations", 0.15, &[(B32, 0.35), (B64, 0.4), (B128, 0.25)], true),
+            dl_alloc(
+                "activations",
+                0.15,
+                &[(B32, 0.35), (B64, 0.4), (B128, 0.25)],
+                true,
+            ),
             dl_alloc("gradients", 0.15, &[(B32, 0.5), (B64, 0.5)], true),
-            dl_alloc("fc_weights", 0.30, &[(B64, 0.6), (B96, 0.3), (B128, 0.1)], false),
+            dl_alloc(
+                "fc_weights",
+                0.30,
+                &[(B64, 0.6), (B96, 0.3), (B128, 0.1)],
+                false,
+            ),
             dl_alloc("conv_weights", 0.15, &[(B64, 0.8), (B32, 0.2)], false),
             // §3.4: VGG16 has "large highly-compressible regions" that the
             // 16× zero-page optimization captures; the framework pools them
@@ -566,10 +635,20 @@ fn resnet50() -> Benchmark {
         footprint_bytes: gb(4.50),
         scale: Scale::default(),
         allocations: vec![
-            dl_alloc("activations", 0.40, &[(B0, 0.1), (B32, 0.3), (B64, 0.35), (B128, 0.25)], true),
+            dl_alloc(
+                "activations",
+                0.40,
+                &[(B0, 0.1), (B32, 0.3), (B64, 0.35), (B128, 0.25)],
+                true,
+            ),
             dl_alloc("gradients", 0.20, &[(B64, 0.85), (B96, 0.15)], true),
             dl_alloc("bn_stats", 0.10, &[(B16, 0.5), (B32, 0.5)], true),
-            dl_alloc("conv_weights", 0.30, &[(B96, 0.4), (B128, 0.3), (B64, 0.3)], false),
+            dl_alloc(
+                "conv_weights",
+                0.30,
+                &[(B96, 0.4), (B128, 0.3), (B64, 0.3)],
+                false,
+            ),
         ],
         access: AccessProfile::streaming_dl(),
         paper_fig3_ratio: 1.75,
@@ -600,12 +679,18 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
 
 /// The ten HPC benchmarks (SpecAccel + FastForward).
 pub fn hpc_benchmarks() -> Vec<Benchmark> {
-    all_benchmarks().into_iter().filter(|b| b.suite.is_hpc()).collect()
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite.is_hpc())
+        .collect()
 }
 
 /// The six DL training benchmarks.
 pub fn dl_benchmarks() -> Vec<Benchmark> {
-    all_benchmarks().into_iter().filter(|b| b.suite == Suite::DlTraining).collect()
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == Suite::DlTraining)
+        .collect()
 }
 
 /// Finds a benchmark by its paper name.
@@ -673,7 +758,7 @@ mod tests {
     #[test]
     fn nominal_ratios_near_paper_fig3() {
         // The mixture designs should land within 20% of the digitized
-        // Figure 3 values (measured-vs-paper is tracked in EXPERIMENTS.md).
+        // Figure 3 values (the fig03 harness prints measured-vs-paper).
         for b in all_benchmarks() {
             // Average the nominal ratio over the ten snapshot phases, since
             // Figure 3 reports whole-run averages.
@@ -707,7 +792,10 @@ mod tests {
             ENTRY_BYTES as f64 / mean_bytes
         }));
         let dl = geomean(dl_benchmarks().iter().map(|b| b.nominal_ratio(0.5)));
-        assert!((hpc - 2.51).abs() < 0.35, "HPC geomean {hpc:.2} vs paper 2.51");
+        assert!(
+            (hpc - 2.51).abs() < 0.35,
+            "HPC geomean {hpc:.2} vs paper 2.51"
+        );
         assert!((dl - 1.85).abs() < 0.25, "DL geomean {dl:.2} vs paper 1.85");
     }
 
@@ -719,7 +807,11 @@ mod tests {
             let entries: u64 = layout.iter().map(|(_, n)| n).sum();
             let expect = b.sim_footprint_bytes() / ENTRY_BYTES as u64;
             let diff = (entries as i64 - expect as i64).unsigned_abs();
-            assert!(diff <= 64 * b.allocations.len() as u64 + 4, "{} layout", b.name);
+            assert!(
+                diff <= 64 * b.allocations.len() as u64 + 4,
+                "{} layout",
+                b.name
+            );
         }
     }
 

@@ -143,10 +143,9 @@ impl TraceGenerator {
     /// Panics if `footprint_entries` is zero.
     pub fn new(profile: AccessProfile, footprint_entries: u64, seed: u64) -> Self {
         assert!(footprint_entries > 0, "footprint must be non-empty");
-        let active_entries = ((footprint_entries as f64
-            * (1.0 - profile.cold_tail_frac.clamp(0.0, 0.99)))
-            as u64)
-            .max(1);
+        let active_entries =
+            ((footprint_entries as f64 * (1.0 - profile.cold_tail_frac.clamp(0.0, 0.99))) as u64)
+                .max(1);
         let cursors = (0..Self::STREAMS as u64)
             .map(|s| splitmix64(mix(&[seed, s])) % active_entries)
             .collect();
@@ -196,8 +195,7 @@ impl Iterator for TraceGenerator {
             self.cursors[stream] = (e + 1) % self.active_entries;
             e
         } else {
-            let hot_entries =
-                ((self.active_entries as f64 * p.hot_footprint_frac) as u64).max(1);
+            let hot_entries = ((self.active_entries as f64 * p.hot_footprint_frac) as u64).max(1);
             let h = mix(&[self.seed, self.issued, 2]);
             if self.draw(3) < p.hot_access_frac {
                 h % hot_entries
@@ -220,7 +218,12 @@ impl Iterator for TraceGenerator {
         let write = self.draw(7) < p.write_frac;
         let to_host = self.draw(8) < p.host_traffic_frac;
 
-        Some(Access { entry, sector_mask, write, to_host })
+        Some(Access {
+            entry,
+            sector_mask,
+            write,
+            to_host,
+        })
     }
 }
 
@@ -235,8 +238,7 @@ mod tests {
             accesses.iter().filter(|a| a.sector_mask == 0b1111).count() as f64 / n as f64;
         let writes = accesses.iter().filter(|a| a.write).count() as f64 / n as f64;
         let host = accesses.iter().filter(|a| a.to_host).count() as f64 / n as f64;
-        let single =
-            accesses.iter().filter(|a| a.sector_count() == 1).count() as f64 / n as f64;
+        let single = accesses.iter().filter(|a| a.sector_count() == 1).count() as f64 / n as f64;
         (coalesced, writes, host, single)
     }
 
@@ -285,17 +287,24 @@ mod tests {
             stream_frac: 1.0,
             ..AccessProfile::streaming_dl()
         };
-        let accesses: Vec<Access> =
-            TraceGenerator::new(p, 1_000_000, 3).take(TraceGenerator::STREAMS * 2).collect();
+        let accesses: Vec<Access> = TraceGenerator::new(p, 1_000_000, 3)
+            .take(TraceGenerator::STREAMS * 2)
+            .collect();
         // The same stream is revisited after STREAMS accesses, one entry on.
         for i in 0..TraceGenerator::STREAMS {
-            assert_eq!(accesses[i + TraceGenerator::STREAMS].entry, accesses[i].entry + 1);
+            assert_eq!(
+                accesses[i + TraceGenerator::STREAMS].entry,
+                accesses[i].entry + 1
+            );
         }
     }
 
     #[test]
     fn host_traffic_fraction_respected() {
-        let p = AccessProfile { host_traffic_frac: 0.08, ..AccessProfile::stencil() };
+        let p = AccessProfile {
+            host_traffic_frac: 0.08,
+            ..AccessProfile::stencil()
+        };
         let gen = TraceGenerator::new(p, 10_000, 11);
         let n = 20_000;
         let host = gen.take(n).filter(|a| a.to_host).count() as f64 / n as f64;

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    println!("\naverage speedup from Buddy-enabled batches: {:.1}%", 100.0 * (avg - 1.0));
+    println!(
+        "\naverage speedup from Buddy-enabled batches: {:.1}%",
+        100.0 * (avg - 1.0)
+    );
     println!("paper reports 14% average, with BigLSTM +28% and VGG16 +30% (§4.4)");
 
     // Show the throughput curve that makes larger batches valuable.

@@ -9,9 +9,7 @@
 
 use buddy_compression::buddy_core::{choose_targets, ProfileConfig};
 use buddy_compression::gpu_sim::{Engine, ExecConfig, Fidelity, GpuConfig, MemoryMode};
-use buddy_compression::unified_memory::{
-    native_baseline, simulate, PageAccess, Policy, UmConfig,
-};
+use buddy_compression::unified_memory::{native_baseline, simulate, PageAccess, Policy, UmConfig};
 use buddy_compression::workloads::{by_name, Scale};
 use buddy_compression::{benchmark_requests, profile_benchmark, BenchmarkLayout};
 
@@ -19,7 +17,10 @@ const ENTRIES_PER_PAGE: u64 = (64 << 10) / 128;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bench = by_name("360.ilbdc").expect("known benchmark");
-    bench.scale = Scale { divisor: 512.0, floor_bytes: 4 << 20 };
+    bench.scale = Scale {
+        divisor: 512.0,
+        floor_bytes: 4 << 20,
+    };
     let accesses = 200_000usize;
     let oversub = 0.30;
 
@@ -33,21 +34,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
     };
     let native = native_baseline(page_trace(), &UmConfig::default());
-    let device_bytes =
-        ((footprint_pages as f64) * (1.0 - oversub)) as u64 * (64 << 10);
+    let device_bytes = ((footprint_pages as f64) * (1.0 - oversub)) as u64 * (64 << 10);
     let um = simulate(
         page_trace(),
         Policy::UnifiedMemory,
-        &UmConfig { device_bytes, ..UmConfig::default() },
+        &UmConfig {
+            device_bytes,
+            ..UmConfig::default()
+        },
     );
     let pinned = simulate(
         page_trace(),
         Policy::PinnedHost,
-        &UmConfig { device_bytes, ..UmConfig::default() },
+        &UmConfig {
+            device_bytes,
+            ..UmConfig::default()
+        },
     );
-    println!("Unified Memory at {:.0}% oversubscription:", 100.0 * oversub);
-    println!("  UM migration : {:.1}x slowdown ({} faults)", um.slowdown_vs(&native), um.faults);
-    println!("  pinned host  : {:.1}x slowdown", pinned.slowdown_vs(&native));
+    println!(
+        "Unified Memory at {:.0}% oversubscription:",
+        100.0 * oversub
+    );
+    println!(
+        "  UM migration : {:.1}x slowdown ({} faults)",
+        um.slowdown_vs(&native),
+        um.faults
+    );
+    println!(
+        "  pinned host  : {:.1}x slowdown",
+        pinned.slowdown_vs(&native)
+    );
 
     // --- Buddy Compression: same workload, compressed in place. ---
     let profiles = profile_benchmark(&bench, 2048, 7);
@@ -69,9 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run(&mut benchmark_requests(&bench, 7))
     };
     let slowdown = 1.0 / buddy.speedup_vs(&baseline);
-    println!(
-        "  buddy @ 50 GB/s link: {slowdown:.2}x vs ideal GPU (paper: at most 1.67x, §4.3)"
-    );
+    println!("  buddy @ 50 GB/s link: {slowdown:.2}x vs ideal GPU (paper: at most 1.67x, §4.3)");
     println!(
         "  buddy accesses: {:.2}% of memory accesses",
         100.0 * buddy.buddy_fraction()

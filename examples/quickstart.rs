@@ -45,8 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 3. Pick a target ratio under the 30% Buddy Threshold. ---
-    let profiles =
-        vec![AllocationProfile { name: "field".into(), entries, histogram }];
+    let profiles = vec![AllocationProfile {
+        name: "field".into(),
+        entries,
+        histogram,
+    }];
     let outcome = choose_targets(&profiles, &ProfileConfig::default());
     println!("profiler chose:\n{outcome}");
 
@@ -61,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device.write_entry(alloc, i as u64, entry)?;
     }
     for (i, entry) in data.iter().enumerate() {
-        assert_eq!(&device.read_entry(alloc, i as u64)?, entry, "lossless read-back");
+        assert_eq!(
+            &device.read_entry(alloc, i as u64)?,
+            entry,
+            "lossless read-back"
+        );
     }
 
     let stats = device.stats();

@@ -55,15 +55,27 @@ use workloads::Benchmark;
 ///
 /// `sample_cap` bounds the entries compressed per allocation per snapshot
 /// (uniform sampling; the generators are stationary so this is unbiased).
-pub fn profile_benchmark(
-    bench: &Benchmark,
-    sample_cap: u64,
-    seed: u64,
-) -> Vec<AllocationProfile> {
+///
+/// # Panics
+///
+/// Panics if any snapshot reports a different allocation list than the
+/// first one: merging histograms positionally is only meaningful when all
+/// ten phases cover the same allocations, so a mismatch fails loudly
+/// instead of silently truncating the `zip`.
+pub fn profile_benchmark(bench: &Benchmark, sample_cap: u64, seed: u64) -> Vec<AllocationProfile> {
     let mut merged: Vec<AllocationProfile> = Vec::new();
+    let mut first = true;
     for phase in ten_phases() {
-        let stats = capture(bench, SnapshotConfig { phase, seed, sample_cap });
-        if merged.is_empty() {
+        let stats = capture(
+            bench,
+            SnapshotConfig {
+                phase,
+                seed,
+                sample_cap,
+            },
+        );
+        if first {
+            first = false;
             merged = stats
                 .allocations
                 .iter()
@@ -74,7 +86,23 @@ pub fn profile_benchmark(
                 })
                 .collect();
         } else {
+            assert_eq!(
+                merged.len(),
+                stats.allocations.len(),
+                "snapshot of {} at phase {phase} covers {} allocations, but an \
+                 earlier snapshot covered {}; every phase must report the same \
+                 allocation list for positional histogram merging",
+                bench.name,
+                stats.allocations.len(),
+                merged.len(),
+            );
             for (profile, alloc) in merged.iter_mut().zip(stats.allocations.iter()) {
+                assert_eq!(
+                    profile.name, alloc.name,
+                    "snapshot of {} at phase {phase} reordered its allocation \
+                     list; positional histogram merging would corrupt profiles",
+                    bench.name,
+                );
                 profile.histogram.merge(&alloc.histogram);
             }
         }
@@ -90,7 +118,14 @@ pub fn profile_benchmark_at(
     sample_cap: u64,
     seed: u64,
 ) -> Vec<AllocationProfile> {
-    let stats = capture(bench, SnapshotConfig { phase, seed, sample_cap });
+    let stats = capture(
+        bench,
+        SnapshotConfig {
+            phase,
+            seed,
+            sample_cap,
+        },
+    );
     stats
         .allocations
         .iter()
@@ -154,7 +189,12 @@ impl BenchmarkLayout {
                 alloc_seed: workloads::entry_gen::mix(&[seed, idx as u64]),
             });
         }
-        Self { ranges, allocations, total_entries: cursor, phase }
+        Self {
+            ranges,
+            allocations,
+            total_entries: cursor,
+            phase,
+        }
     }
 
     /// An uncompressed layout (every entry 4 sectors, no buddy) for the
@@ -167,6 +207,11 @@ impl BenchmarkLayout {
     }
 
     fn locate(&self, entry: u64) -> (usize, u64) {
+        assert!(
+            !self.allocations.is_empty(),
+            "cannot locate entry {entry}: this layout was built from a \
+             benchmark with zero allocations"
+        );
         let idx = self.ranges.partition_point(|&(end, _)| end <= entry);
         let idx = idx.min(self.allocations.len() - 1);
         let start = if idx == 0 { 0 } else { self.ranges[idx - 1].0 };
@@ -195,16 +240,25 @@ impl BenchmarkLayout {
 pub fn placement_for(class: bpc::SizeClass, target: TargetRatio) -> EntryPlacement {
     use bpc::SizeClass::B0;
     if class == B0 {
-        return EntryPlacement { device_sectors: 0, buddy_sectors: 0 };
+        return EntryPlacement {
+            device_sectors: 0,
+            buddy_sectors: 0,
+        };
     }
     match target {
         TargetRatio::ZeroPage16 => {
             if class.bytes() <= 8 {
                 // The 8 B granule costs one sector access.
-                EntryPlacement { device_sectors: 1, buddy_sectors: 0 }
+                EntryPlacement {
+                    device_sectors: 1,
+                    buddy_sectors: 0,
+                }
             } else {
                 // Overflowed zero-page entries live raw in the buddy slot.
-                EntryPlacement { device_sectors: 0, buddy_sectors: 4 }
+                EntryPlacement {
+                    device_sectors: 0,
+                    buddy_sectors: 4,
+                }
             }
         }
         other => {
@@ -238,10 +292,7 @@ impl MemoryLayout for BenchmarkLayout {
 }
 
 /// Adapts a workload access trace into simulator requests.
-pub fn benchmark_requests(
-    bench: &Benchmark,
-    seed: u64,
-) -> impl Iterator<Item = MemRequest> {
+pub fn benchmark_requests(bench: &Benchmark, seed: u64) -> impl Iterator<Item = MemRequest> {
     bench.trace(seed).map(|a| MemRequest {
         entry: a.entry,
         sector_mask: a.sector_mask,
@@ -373,6 +424,29 @@ mod tests {
         // Compression should be within a sane band of the baseline.
         let speedup = buddy.speedup_vs(&base);
         assert!((0.5..2.0).contains(&speedup), "sp speedup {speedup:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero allocations")]
+    fn empty_layout_locate_panics_with_message() {
+        // A benchmark stripped of its allocations produces an empty layout;
+        // querying it must fail with a clear message, not a usize underflow.
+        let mut bench = test_bench("356.sp");
+        bench.allocations.clear();
+        let outcome = ProfileOutcome {
+            choices: Vec::new(),
+        };
+        let layout = BenchmarkLayout::new(&bench, &outcome, 0.5, 1);
+        let _ = layout.placement(0);
+    }
+
+    #[test]
+    fn profiling_empty_benchmark_yields_no_profiles() {
+        // The ten-phase merge must not fabricate profiles for a benchmark
+        // with no allocations (each phase legitimately reports none).
+        let mut bench = test_bench("356.sp");
+        bench.allocations.clear();
+        assert!(profile_benchmark(&bench, 128, 1).is_empty());
     }
 
     #[test]

@@ -64,7 +64,9 @@ fn profiler_prediction_matches_device_behavior() {
         let alloc = device.alloc(spec.name, n, choice.target).expect("fits");
         let alloc_seed = buddy_compression::workloads::entry_gen::mix(&[5, idx as u64]);
         for i in 0..n {
-            device.write_entry(alloc, i, &spec.entry_at(alloc_seed, i, 0.5)).expect("write");
+            device
+                .write_entry(alloc, i, &spec.entry_at(alloc_seed, i, 0.5))
+                .expect("write");
         }
         predicted += n as f64 * choice.overflow_frac;
         total += n as f64;
@@ -101,7 +103,10 @@ fn suite_compression_matches_paper_shape() {
     }
     let hpc = geomean(hpc);
     let dl = geomean(dl);
-    assert!((hpc - 2.51).abs() < 0.5, "HPC geomean {hpc:.2} vs paper 2.51");
+    assert!(
+        (hpc - 2.51).abs() < 0.5,
+        "HPC geomean {hpc:.2} vs paper 2.51"
+    );
     assert!((dl - 1.85).abs() < 0.35, "DL geomean {dl:.2} vs paper 1.85");
     // Sanity: the codec itself is lossless on a workload entry.
     let bench = test_bench("351.palm");
@@ -130,7 +135,10 @@ fn final_policy_dominates_naive() {
         naive_buddy += naive.static_buddy_fraction();
     }
     assert!(geomean(final_ratios) > geomean(naive_ratios) - 0.05);
-    assert!(final_buddy < naive_buddy * 0.6, "final must cut buddy traffic substantially");
+    assert!(
+        final_buddy < naive_buddy * 0.6,
+        "final must cut buddy traffic substantially"
+    );
 }
 
 /// The performance simulator runs the whole suite in every mode without
@@ -143,8 +151,11 @@ fn simulator_smoke_over_suite() {
         let outcome = choose_targets(&profiles, &ProfileConfig::default());
         let gpu = GpuConfig::p100();
         let exec = ExecConfig::from_profile(&gpu, bench.access.mlp, 30.0, 5_000);
-        for mode in [MemoryMode::Uncompressed, MemoryMode::BandwidthCompressed, MemoryMode::Buddy]
-        {
+        for mode in [
+            MemoryMode::Uncompressed,
+            MemoryMode::BandwidthCompressed,
+            MemoryMode::Buddy,
+        ] {
             let stats = match mode {
                 MemoryMode::Uncompressed => {
                     let layout = BenchmarkLayout::uncompressed(&bench);
@@ -161,7 +172,11 @@ fn simulator_smoke_over_suite() {
             assert!(stats.cycles > 0.0);
             assert_eq!(stats.reads + stats.writes, stats.accesses);
             if mode != MemoryMode::Buddy {
-                assert_eq!(stats.buddy_accesses, 0, "{}: only Buddy overflows", bench.name);
+                assert_eq!(
+                    stats.buddy_accesses, 0,
+                    "{}: only Buddy overflows",
+                    bench.name
+                );
                 assert_eq!(stats.md_misses, 0);
             }
         }
@@ -187,6 +202,12 @@ fn zero_page_pipeline() {
         "zeros compress aggressively, got {}",
         choice.target
     );
-    assert!(outcome.device_compression_ratio() <= 4.0 + 1e-9, "carve-out bound");
-    assert!(outcome.device_compression_ratio() > 2.5, "352.ep compresses well");
+    assert!(
+        outcome.device_compression_ratio() <= 4.0 + 1e-9,
+        "carve-out bound"
+    );
+    assert!(
+        outcome.device_compression_ratio() > 2.5,
+        "352.ep compresses well"
+    );
 }

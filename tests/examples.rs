@@ -1,0 +1,66 @@
+//! Coverage for the `examples/` directory.
+//!
+//! All three examples are compiled as part of `cargo test` / `cargo build
+//! --examples` (compilation is the coverage for the two long-running
+//! sweeps); `quickstart` is additionally *executed* here — it is already a
+//! test-scale configuration (4096 entries against a 1 MiB device) and
+//! finishes in well under a second.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locates a compiled example binary next to the test executable
+/// (`target/<profile>/examples/<name>`); examples are always built before
+/// integration tests run.
+fn example_bin(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push("examples");
+    path.push(name);
+    path
+}
+
+#[test]
+fn quickstart_example_runs_and_reports_compression() {
+    let bin = example_bin("quickstart");
+    assert!(
+        bin.exists(),
+        "{} not found — examples should be built alongside tests",
+        bin.display()
+    );
+    let output = Command::new(&bin).output().expect("quickstart spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart failed ({}):\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // The example walks profile → choose target → device round-trip and
+    // prints each stage; spot-check the load-bearing lines.
+    assert!(
+        stdout.contains("profiled 4096 entries"),
+        "missing profile line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("profiler chose"),
+        "missing target-choice line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("device ratio"),
+        "missing device-stats line:\n{stdout}"
+    );
+}
+
+#[test]
+fn remaining_examples_are_present_and_compiled() {
+    for name in ["dl_batch_scaling", "hpc_oversubscription"] {
+        let bin = example_bin(name);
+        assert!(
+            bin.exists(),
+            "{} not found — `cargo build --examples` must cover it",
+            bin.display()
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Minimal, offline, API-compatible subset of the `criterion` benchmark
+//! harness (0.5 line).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace pins `criterion` to this shim (see
+//! `[workspace.dependencies]` in the root manifest). It supports the surface
+//! the `buddy-bench` benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::bench_function`],
+//! [`Throughput`], [`BenchmarkId`], [`criterion_group!`] and
+//! [`criterion_main!`] — and reports mean wall-clock time per iteration
+//! (plus derived throughput) on stdout. No statistical analysis, plotting,
+//! or baseline comparison: swap the real crate back in for those.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export hint to the optimizer to keep a value alive.
+///
+/// Forwarded to [`std::hint::black_box`], which is what recent `criterion`
+/// versions use internally.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark manager: holds configuration and names groups.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+}
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter display value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group only (as in the real
+    /// criterion, the override does not leak into later groups).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark with an input value passed by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.criterion.measurement_time);
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.criterion.measurement_time);
+        f(&mut bencher);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let per_iter = bencher.mean_iter_time();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(b) => format!(
+                " ({:.1} MiB/s)",
+                b as f64 / per_iter.max(1e-12) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(e) => {
+                format!(" ({:.2} Melem/s)", e as f64 / per_iter.max(1e-12) / 1e6)
+            }
+        });
+        println!(
+            "bench {}/{:<40} {:>12.1} ns/iter{}",
+            self.name,
+            id,
+            per_iter * 1e9,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Times a routine: measures mean wall-clock time per iteration.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize, budget: Duration) -> Self {
+        Self {
+            samples,
+            budget,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Runs `routine` repeatedly and records its timing.
+    ///
+    /// A short calibration pass sizes the per-sample iteration count so the
+    /// whole benchmark stays within the configured measurement time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in budget / samples?
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (self.budget.as_nanos() / self.samples.max(1) as u128)
+            .checked_div(one.as_nanos())
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += per_sample;
+        }
+    }
+
+    fn mean_iter_time(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.total.as_secs_f64() / self.iters as f64
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion`'s macro.
+///
+/// Supports both the struct form (`name = …; config = …; targets = …`) and
+/// the simple list form (`criterion_group!(benches, f1, f2)`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion`'s macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(128));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_into_later_groups() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(2));
+        let mut group_a = c.benchmark_group("a");
+        group_a.sample_size(2);
+        let mut a_iters = 0u32;
+        group_a.bench_function("noop", |b| {
+            b.iter(|| a_iters += 1);
+        });
+        group_a.finish();
+        drop(group_a);
+        // The next group must see the configured default, not group_a's 2.
+        let group_b = c.benchmark_group("b");
+        assert_eq!(group_b.sample_size, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        let id = BenchmarkId::new("write", "2x");
+        assert_eq!(id.id, "write/2x");
+    }
+}

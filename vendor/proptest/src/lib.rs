@@ -1,0 +1,341 @@
+//! Minimal, offline, API-compatible subset of the `proptest` framework
+//! (1.x line).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace pins `proptest` to this shim (see
+//! `[workspace.dependencies]` in the root manifest). It implements the
+//! surface the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (struct form with `#![proptest_config(..)]`,
+//!   doc comments and `#[test]` attributes on each case),
+//! - [`Strategy`] with [`Strategy::prop_map`], range strategies for
+//!   integers and floats, tuple strategies, [`prelude::any`],
+//!   [`array::uniform32`] and [`collection::vec`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! **No shrinking.** Failing cases report the failing values via the
+//! panic message but are not minimized; each test is driven by a
+//! deterministic per-test RNG (seeded from the test name) so failures
+//! reproduce across runs. Swap the real `proptest` back in for shrinking
+//! and persistence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+///
+/// Unlike the real proptest `Strategy`, this shim samples directly from an
+/// RNG with no intermediate value tree and no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy returned by [`prelude::any`]: the full domain of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{SmallRng, Strategy};
+
+    /// Strategy returned by [`uniform32`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform32<S>(S);
+
+    /// Generates `[T; 32]` arrays by sampling `strategy` 32 times.
+    pub fn uniform32<S: Strategy>(strategy: S) -> Uniform32<S> {
+        Uniform32(strategy)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec<T>` with a length drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Any, Arbitrary, ProptestConfig, Strategy};
+
+    /// The canonical strategy for "any value of type `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Builds the deterministic RNG driving one property test, seeded from the
+/// test's name so distinct tests explore distinct streams.
+pub fn test_rng(test_name: &str) -> SmallRng {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Asserts a condition inside a property test (panics on failure; the real
+/// proptest records and shrinks instead).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` runs
+/// `config.cases` times with freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut proptest_rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for proptest_case in 0..config.cases {
+                    // Sample into a tuple first so the failing inputs can be
+                    // reported (strategy values must implement Debug).
+                    let proptest_values =
+                        ( $( $crate::Strategy::sample(&($strat), &mut proptest_rng), )* );
+                    let proptest_inputs = format!("{:?}", proptest_values);
+                    let ( $($pat,)* ) = proptest_values;
+                    let proptest_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(panic) = proptest_result {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed with inputs ({}): {}",
+                            proptest_case + 1,
+                            config.cases,
+                            stringify!($name),
+                            stringify!($($pat),*),
+                            proptest_inputs,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($pat in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_domain() {
+        let mut rng = crate::test_rng("strategies_sample_in_domain");
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let arr = crate::Strategy::sample(&crate::array::uniform32(0u32..4), &mut rng);
+            assert!(arr.iter().all(|&x| x < 4));
+            let vec = crate::Strategy::sample(&crate::collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&vec.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires patterns, strategies, and prop-asserts together.
+        #[test]
+        fn macro_round_trips(x in 0u64..100, (a, b) in (0u8..10, 0u8..10)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!((a < 10, b < 10), (true, true));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// A failing case propagates its panic (after reporting the sampled
+        /// inputs to stderr).
+        #[test]
+        #[should_panic(expected = "deliberate failure")]
+        fn failing_case_panics(x in 0u32..10) {
+            let _ = x;
+            panic!("deliberate failure");
+        }
+    }
+}
