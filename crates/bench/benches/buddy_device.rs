@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks for the functional Buddy device: entry write
-//! (compress + place) and read (translate + decompress) throughput, per
-//! target ratio.
+//! (compress + place) and read (translate + decompress) throughput per
+//! target ratio, the batched entry I/O paths against their per-entry
+//! equivalents, and the write path per codec.
 
-use bpc::ENTRY_BYTES;
+use bpc::{CodecKind, ENTRY_BYTES};
 use buddy_core::{BuddyDevice, DeviceConfig, TargetRatio};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -73,9 +74,102 @@ fn bench_device(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched `write_entries`/`read_entries` against per-entry loops: one
+/// iteration moves a whole 256-entry chunk, so throughput is comparable.
+fn bench_batched(c: &mut Criterion) {
+    const CHUNK: usize = 256;
+    let mut group = c.benchmark_group("buddy-device-batched");
+    group.throughput(Throughput::Bytes((CHUNK * ENTRY_BYTES) as u64));
+    let entries: Vec<[u8; ENTRY_BYTES]> = (0..CHUNK as u64).map(mixed_entry).collect();
+    let target = TargetRatio::R2;
+
+    group.bench_function("write-per-entry", |b| {
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4 << 20,
+            carve_out_factor: 3,
+        });
+        let alloc = dev.alloc("bench", CHUNK as u64, target).expect("fits");
+        b.iter(|| {
+            for (i, e) in entries.iter().enumerate() {
+                dev.write_entry(alloc, i as u64, e).expect("write succeeds");
+            }
+        })
+    });
+    group.bench_function("write-batched", |b| {
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4 << 20,
+            carve_out_factor: 3,
+        });
+        let alloc = dev.alloc("bench", CHUNK as u64, target).expect("fits");
+        b.iter(|| {
+            dev.write_entries(alloc, 0, &entries)
+                .expect("write succeeds")
+        })
+    });
+    group.bench_function("read-per-entry", |b| {
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4 << 20,
+            carve_out_factor: 3,
+        });
+        let alloc = dev.alloc("bench", CHUNK as u64, target).expect("fits");
+        dev.write_entries(alloc, 0, &entries).expect("seed data");
+        b.iter(|| {
+            let mut acc = 0u8;
+            for i in 0..CHUNK as u64 {
+                acc ^= dev.read_entry(alloc, i).expect("read succeeds")[0];
+            }
+            acc
+        })
+    });
+    group.bench_function("read-batched", |b| {
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4 << 20,
+            carve_out_factor: 3,
+        });
+        let alloc = dev.alloc("bench", CHUNK as u64, target).expect("fits");
+        dev.write_entries(alloc, 0, &entries).expect("seed data");
+        let mut out = vec![[0u8; ENTRY_BYTES]; CHUNK];
+        b.iter(|| {
+            dev.read_entries(alloc, 0, &mut out).expect("read succeeds");
+            out[0][0]
+        })
+    });
+    group.finish();
+}
+
+/// The write path under each registered codec (2x target, mixed data).
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy-device-codec");
+    group.throughput(Throughput::Bytes(ENTRY_BYTES as u64));
+    for codec in CodecKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("write", codec.to_string()),
+            &codec,
+            |b, &codec| {
+                let mut dev = BuddyDevice::with_codec(
+                    DeviceConfig {
+                        device_capacity: 4 << 20,
+                        carve_out_factor: 3,
+                    },
+                    codec,
+                );
+                let alloc = dev.alloc("bench", 4096, TargetRatio::R2).expect("fits");
+                let mut i = 0u64;
+                b.iter(|| {
+                    let entry = mixed_entry(i);
+                    dev.write_entry(alloc, i % 4096, &entry)
+                        .expect("write succeeds");
+                    i += 1;
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_device
+    targets = bench_device, bench_batched, bench_codecs
 }
 criterion_main!(benches);

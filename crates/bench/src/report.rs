@@ -1,5 +1,6 @@
 //! Result reporting: aligned console tables and CSV files under `results/`.
 
+use buddy_compression::bpc::CodecKind;
 use std::fmt::Display;
 use std::fs;
 use std::io;
@@ -14,6 +15,9 @@ pub struct RunConfig {
     pub results_dir: PathBuf,
     /// Master seed (all randomness derives from it).
     pub seed: u64,
+    /// Compression algorithm the capacity figures characterize with
+    /// (`--codec <name>`; BPC by default, matching the paper).
+    pub codec: CodecKind,
 }
 
 impl Default for RunConfig {
@@ -22,17 +26,56 @@ impl Default for RunConfig {
             quick: false,
             results_dir: PathBuf::from("results"),
             seed: 0xB0DD7,
+            codec: CodecKind::Bpc,
         }
     }
 }
 
 impl RunConfig {
-    /// Builds the configuration from process arguments (`--quick`).
+    /// Builds the configuration from process arguments (`--quick`,
+    /// `--codec <name>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the list of registered codecs if `--codec` names an
+    /// unknown algorithm or is missing its value.
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick");
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let codec = match args.iter().position(|a| a == "--codec") {
+            None => CodecKind::Bpc,
+            Some(i) => {
+                let name = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("--codec needs a value: one of {}", codec_names()));
+                CodecKind::from_name(name).unwrap_or_else(|| {
+                    panic!("unknown codec {name:?}: expected one of {}", codec_names())
+                })
+            }
+        };
+        if codec != CodecKind::Bpc {
+            println!(
+                "note: --codec {codec} applies to the capacity harnesses (fig03, \
+                 fig06-fig09; their artifacts gain a _{codec} suffix) and the \
+                 ablation sweeps all codecs regardless; every other harness \
+                 models BPC"
+            );
+        }
         Self {
             quick,
+            codec,
             ..Self::default()
+        }
+    }
+
+    /// Artifact base name tagged with the selected codec: `name` under the
+    /// default BPC (the paper's published numbers keep their filenames),
+    /// `name_<codec>` otherwise so codec sweeps never overwrite them.
+    pub fn tagged(&self, name: &str) -> String {
+        if self.codec == CodecKind::Bpc {
+            name.to_string()
+        } else {
+            format!("{name}_{}", self.codec)
         }
     }
 
@@ -44,6 +87,11 @@ impl RunConfig {
             full
         }
     }
+}
+
+/// Comma-separated list of registered codec names (for CLI diagnostics).
+fn codec_names() -> String {
+    CodecKind::ALL.map(|k| k.to_string()).join(", ")
 }
 
 /// Writes rows of display-able cells as CSV into `results/<name>.csv`.

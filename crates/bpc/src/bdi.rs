@@ -14,7 +14,7 @@
 //! the paper (the mask is the "immediate" bit vector).
 
 use crate::bits::{BitReader, BitWriter};
-use crate::{BlockCompressor, Compressed, DecodeError, Entry, ENTRY_BYTES};
+use crate::{Codec, CompressedBuf, DecodeError, Entry, ENTRY_BYTES};
 
 /// The canonical BDI (base size, delta size) schemes, in preference order.
 const SCHEMES: [(usize, usize); 6] = [(8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1)];
@@ -44,7 +44,7 @@ const ID_RAW: u64 = 15;
 pub struct BaseDeltaImmediate;
 
 impl BaseDeltaImmediate {
-    /// Algorithm name used in [`Compressed::algorithm`].
+    /// Algorithm name used in [`crate::Compressed::algorithm`].
     pub const NAME: &'static str = "bdi";
 
     /// Creates the codec.
@@ -52,18 +52,14 @@ impl BaseDeltaImmediate {
         Self
     }
 
-    /// Reads the block as `ENTRY_BYTES / size` little-endian unsigned values.
-    fn elements(entry: &Entry, size: usize) -> Vec<u64> {
-        entry
-            .chunks_exact(size)
-            .map(|chunk| {
-                let mut v = 0u64;
-                for (i, &b) in chunk.iter().enumerate() {
-                    v |= (b as u64) << (8 * i);
-                }
-                v
-            })
-            .collect()
+    /// Reads element `index` of the block viewed as `ENTRY_BYTES / size`
+    /// little-endian unsigned values (on the fly — no element buffer).
+    fn element_at(entry: &Entry, size: usize, index: usize) -> u64 {
+        let mut v = 0u64;
+        for (i, &b) in entry[index * size..(index + 1) * size].iter().enumerate() {
+            v |= (b as u64) << (8 * i);
+        }
+        v
     }
 
     /// Whether `delta` (a two's-complement difference of `base_size`-byte
@@ -79,35 +75,54 @@ impl BaseDeltaImmediate {
         (-bound..bound).contains(&sign_extended)
     }
 
-    /// Attempts one (base, delta) scheme; returns (mask, base, deltas).
-    fn try_scheme(
-        elements: &[u64],
-        base_size: usize,
-        delta_size: usize,
-    ) -> Option<(Vec<bool>, u64, Vec<u64>)> {
-        let mask_width = 8 * delta_size as u32;
-        // The base is the first element that is not itself a small immediate.
-        let base = elements
-            .iter()
-            .copied()
-            .find(|&e| !Self::fits(e, base_size, delta_size))
-            .unwrap_or(0);
-        let mut mask = Vec::with_capacity(elements.len());
-        let mut deltas = Vec::with_capacity(elements.len());
-        for &e in elements {
+    /// Checks whether one (base, delta) scheme covers the block, without
+    /// materializing masks or deltas; returns the base value on success.
+    ///
+    /// The base is the first element that is not itself a small immediate
+    /// (zero when every element is an immediate).
+    fn try_scheme(entry: &Entry, base_size: usize, delta_size: usize) -> Option<u64> {
+        let n = ENTRY_BYTES / base_size;
+        let mut base = 0u64;
+        let mut have_base = false;
+        for i in 0..n {
+            let e = Self::element_at(entry, base_size, i);
             if Self::fits(e, base_size, delta_size) {
-                mask.push(false);
-                deltas.push(e & mask_of(mask_width));
-            } else {
-                let delta = e.wrapping_sub(base) & mask_of(8 * base_size as u32);
-                if !Self::fits(delta, base_size, delta_size) {
-                    return None;
-                }
-                mask.push(true);
-                deltas.push(delta & mask_of(mask_width));
+                continue;
+            }
+            if !have_base {
+                base = e;
+                have_base = true;
+            }
+            let delta = e.wrapping_sub(base) & mask_of(8 * base_size as u32);
+            if !Self::fits(delta, base_size, delta_size) {
+                return None;
             }
         }
-        Some((mask, base, deltas))
+        Some(base)
+    }
+
+    /// Serializes the block under scheme `idx` (validated by
+    /// [`try_scheme`](Self::try_scheme)): 4-bit id, per-element base mask,
+    /// the base, then one delta per element.
+    fn encode_scheme(w: &mut BitWriter, entry: &Entry, idx: usize, base: u64) {
+        let (base_size, delta_size) = SCHEMES[idx];
+        let n = ENTRY_BYTES / base_size;
+        let mask_width = 8 * delta_size as u32;
+        w.push_bits(2 + idx as u64, 4);
+        for i in 0..n {
+            let e = Self::element_at(entry, base_size, i);
+            w.push_bit(!Self::fits(e, base_size, delta_size));
+        }
+        w.push_bits(base & mask_of(8 * base_size as u32), 8 * base_size);
+        for i in 0..n {
+            let e = Self::element_at(entry, base_size, i);
+            let delta = if Self::fits(e, base_size, delta_size) {
+                e
+            } else {
+                e.wrapping_sub(base) & mask_of(8 * base_size as u32)
+            };
+            w.push_bits(delta & mask_of(mask_width), 8 * delta_size);
+        }
     }
 }
 
@@ -123,56 +138,48 @@ fn sign_extend(v: u64, bits: u32) -> u64 {
     (((v << (64 - bits)) as i64) >> (64 - bits)) as u64
 }
 
-impl BlockCompressor for BaseDeltaImmediate {
+impl Codec for BaseDeltaImmediate {
     fn name(&self) -> &'static str {
         Self::NAME
     }
 
-    fn compress(&self, entry: &Entry) -> Compressed {
-        let mut w = BitWriter::with_capacity(ENTRY_BYTES * 8 + 8);
+    fn compress_into(&self, entry: &Entry, out: &mut CompressedBuf) {
+        let mut w = out.begin();
 
         if entry.iter().all(|&b| b == 0) {
             w.push_bits(ID_ZEROS, 4);
-            let (data, bits) = w.into_parts();
-            return Compressed::new(Self::NAME, bits, data);
+            out.finish(Self::NAME, w);
+            return;
         }
 
         // Repeated 8-byte value.
-        let words = Self::elements(entry, 8);
-        if words.iter().all(|&v| v == words[0]) {
+        let first = Self::element_at(entry, 8, 0);
+        if (1..ENTRY_BYTES / 8).all(|i| Self::element_at(entry, 8, i) == first) {
             w.push_bits(ID_REPEAT, 4);
-            w.push_bits(words[0], 64);
-            let (data, bits) = w.into_parts();
-            return Compressed::new(Self::NAME, bits, data);
+            w.push_bits(first, 64);
+            out.finish(Self::NAME, w);
+            return;
         }
 
         // Try each (base, delta) scheme in order; pick the smallest encoding.
-        let mut best: Option<(usize, Vec<bool>, u64, Vec<u64>)> = None;
+        let mut best: Option<(usize, u64)> = None;
         let mut best_bits = usize::MAX;
         for (idx, &(base_size, delta_size)) in SCHEMES.iter().enumerate() {
-            let elements = Self::elements(entry, base_size);
-            if let Some((mask, base, deltas)) = Self::try_scheme(&elements, base_size, delta_size) {
-                let bits = 4 + elements.len() + 8 * base_size + 8 * delta_size * deltas.len();
+            if let Some(base) = Self::try_scheme(entry, base_size, delta_size) {
+                let n = ENTRY_BYTES / base_size;
+                let bits = 4 + n + 8 * base_size + 8 * delta_size * n;
                 if bits < best_bits {
                     best_bits = bits;
-                    best = Some((idx, mask, base, deltas));
+                    best = Some((idx, base));
                 }
             }
         }
 
-        if let Some((idx, mask, base, deltas)) = best {
-            let (base_size, delta_size) = SCHEMES[idx];
+        if let Some((idx, base)) = best {
             if best_bits < 4 + ENTRY_BYTES * 8 {
-                w.push_bits(2 + idx as u64, 4);
-                for &m in &mask {
-                    w.push_bit(m);
-                }
-                w.push_bits(base & mask_of(8 * base_size as u32), 8 * base_size);
-                for &d in &deltas {
-                    w.push_bits(d, 8 * delta_size);
-                }
-                let (data, bits) = w.into_parts();
-                return Compressed::new(Self::NAME, bits, data);
+                Self::encode_scheme(&mut w, entry, idx, base);
+                out.finish(Self::NAME, w);
+                return;
             }
         }
 
@@ -181,45 +188,44 @@ impl BlockCompressor for BaseDeltaImmediate {
         for &b in entry.iter() {
             w.push_bits(b as u64, 8);
         }
-        let (data, bits) = w.into_parts();
-        Compressed::new(Self::NAME, bits, data)
+        out.finish(Self::NAME, w);
     }
 
-    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError> {
-        if compressed.algorithm() != Self::NAME {
-            return Err(DecodeError::WrongAlgorithm {
-                found: compressed.algorithm(),
-                expected: Self::NAME,
-            });
-        }
-        let mut r = BitReader::new(compressed.data(), compressed.bits());
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        bits: usize,
+        out: &mut Entry,
+    ) -> Result<(), DecodeError> {
+        let mut r = BitReader::new(data, bits);
         let id = r.read_bits(4)?;
-        let mut entry = [0u8; ENTRY_BYTES];
+        *out = [0u8; ENTRY_BYTES];
         match id {
-            ID_ZEROS => Ok(entry),
+            ID_ZEROS => Ok(()),
             ID_REPEAT => {
                 let v = r.read_bits(64)?;
-                for chunk in entry.chunks_exact_mut(8) {
+                for chunk in out.chunks_exact_mut(8) {
                     chunk.copy_from_slice(&v.to_le_bytes());
                 }
-                Ok(entry)
+                Ok(())
             }
             ID_RAW => {
-                for b in entry.iter_mut() {
+                for b in out.iter_mut() {
                     *b = r.read_bits(8)? as u8;
                 }
-                Ok(entry)
+                Ok(())
             }
             scheme if (2..2 + SCHEMES.len() as u64).contains(&scheme) => {
                 let (base_size, delta_size) = SCHEMES[(scheme - 2) as usize];
                 let n = ENTRY_BYTES / base_size;
-                let mut mask = Vec::with_capacity(n);
-                for _ in 0..n {
-                    mask.push(r.read_bit()?);
+                // The widest scheme views the block as 64 two-byte elements.
+                let mut mask = [false; ENTRY_BYTES / 2];
+                for m in mask.iter_mut().take(n) {
+                    *m = r.read_bit()?;
                 }
                 let base = r.read_bits(8 * base_size)?;
                 let elem_mask = mask_of(8 * base_size as u32);
-                for (i, &from_base) in mask.iter().enumerate() {
+                for (i, &from_base) in mask.iter().take(n).enumerate() {
                     let raw = r.read_bits(8 * delta_size)?;
                     let delta = sign_extend(raw, 8 * delta_size as u32);
                     let value = if from_base {
@@ -227,14 +233,14 @@ impl BlockCompressor for BaseDeltaImmediate {
                     } else {
                         delta
                     } & elem_mask;
-                    for (j, byte) in entry[i * base_size..(i + 1) * base_size]
+                    for (j, byte) in out[i * base_size..(i + 1) * base_size]
                         .iter_mut()
                         .enumerate()
                     {
                         *byte = (value >> (8 * j)) as u8;
                     }
                 }
-                Ok(entry)
+                Ok(())
             }
             _ => Err(DecodeError::InvalidCode {
                 bit_offset: r.bit_offset(),
@@ -246,6 +252,7 @@ impl BlockCompressor for BaseDeltaImmediate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BlockCompressor, Compressed};
 
     fn round_trip(entry: &Entry) -> usize {
         let codec = BaseDeltaImmediate::new();

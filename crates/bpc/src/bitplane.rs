@@ -35,7 +35,7 @@
 //! Decoding inverts every step exactly; round-trip is property-tested.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::{from_symbols, to_symbols, BlockCompressor, Compressed, DecodeError, Entry};
+use crate::{from_symbols, to_symbols, Codec, CompressedBuf, DecodeError, Entry};
 
 /// Number of 32-bit symbols in one 128 B entry.
 pub const SYMBOLS: usize = 32;
@@ -68,7 +68,7 @@ const DELTA_MASK: u64 = 0x1_FFFF_FFFF;
 pub struct BitPlane;
 
 impl BitPlane {
-    /// Algorithm name used in [`Compressed::algorithm`].
+    /// Algorithm name used in [`crate::Compressed::algorithm`].
     pub const NAME: &'static str = "bpc";
 
     /// Creates the codec.
@@ -240,18 +240,18 @@ impl BitPlane {
     }
 }
 
-impl BlockCompressor for BitPlane {
+impl Codec for BitPlane {
     fn name(&self) -> &'static str {
         Self::NAME
     }
 
-    fn compress(&self, entry: &Entry) -> Compressed {
+    fn compress_into(&self, entry: &Entry, out: &mut CompressedBuf) {
         let symbols = to_symbols(entry);
         let deltas = Self::deltas(&symbols);
         let dbp = Self::delta_bit_planes(&deltas);
         let dbx = Self::dbx(&dbp);
 
-        let mut w = BitWriter::with_capacity(64);
+        let mut w = out.begin();
         // Base symbol: `0` when zero, else `1` + 32 raw bits.
         if symbols[0] == 0 {
             w.push_bit(false);
@@ -260,18 +260,16 @@ impl BlockCompressor for BitPlane {
             w.push_bits(symbols[0] as u64, 32);
         }
         Self::encode_planes(&mut w, &dbp, &dbx);
-        let (data, bits) = w.into_parts();
-        Compressed::new(Self::NAME, bits, data)
+        out.finish(Self::NAME, w);
     }
 
-    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError> {
-        if compressed.algorithm() != Self::NAME {
-            return Err(DecodeError::WrongAlgorithm {
-                found: compressed.algorithm(),
-                expected: Self::NAME,
-            });
-        }
-        let mut r = BitReader::new(compressed.data(), compressed.bits());
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        bits: usize,
+        out: &mut Entry,
+    ) -> Result<(), DecodeError> {
+        let mut r = BitReader::new(data, bits);
         let base = if r.read_bit()? {
             r.read_bits(32)? as u32
         } else {
@@ -286,13 +284,15 @@ impl BlockCompressor for BitPlane {
             let d = Self::sign_extend_33(deltas[i]);
             symbols[i + 1] = (symbols[i] as i64).wrapping_add(d) as u32;
         }
-        Ok(from_symbols(&symbols))
+        *out = from_symbols(&symbols);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BlockCompressor, Compressed};
 
     fn entry_from_words(mut f: impl FnMut(usize) -> u32) -> Entry {
         let mut symbols = [0u32; SYMBOLS];

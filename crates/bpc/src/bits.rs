@@ -25,15 +25,43 @@ impl BitWriter {
         }
     }
 
+    /// Creates an empty bit buffer on top of an existing byte buffer,
+    /// clearing its contents but keeping its capacity.
+    ///
+    /// This is the zero-allocation path: `CompressedBuf` hands its backing
+    /// storage through here on every re-encode, so steady-state encoding
+    /// never touches the heap.
+    pub fn reusing(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf, len_bits: 0 }
+    }
+
     /// Appends the low `n` bits of `value`, most-significant bit first.
+    ///
+    /// Writes byte-at-a-time rather than bit-at-a-time: this is the inner
+    /// loop of every encoder, and chunked writes are what keep the
+    /// compression paths at memory speed.
     ///
     /// # Panics
     ///
     /// Panics if `n > 64`.
     pub fn push_bits(&mut self, value: u64, n: usize) {
         assert!(n <= 64, "cannot push more than 64 bits at once");
-        for i in (0..n).rev() {
-            self.push_bit((value >> i) & 1 == 1);
+        let mut remaining = n;
+        while remaining > 0 {
+            let bit_pos = self.len_bits % 8;
+            if bit_pos == 0 {
+                self.buf.push(0);
+            }
+            let byte_idx = self.len_bits / 8;
+            let space = 8 - bit_pos;
+            let take = space.min(remaining);
+            // The top `take` of the `remaining` unwritten bits, aligned to
+            // the byte's free space.
+            let chunk = ((value >> (remaining - take)) as u8) & ((1u16 << take) - 1) as u8;
+            self.buf[byte_idx] |= chunk << (space - take);
+            self.len_bits += take;
+            remaining -= take;
         }
     }
 
@@ -109,6 +137,8 @@ impl<'a> BitReader<'a> {
 
     /// Reads `n` bits MSB-first into the low bits of the result.
     ///
+    /// Byte-at-a-time, mirroring [`BitWriter::push_bits`].
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError::Truncated`] if fewer than `n` bits remain.
@@ -122,8 +152,16 @@ impl<'a> BitReader<'a> {
             return Err(DecodeError::Truncated);
         }
         let mut value = 0u64;
-        for _ in 0..n {
-            value = (value << 1) | self.read_bit()? as u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let bit_pos = self.pos % 8;
+            let avail = 8 - bit_pos;
+            let take = avail.min(remaining);
+            let byte = self.data[self.pos / 8];
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            value = (value << take) | chunk as u64;
+            self.pos += take;
+            remaining -= take;
         }
         Ok(value)
     }
@@ -176,6 +214,21 @@ mod tests {
         r.read_bits(5).unwrap();
         assert_eq!(r.bit_offset(), 5);
         assert_eq!(r.remaining(), 11);
+    }
+
+    #[test]
+    fn reusing_clears_but_keeps_capacity() {
+        let mut first = BitWriter::new();
+        first.push_bits(0xDEAD_BEEF, 32);
+        let (bytes, _) = first.into_parts();
+        let cap = bytes.capacity();
+        let mut w = BitWriter::reusing(bytes);
+        assert!(w.is_empty());
+        w.push_bits(0b101, 3);
+        let (bytes, bits) = w.into_parts();
+        assert_eq!(bits, 3);
+        assert_eq!(bytes, vec![0b1010_0000]);
+        assert_eq!(bytes.capacity(), cap);
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! The codec-agnostic compression API: an object-safe [`Codec`] trait with a
+//! zero-allocation encode path, a reusable [`CompressedBuf`] scratch buffer,
+//! and a [`CodecKind`] registry for selecting algorithms by name.
+//!
+//! The paper picks BPC only after "comparing several algorithms" (§2.4);
+//! this layer lets the rest of the system — the functional `BuddyDevice`,
+//! the snapshot profiler and the figure harnesses — run *any* of the
+//! implemented algorithms through the same pipeline. Related designs treat
+//! the compressor as a swappable pipeline stage the same way (e.g. the
+//! Compressing DMA Engine of Rhu et al., MICRO 2017).
+//!
+//! # The two compression paths
+//!
+//! * **Allocating** — [`BlockCompressor::compress`] returns an owned
+//!   [`Compressed`] block. Convenient for one-off use; costs one `Vec`
+//!   allocation per entry.
+//! * **Zero-allocation** — [`Codec::compress_into`] encodes into a
+//!   caller-owned [`CompressedBuf`]. After the first call the buffer's
+//!   capacity is reused, so hot loops (the device write path, the snapshot
+//!   samplers, the figure harnesses) compress millions of entries without
+//!   touching the heap.
+//!
+//! [`BlockCompressor`] is kept as a compatibility shim: every [`Codec`]
+//! implements it automatically (see the blanket impl), so existing
+//! `compress`/`decompress` call sites keep working unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use bpc::{codec_by_name, Codec, CodecKind, CompressedBuf, ENTRY_BYTES};
+//!
+//! let codec = codec_by_name("bdi").expect("bdi is registered");
+//! let entry = [0u8; ENTRY_BYTES];
+//! let mut buf = CompressedBuf::new();
+//! codec.compress_into(&entry, &mut buf);
+//! assert_eq!(buf.algorithm(), "bdi");
+//!
+//! let mut restored = [0xFFu8; ENTRY_BYTES];
+//! codec.decompress_into(buf.data(), buf.bits(), &mut restored).unwrap();
+//! assert_eq!(restored, entry);
+//!
+//! // CodecKind is the Copy-able handle the device model stores.
+//! assert_eq!(CodecKind::from_name("bdi"), Some(CodecKind::Bdi));
+//! ```
+
+use crate::bits::BitWriter;
+use crate::{
+    BaseDeltaImmediate, BitPlane, BlockCompressor, Compressed, DecodeError, Entry, FrequentPattern,
+    SizeClass, ZeroRle, ENTRY_BYTES,
+};
+use std::fmt;
+
+/// A reusable buffer holding one compressed entry.
+///
+/// This is the zero-allocation counterpart of [`Compressed`]: the byte
+/// buffer's capacity survives across [`Codec::compress_into`] calls, so a
+/// loop that compresses many entries allocates at most once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedBuf {
+    algorithm: &'static str,
+    bits: usize,
+    data: Vec<u8>,
+}
+
+impl CompressedBuf {
+    /// Creates an empty buffer. The first compression into it allocates.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer with room for `bytes` bytes of bitstream, enough to
+    /// avoid any allocation if sized at [`ENTRY_BYTES`] + slack.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            algorithm: "",
+            bits: 0,
+            data: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Name of the algorithm that last encoded into this buffer (empty
+    /// before the first [`Codec::compress_into`]).
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// Exact compressed size in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Compressed size rounded up to whole bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.div_ceil(8)
+    }
+
+    /// The encoded bitstream (MSB-first within each byte).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The capacity size class of the held bitstream.
+    pub fn size_class(&self) -> SizeClass {
+        SizeClass::for_bits(self.bits)
+    }
+
+    /// Number of 32 B sectors needed to store this block, between 1 and 4.
+    pub fn sectors(&self) -> u8 {
+        self.size_class().sectors().max(1)
+    }
+
+    /// Starts a fresh encode, handing out a [`BitWriter`] that reuses this
+    /// buffer's backing storage. Pair with [`finish`](Self::finish).
+    ///
+    /// Codec implementations use this; callers normally only pass the buffer
+    /// to [`Codec::compress_into`].
+    pub fn begin(&mut self) -> BitWriter {
+        self.algorithm = "";
+        self.bits = 0;
+        BitWriter::reusing(std::mem::take(&mut self.data))
+    }
+
+    /// Completes an encode started with [`begin`](Self::begin), recording
+    /// the producing algorithm and taking the bitstream back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer's bitstream is shorter than its declared bit
+    /// length (impossible for streams produced via [`BitWriter`]).
+    pub fn finish(&mut self, algorithm: &'static str, writer: BitWriter) {
+        let (data, bits) = writer.into_parts();
+        assert!(
+            data.len() * 8 >= bits,
+            "bitstream shorter than declared: {} bytes for {bits} bits",
+            data.len()
+        );
+        self.algorithm = algorithm;
+        self.bits = bits;
+        self.data = data;
+    }
+
+    /// Copies the held bitstream into an owned [`Compressed`] block.
+    pub fn to_compressed(&self) -> Compressed {
+        Compressed::new(self.algorithm, self.bits, self.data.clone())
+    }
+
+    /// Converts the buffer into an owned [`Compressed`] block without
+    /// copying the bitstream.
+    pub fn into_compressed(self) -> Compressed {
+        Compressed::new(self.algorithm, self.bits, self.data)
+    }
+}
+
+/// An object-safe, allocation-free lossless compressor for 128-byte
+/// memory-entries.
+///
+/// This is the primary compression interface; [`BlockCompressor`] is a
+/// compatibility shim implemented for every `Codec` via a blanket impl.
+/// Implementations must satisfy the round-trip law: for every entry `e` and
+/// buffer `b`, `compress_into(&e, &mut b)` followed by
+/// `decompress_into(b.data(), b.bits(), &mut out)` must succeed with
+/// `out == e`. This is property-tested for every codec in this crate.
+///
+/// Decoders must also be *total* on garbage: any `(data, bits)` input either
+/// decodes or returns a structured [`DecodeError`] — never a panic.
+pub trait Codec {
+    /// Short stable name of the algorithm (used in reports, metadata and
+    /// the [`codec_by_name`] registry).
+    fn name(&self) -> &'static str;
+
+    /// Compresses one entry into `out`, reusing `out`'s backing storage.
+    ///
+    /// On return `out` holds the full bitstream, its exact bit length and
+    /// this codec's name. Steady-state this path performs no heap
+    /// allocation (the buffer grows once to its high-water mark).
+    fn compress_into(&self, entry: &Entry, out: &mut CompressedBuf);
+
+    /// Decodes a bitstream previously produced by this codec into `out`.
+    ///
+    /// `bits` bounds how many bits of `data` are valid; decoders may read
+    /// fewer (trailing padding, e.g. from sector-aligned storage, is
+    /// ignored). Unlike [`BlockCompressor::decompress`], no algorithm tag
+    /// is checked: the caller owns the association between stored streams
+    /// and the codec that wrote them, as `BuddyDevice` does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the bitstream is malformed or truncated.
+    fn decompress_into(&self, data: &[u8], bits: usize, out: &mut Entry)
+        -> Result<(), DecodeError>;
+
+    /// The capacity size class of `entry` under this codec, using `scratch`
+    /// so repeated classification allocates nothing.
+    ///
+    /// All-zero entries map to [`SizeClass::B0`]: the paper's capacity
+    /// study (Figure 3) counts tracked-zero entries as occupying no data
+    /// storage.
+    fn size_class_into(&self, entry: &Entry, scratch: &mut CompressedBuf) -> SizeClass {
+        if entry.iter().all(|&b| b == 0) {
+            SizeClass::B0
+        } else {
+            self.compress_into(entry, scratch);
+            scratch.size_class()
+        }
+    }
+}
+
+/// Every [`Codec`] is a [`BlockCompressor`]: the legacy allocating API is a
+/// thin shim over the zero-allocation one, so code written against
+/// `BlockCompressor` (and trait objects, via `?Sized`) keeps working.
+impl<C: Codec + ?Sized> BlockCompressor for C {
+    fn name(&self) -> &'static str {
+        Codec::name(self)
+    }
+
+    fn compress(&self, entry: &Entry) -> Compressed {
+        let mut buf = CompressedBuf::new();
+        self.compress_into(entry, &mut buf);
+        buf.into_compressed()
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError> {
+        if compressed.algorithm() != Codec::name(self) {
+            return Err(DecodeError::WrongAlgorithm {
+                found: compressed.algorithm(),
+                expected: Codec::name(self),
+            });
+        }
+        let mut entry = [0u8; ENTRY_BYTES];
+        self.decompress_into(compressed.data(), compressed.bits(), &mut entry)?;
+        Ok(entry)
+    }
+}
+
+/// The four implemented compression algorithms, as a `Copy` handle.
+///
+/// `CodecKind` itself implements [`Codec`] by dispatching to the selected
+/// algorithm, so it can be stored inside `Clone`-able structures (the
+/// functional `BuddyDevice` keeps one) and passed across threads freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecKind {
+    /// Bit-Plane Compression ([`BitPlane`]) — the paper's choice.
+    Bpc,
+    /// Base-Delta-Immediate ([`BaseDeltaImmediate`]).
+    Bdi,
+    /// Frequent Pattern Compression ([`FrequentPattern`]).
+    Fpc,
+    /// The zero-detector lower bound ([`ZeroRle`]).
+    Zero,
+}
+
+impl CodecKind {
+    /// All registered codecs, BPC first (the default everywhere).
+    pub const ALL: [CodecKind; 4] = [
+        CodecKind::Bpc,
+        CodecKind::Bdi,
+        CodecKind::Fpc,
+        CodecKind::Zero,
+    ];
+
+    /// The static codec instance this handle selects.
+    pub fn as_codec(self) -> &'static dyn Codec {
+        match self {
+            CodecKind::Bpc => &BitPlane,
+            CodecKind::Bdi => &BaseDeltaImmediate,
+            CodecKind::Fpc => &FrequentPattern,
+            CodecKind::Zero => &ZeroRle,
+        }
+    }
+
+    /// Looks a codec up by its stable name (`"bpc"`, `"bdi"`, `"fpc"`,
+    /// `"zero"`; `"zero-rle"` is accepted as an alias).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "bpc" => Some(CodecKind::Bpc),
+            "bdi" => Some(CodecKind::Bdi),
+            "fpc" => Some(CodecKind::Fpc),
+            "zero" | "zero-rle" => Some(CodecKind::Zero),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for CodecKind {
+    fn name(&self) -> &'static str {
+        self.as_codec().name()
+    }
+
+    fn compress_into(&self, entry: &Entry, out: &mut CompressedBuf) {
+        self.as_codec().compress_into(entry, out)
+    }
+
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        bits: usize,
+        out: &mut Entry,
+    ) -> Result<(), DecodeError> {
+        self.as_codec().decompress_into(data, bits, out)
+    }
+}
+
+impl fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_codec().name())
+    }
+}
+
+/// The registry behind CLI codec selection: resolves a stable name to its
+/// static [`Codec`] instance, or `None` for unknown names.
+///
+/// Binaries pass `--codec <name>` strings straight through here; the known
+/// names are those of [`CodecKind::ALL`].
+pub fn codec_by_name(name: &str) -> Option<&'static dyn Codec> {
+    CodecKind::from_name(name).map(CodecKind::as_codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must stay object-safe: the registry and the device model
+    /// both hand out `&dyn Codec`.
+    fn _object_safe(codec: &dyn Codec, entry: &Entry, buf: &mut CompressedBuf) {
+        codec.compress_into(entry, buf);
+    }
+
+    fn ramp_entry() -> Entry {
+        let mut e = [0u8; ENTRY_BYTES];
+        for (i, c) in e.chunks_exact_mut(4).enumerate() {
+            c.copy_from_slice(&(1000u32 + 3 * i as u32).to_le_bytes());
+        }
+        e
+    }
+
+    #[test]
+    fn registry_resolves_all_names() {
+        for kind in CodecKind::ALL {
+            let name = Codec::name(&kind);
+            let codec = codec_by_name(name).expect("registered");
+            assert_eq!(codec.name(), name);
+            assert_eq!(CodecKind::from_name(name), Some(kind));
+            assert_eq!(kind.to_string(), name);
+        }
+        assert!(codec_by_name("lz4").is_none());
+        assert_eq!(CodecKind::from_name("zero-rle"), Some(CodecKind::Zero));
+    }
+
+    #[test]
+    fn compress_into_matches_allocating_path() {
+        let entry = ramp_entry();
+        let mut buf = CompressedBuf::new();
+        for kind in CodecKind::ALL {
+            kind.compress_into(&entry, &mut buf);
+            let owned = kind.compress(&entry);
+            assert_eq!(buf.bits(), owned.bits(), "{kind}: bit length differs");
+            assert_eq!(buf.data(), owned.data(), "{kind}: bitstream differs");
+            assert_eq!(buf.algorithm(), owned.algorithm());
+            assert_eq!(buf.size_class(), owned.size_class());
+            assert_eq!(buf.sectors(), owned.sectors());
+        }
+    }
+
+    #[test]
+    fn buffer_capacity_is_reused() {
+        let mut buf = CompressedBuf::new();
+        let mut random = [0u8; ENTRY_BYTES];
+        let mut s = 1u64;
+        for b in random.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (s >> 33) as u8;
+        }
+        // First encode of an incompressible entry grows to the high-water
+        // mark; later (smaller) encodes must not reallocate.
+        CodecKind::Bpc.compress_into(&random, &mut buf);
+        let cap = buf.data.capacity();
+        for _ in 0..8 {
+            CodecKind::Bpc.compress_into(&ramp_entry(), &mut buf);
+            CodecKind::Bpc.compress_into(&random, &mut buf);
+            assert_eq!(buf.data.capacity(), cap, "scratch capacity must persist");
+        }
+    }
+
+    #[test]
+    fn decompress_into_ignores_trailing_padding() {
+        // Sector-aligned storage pads streams with zero bytes; decoders must
+        // decode the prefix and ignore the rest, as the device relies on.
+        let entry = ramp_entry();
+        let mut buf = CompressedBuf::new();
+        for kind in CodecKind::ALL {
+            kind.compress_into(&entry, &mut buf);
+            let mut padded = buf.data().to_vec();
+            padded.resize(padded.len() + 32, 0);
+            let mut out = [0u8; ENTRY_BYTES];
+            kind.decompress_into(&padded, padded.len() * 8, &mut out)
+                .expect("padded stream decodes");
+            assert_eq!(out, entry, "{kind}: padded round-trip");
+        }
+    }
+
+    #[test]
+    fn size_class_into_special_cases_zero() {
+        let mut buf = CompressedBuf::new();
+        assert_eq!(
+            CodecKind::Zero.size_class_into(&[0u8; ENTRY_BYTES], &mut buf),
+            SizeClass::B0
+        );
+        let entry = ramp_entry();
+        for kind in CodecKind::ALL {
+            assert_eq!(
+                kind.size_class_into(&entry, &mut buf),
+                kind.size_class_of(&entry),
+                "{kind}: classification paths disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn shim_rejects_wrong_algorithm() {
+        let c = Compressed::new("bdi", 4, vec![0]);
+        assert!(matches!(
+            CodecKind::Bpc.decompress(&c),
+            Err(DecodeError::WrongAlgorithm {
+                found: "bdi",
+                expected: "bpc",
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_buffer_reports_neutral_state() {
+        let buf = CompressedBuf::with_capacity(160);
+        assert_eq!(buf.bits(), 0);
+        assert_eq!(buf.bytes(), 0);
+        assert_eq!(buf.algorithm(), "");
+        assert!(buf.data().is_empty());
+        assert_eq!(buf.size_class(), SizeClass::B0);
+    }
+}

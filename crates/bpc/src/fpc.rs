@@ -16,8 +16,8 @@
 //! | 110    | word of four repeated bytes               | 8            |
 //! | 111    | uncompressed word                         | 32           |
 
-use crate::bits::{BitReader, BitWriter};
-use crate::{from_symbols, to_symbols, BlockCompressor, Compressed, DecodeError, Entry};
+use crate::bits::BitReader;
+use crate::{from_symbols, to_symbols, Codec, CompressedBuf, DecodeError, Entry};
 
 /// The Frequent Pattern Compression codec.
 ///
@@ -43,7 +43,7 @@ fn fits_signed(v: u32, bits: u32) -> bool {
 }
 
 impl FrequentPattern {
-    /// Algorithm name used in [`Compressed::algorithm`].
+    /// Algorithm name used in [`crate::Compressed::algorithm`].
     pub const NAME: &'static str = "fpc";
 
     /// Creates the codec.
@@ -52,14 +52,14 @@ impl FrequentPattern {
     }
 }
 
-impl BlockCompressor for FrequentPattern {
+impl Codec for FrequentPattern {
     fn name(&self) -> &'static str {
         Self::NAME
     }
 
-    fn compress(&self, entry: &Entry) -> Compressed {
+    fn compress_into(&self, entry: &Entry, out: &mut CompressedBuf) {
         let words = to_symbols(entry);
-        let mut w = BitWriter::with_capacity(64);
+        let mut w = out.begin();
         let mut i = 0;
         while i < words.len() {
             let word = words[i];
@@ -102,18 +102,16 @@ impl BlockCompressor for FrequentPattern {
             }
             i += 1;
         }
-        let (data, bits) = w.into_parts();
-        Compressed::new(Self::NAME, bits, data)
+        out.finish(Self::NAME, w);
     }
 
-    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError> {
-        if compressed.algorithm() != Self::NAME {
-            return Err(DecodeError::WrongAlgorithm {
-                found: compressed.algorithm(),
-                expected: Self::NAME,
-            });
-        }
-        let mut r = BitReader::new(compressed.data(), compressed.bits());
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        bits: usize,
+        out: &mut Entry,
+    ) -> Result<(), DecodeError> {
+        let mut r = BitReader::new(data, bits);
         let mut words = [0u32; 32];
         let mut i = 0;
         while i < words.len() {
@@ -162,13 +160,16 @@ impl BlockCompressor for FrequentPattern {
             }
             i += 1;
         }
-        Ok(from_symbols(&words))
+        *out = from_symbols(&words);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::BitWriter;
+    use crate::{BlockCompressor, Compressed};
 
     fn entry_from_words(f: impl Fn(usize) -> u32) -> Entry {
         let mut words = [0u32; 32];

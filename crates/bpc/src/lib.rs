@@ -20,6 +20,12 @@
 //! and into 32 B *sectors*, the GPU DRAM access granularity that Buddy
 //! Compression stripes entries by (Figure 4).
 //!
+//! Every algorithm is exposed through two interfaces: the object-safe,
+//! zero-allocation [`Codec`] API ([`Codec::compress_into`] encoding into a
+//! reusable [`CompressedBuf`], with the [`CodecKind`]/[`codec_by_name`]
+//! registry for runtime selection), and the allocating [`BlockCompressor`]
+//! compatibility shim layered on top of it.
+//!
 //! # Example
 //!
 //! ```
@@ -45,12 +51,14 @@
 pub mod bdi;
 pub mod bitplane;
 pub mod bits;
+pub mod codec;
 pub mod fpc;
 pub mod size_class;
 pub mod zero;
 
 pub use bdi::BaseDeltaImmediate;
 pub use bitplane::BitPlane;
+pub use codec::{codec_by_name, Codec, CodecKind, CompressedBuf};
 pub use fpc::FrequentPattern;
 pub use size_class::{SizeClass, SizeHistogram};
 pub use zero::ZeroRle;
@@ -89,8 +97,20 @@ pub struct Compressed {
 
 impl Compressed {
     /// Creates a compressed block from raw encoder output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` holds fewer than `bits` bits. A block that declares
+    /// more payload than it carries would make every downstream consumer
+    /// unsound — decoders would mistake the truncation for in-band data and
+    /// capacity accounting would charge phantom bytes — so the invariant is
+    /// enforced in release builds too, not just debug.
     pub fn new(algorithm: &'static str, bits: usize, data: Vec<u8>) -> Self {
-        debug_assert!(data.len() * 8 >= bits, "bitstream shorter than declared");
+        assert!(
+            data.len() * 8 >= bits,
+            "bitstream shorter than declared: {} bytes cannot hold {bits} bits",
+            data.len()
+        );
         Self {
             algorithm,
             bits,
@@ -179,11 +199,18 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
-/// A lossless compressor for 128-byte memory-entries.
+/// A lossless compressor for 128-byte memory-entries (allocating API).
 ///
 /// Implementations must satisfy `decompress(compress(e)) == e` for every
 /// entry `e`; this invariant is property-tested for every algorithm in this
 /// crate.
+///
+/// This trait is now a **compatibility shim** over the zero-allocation
+/// [`Codec`] interface: every `Codec` gets a `BlockCompressor`
+/// implementation via the blanket impl in [`codec`], so existing call sites
+/// keep working while hot paths migrate to [`Codec::compress_into`]. Do not
+/// implement `BlockCompressor` directly for new algorithms — implement
+/// [`Codec`] instead.
 pub trait BlockCompressor {
     /// Short stable name of the algorithm (used in reports and metadata).
     fn name(&self) -> &'static str;
@@ -257,6 +284,14 @@ mod tests {
         assert_eq!(c.size_class(), SizeClass::B8);
         assert_eq!(c.sectors(), 1);
         assert_eq!(c.to_string(), "test: 12 bits (8B)");
+    }
+
+    #[test]
+    #[should_panic(expected = "bitstream shorter than declared")]
+    fn over_declared_bits_are_rejected() {
+        // Two bytes can hold at most 16 bits; declaring 17 must panic in
+        // release builds too (the invariant is a real assert, not debug).
+        let _ = Compressed::new("test", 17, vec![0xAB, 0xC0]);
     }
 
     #[test]

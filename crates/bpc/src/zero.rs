@@ -6,8 +6,8 @@
 //! much of a workload's compressibility is explained by zeros alone, which
 //! the ablation benches use to contextualize BPC's advantage.
 
-use crate::bits::{BitReader, BitWriter};
-use crate::{BlockCompressor, Compressed, DecodeError, Entry, ENTRY_BYTES};
+use crate::bits::BitReader;
+use crate::{Codec, CompressedBuf, DecodeError, Entry, ENTRY_BYTES};
 
 /// The zero-run codec: 1 bit for an all-zero entry, `1 + 1024` bits otherwise.
 ///
@@ -24,7 +24,7 @@ use crate::{BlockCompressor, Compressed, DecodeError, Entry, ENTRY_BYTES};
 pub struct ZeroRle;
 
 impl ZeroRle {
-    /// Algorithm name used in [`Compressed::algorithm`].
+    /// Algorithm name used in [`crate::Compressed::algorithm`].
     pub const NAME: &'static str = "zero";
 
     /// Creates the codec.
@@ -33,13 +33,13 @@ impl ZeroRle {
     }
 }
 
-impl BlockCompressor for ZeroRle {
+impl Codec for ZeroRle {
     fn name(&self) -> &'static str {
         Self::NAME
     }
 
-    fn compress(&self, entry: &Entry) -> Compressed {
-        let mut w = BitWriter::with_capacity(8);
+    fn compress_into(&self, entry: &Entry, out: &mut CompressedBuf) {
+        let mut w = out.begin();
         if entry.iter().all(|&b| b == 0) {
             w.push_bit(false);
         } else {
@@ -48,31 +48,30 @@ impl BlockCompressor for ZeroRle {
                 w.push_bits(b as u64, 8);
             }
         }
-        let (data, bits) = w.into_parts();
-        Compressed::new(Self::NAME, bits, data)
+        out.finish(Self::NAME, w);
     }
 
-    fn decompress(&self, compressed: &Compressed) -> Result<Entry, DecodeError> {
-        if compressed.algorithm() != Self::NAME {
-            return Err(DecodeError::WrongAlgorithm {
-                found: compressed.algorithm(),
-                expected: Self::NAME,
-            });
-        }
-        let mut r = BitReader::new(compressed.data(), compressed.bits());
-        let mut entry = [0u8; ENTRY_BYTES];
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        bits: usize,
+        out: &mut Entry,
+    ) -> Result<(), DecodeError> {
+        let mut r = BitReader::new(data, bits);
+        *out = [0u8; ENTRY_BYTES];
         if r.read_bit()? {
-            for b in entry.iter_mut() {
+            for b in out.iter_mut() {
                 *b = r.read_bits(8)? as u8;
             }
         }
-        Ok(entry)
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BlockCompressor, Compressed};
 
     #[test]
     fn zero_round_trip() {

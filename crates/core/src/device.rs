@@ -11,7 +11,7 @@
 
 use crate::metadata::{EntryState, Gbbr, MetadataStore};
 use crate::target::TargetRatio;
-use bpc::{BitPlane, BlockCompressor, Compressed, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
+use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
 use std::error::Error;
 use std::fmt;
 
@@ -104,6 +104,17 @@ pub struct AccessStats {
 }
 
 impl AccessStats {
+    /// Merges another counter set into this one (used by the batched entry
+    /// I/O paths, which accumulate locally and fold in once per batch).
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.reads_device_only += other.reads_device_only;
+        self.reads_with_buddy += other.reads_with_buddy;
+        self.writes_device_only += other.writes_device_only;
+        self.writes_with_buddy += other.writes_with_buddy;
+        self.device_sectors += other.device_sectors;
+        self.buddy_sectors += other.buddy_sectors;
+    }
+
     /// Fraction of entry accesses that touched the buddy memory — the
     /// quantity plotted in Figures 7, 8 and 9.
     pub fn buddy_access_fraction(&self) -> f64 {
@@ -126,10 +137,21 @@ impl AccessStats {
     }
 }
 
-/// Internal bookkeeping for one allocation.
+/// Internal bookkeeping for one allocation: the display name plus the POD
+/// addressing fields.
 #[derive(Debug, Clone)]
 struct Allocation {
     name: String,
+    view: AllocView,
+}
+
+/// The `Copy`-able addressing facts of one allocation.
+///
+/// The access paths copy this small struct instead of cloning the whole
+/// [`Allocation`] (which would clone its `String` name on *every* entry
+/// read/write — the hot-path allocation this split removes).
+#[derive(Debug, Clone, Copy)]
+struct AllocView {
     target: TargetRatio,
     entries: u64,
     /// Byte offset of this allocation's region in device memory.
@@ -140,7 +162,7 @@ struct Allocation {
     metadata_base: u64,
 }
 
-impl Allocation {
+impl AllocView {
     fn device_stride(&self) -> u64 {
         self.target.device_bytes_per_entry() as u64
     }
@@ -185,21 +207,34 @@ impl Default for DeviceConfig {
 /// device byte array and overflow really lives in a buddy byte array, so
 /// read-after-write returns exactly the written entry (property-tested).
 ///
+/// The device is codec-agnostic: it defaults to BPC (the paper's choice,
+/// §2.4) but accepts any registered [`CodecKind`] via
+/// [`with_codec`](Self::with_codec), so the ablation harness can measure
+/// end-to-end buddy traffic under BDI or FPC through the same data path.
+/// Stored streams are always decoded by the codec that wrote them.
+///
 /// # Example
 ///
 /// ```
 /// use buddy_core::{BuddyDevice, DeviceConfig, TargetRatio};
+/// use bpc::CodecKind;
 ///
-/// let mut dev = BuddyDevice::new(DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 });
+/// let config = DeviceConfig { device_capacity: 1 << 20, carve_out_factor: 3 };
+/// let mut dev = BuddyDevice::with_codec(config, CodecKind::Bdi);
 /// let alloc = dev.alloc("tensor", 1024, TargetRatio::R2)?;
-/// let entry = [0u8; 128];
-/// dev.write_entry(alloc, 0, &entry)?;
-/// assert_eq!(dev.read_entry(alloc, 0)?, entry);
+/// let entry = [7u8; 128];
+/// dev.write_entries(alloc, 0, &[entry, entry])?;
+/// let mut out = [[0u8; 128]; 2];
+/// dev.read_entries(alloc, 0, &mut out)?;
+/// assert_eq!(out, [entry, entry]);
 /// # Ok::<(), buddy_core::DeviceError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct BuddyDevice {
-    codec: BitPlane,
+    codec: CodecKind,
+    /// Reusable compression scratch: the write paths encode into this, so
+    /// steady-state entry writes perform no heap allocation.
+    scratch: CompressedBuf,
     config: DeviceConfig,
     device: Vec<u8>,
     buddy: Vec<u8>,
@@ -213,12 +248,19 @@ pub struct BuddyDevice {
 }
 
 impl BuddyDevice {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration and the default BPC
+    /// codec.
     pub fn new(config: DeviceConfig) -> Self {
+        Self::with_codec(config, CodecKind::Bpc)
+    }
+
+    /// Creates a device that compresses every entry with `codec`.
+    pub fn with_codec(config: DeviceConfig, codec: CodecKind) -> Self {
         let buddy_capacity = config.device_capacity * config.carve_out_factor;
         let metadata_entries = config.device_capacity / 8; // worst case: 16x entries
         Self {
-            codec: BitPlane::new(),
+            codec,
+            scratch: CompressedBuf::with_capacity(ENTRY_BYTES + ENTRY_BYTES / 4),
             config,
             device: vec![0u8; config.device_capacity as usize],
             buddy: vec![0u8; buddy_capacity as usize],
@@ -230,6 +272,11 @@ impl BuddyDevice {
             metadata_used: 0,
             stats: AccessStats::default(),
         }
+    }
+
+    /// The codec this device compresses with.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
     }
 
     /// The device configuration.
@@ -256,7 +303,7 @@ impl BuddyDevice {
     pub fn logical_bytes(&self) -> u64 {
         self.allocations
             .iter()
-            .map(|a| a.entries * ENTRY_BYTES as u64)
+            .map(|a| a.view.entries * ENTRY_BYTES as u64)
             .sum()
     }
 
@@ -325,11 +372,13 @@ impl BuddyDevice {
 
         let alloc = Allocation {
             name: name.to_owned(),
-            target,
-            entries,
-            device_base: self.device_used,
-            buddy_base: self.buddy_used,
-            metadata_base: self.metadata_used,
+            view: AllocView {
+                target,
+                entries,
+                device_base: self.device_used,
+                buddy_base: self.buddy_used,
+                metadata_base: self.metadata_used,
+            },
         };
         self.device_used += device_need;
         self.buddy_used += buddy_need;
@@ -338,25 +387,44 @@ impl BuddyDevice {
         Ok(AllocId(self.allocations.len() - 1))
     }
 
-    fn allocation(&self, id: AllocId) -> Result<&Allocation, DeviceError> {
-        self.allocations.get(id.0).ok_or(DeviceError::BadAllocation)
+    /// Copies the POD addressing fields of an allocation — no `String`
+    /// clone on the access paths.
+    fn view(&self, id: AllocId) -> Result<AllocView, DeviceError> {
+        self.allocations
+            .get(id.0)
+            .map(|a| a.view)
+            .ok_or(DeviceError::BadAllocation)
     }
 
-    fn check_index(alloc: &Allocation, index: u64) -> Result<(), DeviceError> {
-        if index >= alloc.entries {
+    fn check_index(view: &AllocView, index: u64) -> Result<(), DeviceError> {
+        if index >= view.entries {
             Err(DeviceError::BadIndex {
                 index,
-                entries: alloc.entries,
+                entries: view.entries,
             })
         } else {
             Ok(())
         }
     }
 
+    /// Checks that `[start, start + len)` lies inside the allocation.
+    fn check_range(view: &AllocView, start: u64, len: u64) -> Result<(), DeviceError> {
+        match start.checked_add(len) {
+            Some(end) if end <= view.entries => Ok(()),
+            _ => Err(DeviceError::BadIndex {
+                index: start.saturating_add(len.saturating_sub(1)),
+                entries: view.entries,
+            }),
+        }
+    }
+
     /// Name and target of an allocation (for reports).
     pub fn allocation_info(&self, id: AllocId) -> Result<(&str, TargetRatio, u64), DeviceError> {
-        let a = self.allocation(id)?;
-        Ok((&a.name, a.target, a.entries))
+        let a = self
+            .allocations
+            .get(id.0)
+            .ok_or(DeviceError::BadAllocation)?;
+        Ok((&a.name, a.view.target, a.view.entries))
     }
 
     /// Writes one 128 B entry, compressing it and updating only this entry's
@@ -374,44 +442,90 @@ impl BuddyDevice {
         index: u64,
         entry: &Entry,
     ) -> Result<EntryState, DeviceError> {
-        let alloc = self.allocation(id)?.clone();
-        Self::check_index(&alloc, index)?;
+        let view = self.view(id)?;
+        Self::check_index(&view, index)?;
+        // Detach the scratch buffer so the store paths can borrow `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let state = self.write_one(&view, index, entry, &mut scratch);
+        self.scratch = scratch;
+        Self::record_write(&mut self.stats, view.target, state);
+        Ok(state)
+    }
 
+    /// Writes a contiguous run of entries starting at `start`, reusing one
+    /// compression buffer across the whole batch and folding the traffic
+    /// counters in with a single stats update.
+    ///
+    /// Semantically identical to calling [`write_entry`](Self::write_entry)
+    /// per element, but without the per-call bookkeeping — the figure
+    /// harnesses push millions of entries through this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// (the latter if the run extends past the allocation); on error no
+    /// entry is written.
+    pub fn write_entries(
+        &mut self,
+        id: AllocId,
+        start: u64,
+        entries: &[Entry],
+    ) -> Result<(), DeviceError> {
+        let view = self.view(id)?;
+        Self::check_range(&view, start, entries.len() as u64)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut stats = AccessStats::default();
+        for (i, entry) in entries.iter().enumerate() {
+            let state = self.write_one(&view, start + i as u64, entry, &mut scratch);
+            Self::record_write(&mut stats, view.target, state);
+        }
+        self.scratch = scratch;
+        self.stats.merge(&stats);
+        Ok(())
+    }
+
+    /// Compresses and stores one entry; the caller records traffic.
+    fn write_one(
+        &mut self,
+        view: &AllocView,
+        index: u64,
+        entry: &Entry,
+        scratch: &mut CompressedBuf,
+    ) -> EntryState {
         let state = if entry.iter().all(|&b| b == 0) {
             EntryState::Zero
         } else {
-            let compressed = self.codec.compress(entry);
-            match alloc.target {
+            self.codec.compress_into(entry, scratch);
+            match view.target {
                 TargetRatio::ZeroPage16 => {
-                    if compressed.bytes() <= 8 {
-                        self.store_zero_page(&alloc, index, &compressed);
+                    if scratch.bytes() <= 8 {
+                        self.store_zero_page(view, index, scratch.data());
                         EntryState::ZeroPageFit
                     } else {
-                        self.store_zero_page_overflow(&alloc, index, entry);
+                        self.store_zero_page_overflow(view, index, entry);
                         EntryState::ZeroPageOverflow
                     }
                 }
                 _ => {
-                    let class = compressed.size_class();
+                    let class = scratch.size_class();
                     if class == SizeClass::B128 {
                         // Incompressible: store the raw entry across the
                         // four sectors.
-                        self.store_sectors(&alloc, index, entry, 4);
+                        self.store_sectors(view, index, entry, 4);
                         EntryState::Compressed { sectors: 4 }
                     } else {
                         let sectors = class.sectors().max(1);
-                        let mut padded = vec![0u8; sectors as usize * SECTOR_BYTES];
-                        padded[..compressed.data().len()].copy_from_slice(compressed.data());
-                        self.store_sectors(&alloc, index, &padded, sectors);
+                        let mut padded = [0u8; ENTRY_BYTES];
+                        padded[..scratch.data().len()].copy_from_slice(scratch.data());
+                        self.store_sectors(view, index, &padded, sectors);
                         EntryState::Compressed { sectors }
                     }
                 }
             }
         };
 
-        self.metadata.set(alloc.metadata_base + index, state);
-        self.record_write(&alloc, state);
-        Ok(state)
+        self.metadata.set(view.metadata_base + index, state);
+        state
     }
 
     /// Reads one 128 B entry, decompressing from device and (if the entry
@@ -422,142 +536,173 @@ impl BuddyDevice {
     /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
     /// for invalid handles.
     pub fn read_entry(&mut self, id: AllocId, index: u64) -> Result<Entry, DeviceError> {
-        let alloc = self.allocation(id)?.clone();
-        Self::check_index(&alloc, index)?;
-        let state = self.metadata.get(alloc.metadata_base + index);
-        self.record_read(&alloc, state);
+        let view = self.view(id)?;
+        Self::check_index(&view, index)?;
+        let mut out = [0u8; ENTRY_BYTES];
+        let state = self.read_one(&view, index, &mut out);
+        Self::record_read(&mut self.stats, view.target, state);
+        Ok(out)
+    }
 
+    /// Reads a contiguous run of entries starting at `start` into `out`,
+    /// folding the traffic counters in with a single stats update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// (the latter if the run extends past the allocation); on error `out`
+    /// is untouched.
+    pub fn read_entries(
+        &mut self,
+        id: AllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<(), DeviceError> {
+        let view = self.view(id)?;
+        Self::check_range(&view, start, out.len() as u64)?;
+        let mut stats = AccessStats::default();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let state = self.read_one(&view, start + i as u64, slot);
+            Self::record_read(&mut stats, view.target, state);
+        }
+        self.stats.merge(&stats);
+        Ok(())
+    }
+
+    /// Loads and decompresses one entry into `out`; the caller records
+    /// traffic. Uses only stack buffers — reads never touch the heap.
+    fn read_one(&self, view: &AllocView, index: u64, out: &mut Entry) -> EntryState {
+        let state = self.metadata.get(view.metadata_base + index);
         match state {
-            EntryState::Zero => Ok([0u8; ENTRY_BYTES]),
+            EntryState::Zero => *out = [0u8; ENTRY_BYTES],
             EntryState::ZeroPageFit => {
-                let off = alloc.device_offset(index) as usize;
-                let data = self.device[off..off + 8].to_vec();
-                self.decode(data, 8)
+                let off = view.device_offset(index) as usize;
+                self.decode(&self.device[off..off + 8], out);
             }
             EntryState::ZeroPageOverflow => {
-                let off = alloc.buddy_offset(index) as usize;
-                let mut entry = [0u8; ENTRY_BYTES];
-                entry.copy_from_slice(&self.buddy[off..off + ENTRY_BYTES]);
-                Ok(entry)
+                let off = view.buddy_offset(index) as usize;
+                out.copy_from_slice(&self.buddy[off..off + ENTRY_BYTES]);
             }
             EntryState::Compressed { sectors } => {
-                let data = self.load_sectors(&alloc, index, sectors);
+                let total = sectors as usize * SECTOR_BYTES;
+                let mut data = [0u8; ENTRY_BYTES];
+                self.load_sectors(view, index, sectors, &mut data[..total]);
                 if sectors == 4 {
                     // Raw storage.
-                    let mut entry = [0u8; ENTRY_BYTES];
-                    entry.copy_from_slice(&data);
-                    Ok(entry)
+                    out.copy_from_slice(&data);
                 } else {
-                    self.decode(data, sectors as usize * SECTOR_BYTES)
+                    self.decode(&data[..total], out);
                 }
             }
         }
+        state
     }
 
     /// Per-entry state without touching traffic counters (for analysis).
     pub fn entry_state(&self, id: AllocId, index: u64) -> Result<EntryState, DeviceError> {
-        let alloc = self.allocation(id)?;
-        Self::check_index(alloc, index)?;
-        Ok(self.metadata.get(alloc.metadata_base + index))
+        let view = self.view(id)?;
+        Self::check_index(&view, index)?;
+        Ok(self.metadata.get(view.metadata_base + index))
     }
 
     /// Raw storage fingerprint of an entry: the device and buddy byte ranges
     /// it owns. Used by tests to prove that writes never move other entries.
     pub fn storage_ranges(&self, id: AllocId, index: u64) -> Result<StorageRanges, DeviceError> {
-        let alloc = self.allocation(id)?;
-        Self::check_index(alloc, index)?;
+        let view = self.view(id)?;
+        Self::check_index(&view, index)?;
         Ok((
-            (alloc.device_offset(index), alloc.device_stride()),
-            (alloc.buddy_offset(index), alloc.buddy_stride()),
+            (view.device_offset(index), view.device_stride()),
+            (view.buddy_offset(index), view.buddy_stride()),
         ))
     }
 
-    fn decode(&self, data: Vec<u8>, bytes: usize) -> Result<Entry, DeviceError> {
-        let compressed = Compressed::new(BitPlane::NAME, bytes * 8, data);
-        Ok(self
-            .codec
-            .decompress(&compressed)
-            .expect("stored streams always decode: write path produced them"))
+    /// Decodes a stored stream through the owning codec. Trailing padding
+    /// from sector alignment is ignored by every decoder.
+    fn decode(&self, data: &[u8], out: &mut Entry) {
+        self.codec
+            .decompress_into(data, data.len() * 8, out)
+            .expect("stored streams always decode: write path produced them");
     }
 
-    fn store_zero_page(&mut self, alloc: &Allocation, index: u64, compressed: &Compressed) {
-        let off = alloc.device_offset(index) as usize;
+    fn store_zero_page(&mut self, view: &AllocView, index: u64, data: &[u8]) {
+        let off = view.device_offset(index) as usize;
         self.device[off..off + 8].fill(0);
-        self.device[off..off + compressed.data().len()].copy_from_slice(compressed.data());
+        self.device[off..off + data.len()].copy_from_slice(data);
     }
 
-    fn store_zero_page_overflow(&mut self, alloc: &Allocation, index: u64, entry: &Entry) {
-        let off = alloc.buddy_offset(index) as usize;
+    fn store_zero_page_overflow(&mut self, view: &AllocView, index: u64, entry: &Entry) {
+        let off = view.buddy_offset(index) as usize;
         self.buddy[off..off + ENTRY_BYTES].copy_from_slice(entry);
     }
 
     /// Stores `sectors` sectors of `data`, the first `device_sectors` in
     /// device memory and the remainder in the entry's buddy slot.
-    fn store_sectors(&mut self, alloc: &Allocation, index: u64, data: &[u8], sectors: u8) {
-        let device_sectors = alloc.target.device_sectors().min(sectors);
+    fn store_sectors(&mut self, view: &AllocView, index: u64, data: &[u8], sectors: u8) {
+        let device_sectors = view.target.device_sectors().min(sectors);
         let split = device_sectors as usize * SECTOR_BYTES;
-        let device_off = alloc.device_offset(index) as usize;
+        let device_off = view.device_offset(index) as usize;
         self.device[device_off..device_off + split].copy_from_slice(&data[..split]);
         if (sectors as usize) * SECTOR_BYTES > split {
-            let buddy_off = alloc.buddy_offset(index) as usize;
+            let buddy_off = view.buddy_offset(index) as usize;
             let rest = &data[split..sectors as usize * SECTOR_BYTES];
             self.buddy[buddy_off..buddy_off + rest.len()].copy_from_slice(rest);
         }
     }
 
-    fn load_sectors(&self, alloc: &Allocation, index: u64, sectors: u8) -> Vec<u8> {
-        let device_sectors = alloc.target.device_sectors().min(sectors);
+    /// Gathers an entry's sectors into `out` (device-resident first, then
+    /// any buddy overflow). `out` must be exactly `sectors × 32` bytes.
+    fn load_sectors(&self, view: &AllocView, index: u64, sectors: u8, out: &mut [u8]) {
+        let device_sectors = view.target.device_sectors().min(sectors);
         let split = device_sectors as usize * SECTOR_BYTES;
         let total = sectors as usize * SECTOR_BYTES;
-        let mut data = Vec::with_capacity(total);
-        let device_off = alloc.device_offset(index) as usize;
-        data.extend_from_slice(&self.device[device_off..device_off + split]);
+        debug_assert_eq!(out.len(), total);
+        let device_off = view.device_offset(index) as usize;
+        out[..split].copy_from_slice(&self.device[device_off..device_off + split]);
         if total > split {
-            let buddy_off = alloc.buddy_offset(index) as usize;
-            data.extend_from_slice(&self.buddy[buddy_off..buddy_off + (total - split)]);
+            let buddy_off = view.buddy_offset(index) as usize;
+            out[split..total].copy_from_slice(&self.buddy[buddy_off..buddy_off + (total - split)]);
         }
-        data
     }
 
-    fn buddy_sectors_of(alloc: &Allocation, state: EntryState) -> u64 {
+    fn buddy_sectors_of(target: TargetRatio, state: EntryState) -> u64 {
         match state {
             EntryState::Zero | EntryState::ZeroPageFit => 0,
             EntryState::ZeroPageOverflow => 4,
             EntryState::Compressed { sectors } => {
-                sectors.saturating_sub(alloc.target.device_sectors()) as u64
+                sectors.saturating_sub(target.device_sectors()) as u64
             }
         }
     }
 
-    fn device_sectors_of(alloc: &Allocation, state: EntryState) -> u64 {
+    fn device_sectors_of(target: TargetRatio, state: EntryState) -> u64 {
         match state {
             EntryState::Zero => 0,
             // The 8 B granule still costs one sector access.
             EntryState::ZeroPageFit => 1,
             EntryState::ZeroPageOverflow => 0,
-            EntryState::Compressed { sectors } => sectors.min(alloc.target.device_sectors()) as u64,
+            EntryState::Compressed { sectors } => sectors.min(target.device_sectors()) as u64,
         }
     }
 
-    fn record_read(&mut self, alloc: &Allocation, state: EntryState) {
-        let buddy = Self::buddy_sectors_of(alloc, state);
-        self.stats.device_sectors += Self::device_sectors_of(alloc, state);
-        self.stats.buddy_sectors += buddy;
+    fn record_read(stats: &mut AccessStats, target: TargetRatio, state: EntryState) {
+        let buddy = Self::buddy_sectors_of(target, state);
+        stats.device_sectors += Self::device_sectors_of(target, state);
+        stats.buddy_sectors += buddy;
         if buddy > 0 {
-            self.stats.reads_with_buddy += 1;
+            stats.reads_with_buddy += 1;
         } else {
-            self.stats.reads_device_only += 1;
+            stats.reads_device_only += 1;
         }
     }
 
-    fn record_write(&mut self, alloc: &Allocation, state: EntryState) {
-        let buddy = Self::buddy_sectors_of(alloc, state);
-        self.stats.device_sectors += Self::device_sectors_of(alloc, state);
-        self.stats.buddy_sectors += buddy;
+    fn record_write(stats: &mut AccessStats, target: TargetRatio, state: EntryState) {
+        let buddy = Self::buddy_sectors_of(target, state);
+        stats.device_sectors += Self::device_sectors_of(target, state);
+        stats.buddy_sectors += buddy;
         if buddy > 0 {
-            self.stats.writes_with_buddy += 1;
+            stats.writes_with_buddy += 1;
         } else {
-            self.stats.writes_device_only += 1;
+            stats.writes_device_only += 1;
         }
     }
 }
@@ -748,5 +893,89 @@ mod tests {
             available: 5,
         };
         assert_eq!(e.to_string(), "out of device memory: need 10 B, 5 B free");
+    }
+
+    #[test]
+    fn with_codec_round_trips_under_every_algorithm() {
+        let entries: Vec<Entry> = (0..12)
+            .map(|i| entry_of_words(|j| i * 31 + j as u32))
+            .collect();
+        for codec in bpc::CodecKind::ALL {
+            let mut dev = BuddyDevice::with_codec(
+                DeviceConfig {
+                    device_capacity: 1 << 20,
+                    carve_out_factor: 3,
+                },
+                codec,
+            );
+            assert_eq!(dev.codec(), codec);
+            let a = dev.alloc("c", 12, TargetRatio::R2).unwrap();
+            dev.write_entries(a, 0, &entries).unwrap();
+            let mut out = vec![[0u8; ENTRY_BYTES]; 12];
+            dev.read_entries(a, 0, &mut out).unwrap();
+            assert_eq!(out, entries, "{codec}: batched round-trip");
+        }
+    }
+
+    #[test]
+    fn batched_io_matches_per_entry_io() {
+        let entries: Vec<Entry> = (0..16)
+            .map(|i| match i % 3 {
+                0 => [0u8; ENTRY_BYTES],
+                1 => entry_of_words(|j| 500 + j as u32),
+                _ => {
+                    let mut s = i as u64 + 1;
+                    entry_of_words(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (s >> 32) as u32
+                    })
+                }
+            })
+            .collect();
+
+        let mut batched = small_device();
+        let a = batched.alloc("a", 16, TargetRatio::R2).unwrap();
+        batched.write_entries(a, 0, &entries).unwrap();
+        let mut out = vec![[0u8; ENTRY_BYTES]; 16];
+        batched.read_entries(a, 0, &mut out).unwrap();
+        assert_eq!(out, entries);
+
+        let mut single = small_device();
+        let b = single.alloc("a", 16, TargetRatio::R2).unwrap();
+        for (i, e) in entries.iter().enumerate() {
+            single.write_entry(b, i as u64, e).unwrap();
+        }
+        for i in 0..16u64 {
+            assert_eq!(single.read_entry(b, i).unwrap(), entries[i as usize]);
+        }
+        assert_eq!(
+            batched.stats(),
+            single.stats(),
+            "batched stats must equal the per-entry accounting"
+        );
+    }
+
+    #[test]
+    fn batched_range_checks() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 8, TargetRatio::R2).unwrap();
+        let chunk = [[1u8; ENTRY_BYTES]; 4];
+        // In-range at the tail is fine; one past is rejected atomically.
+        dev.write_entries(a, 4, &chunk).unwrap();
+        assert!(matches!(
+            dev.write_entries(a, 5, &chunk),
+            Err(DeviceError::BadIndex {
+                index: 8,
+                entries: 8
+            })
+        ));
+        let mut out = [[0u8; ENTRY_BYTES]; 4];
+        assert!(matches!(
+            dev.read_entries(a, 6, &mut out),
+            Err(DeviceError::BadIndex { .. })
+        ));
+        // Empty batches are no-ops, even at the end of the allocation.
+        dev.write_entries(a, 8, &[]).unwrap();
+        dev.read_entries(a, 8, &mut []).unwrap();
     }
 }

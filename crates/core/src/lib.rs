@@ -22,7 +22,11 @@
 //!
 //! The [`BuddyDevice`] here is a *functional* model with real compressed
 //! storage (reads return exactly what was written); the companion `gpu-sim`
-//! crate models the performance of the same design.
+//! crate models the performance of the same design. The device is
+//! codec-agnostic — BPC by default, any registered `bpc::CodecKind` via
+//! [`BuddyDevice::with_codec`] — and offers batched
+//! [`BuddyDevice::write_entries`] / [`BuddyDevice::read_entries`] paths
+//! that reuse one compression buffer across a whole run of entries.
 //!
 //! # Example: profile, annotate, run
 //!

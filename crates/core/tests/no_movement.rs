@@ -6,8 +6,12 @@
 //! (allocation, index) regardless of data, and rewriting any entry with
 //! data of any compressibility leaves every other entry byte-identical on
 //! read-back.
+//!
+//! The round-trip harness is codec-parameterized: every property runs under
+//! all four registered codecs × all five target ratios, because the device
+//! invariants must hold whichever algorithm backs the data path.
 
-use bpc::ENTRY_BYTES;
+use bpc::{CodecKind, ENTRY_BYTES};
 use buddy_core::{BuddyDevice, DeviceConfig, EntryState, TargetRatio};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -48,6 +52,16 @@ fn device() -> BuddyDevice {
     })
 }
 
+fn device_with(codec: CodecKind) -> BuddyDevice {
+    BuddyDevice::with_codec(
+        DeviceConfig {
+            device_capacity: 1 << 20,
+            carve_out_factor: 3,
+        },
+        codec,
+    )
+}
+
 #[test]
 fn storage_ranges_are_data_independent() {
     let mut dev = device();
@@ -70,32 +84,30 @@ fn storage_ranges_are_data_independent() {
 
 #[test]
 fn compressibility_change_never_disturbs_neighbors() {
-    for target in [
-        TargetRatio::R1,
-        TargetRatio::R1_33,
-        TargetRatio::R2,
-        TargetRatio::R4,
-        TargetRatio::ZeroPage16,
-    ] {
-        let mut dev = device();
-        let a = dev.alloc("a", 32, target).unwrap();
-        let initial: Vec<Entry> = (0..32).map(|i| entry_of_kind(i as u8, 1000 + i)).collect();
-        for (i, e) in initial.iter().enumerate() {
-            dev.write_entry(a, i as u64, e).unwrap();
-        }
-        // Cycle entry 7 through every compressibility kind.
-        for kind in 0..8u8 {
-            let update = entry_of_kind(kind, 7777 + kind as u64);
-            dev.write_entry(a, 7, &update).unwrap();
-            for (i, e) in initial.iter().enumerate() {
-                if i == 7 {
-                    assert_eq!(dev.read_entry(a, 7).unwrap(), update, "{target}: self");
-                } else {
-                    assert_eq!(
-                        dev.read_entry(a, i as u64).unwrap(),
-                        *e,
-                        "{target}: entry {i}"
-                    );
+    for codec in CodecKind::ALL {
+        for target in TargetRatio::DESCENDING {
+            let mut dev = device_with(codec);
+            let a = dev.alloc("a", 32, target).unwrap();
+            let initial: Vec<Entry> = (0..32).map(|i| entry_of_kind(i as u8, 1000 + i)).collect();
+            dev.write_entries(a, 0, &initial).unwrap();
+            // Cycle entry 7 through every compressibility kind.
+            for kind in 0..8u8 {
+                let update = entry_of_kind(kind, 7777 + kind as u64);
+                dev.write_entry(a, 7, &update).unwrap();
+                for (i, e) in initial.iter().enumerate() {
+                    if i == 7 {
+                        assert_eq!(
+                            dev.read_entry(a, 7).unwrap(),
+                            update,
+                            "{codec}/{target}: self"
+                        );
+                    } else {
+                        assert_eq!(
+                            dev.read_entry(a, i as u64).unwrap(),
+                            *e,
+                            "{codec}/{target}: entry {i}"
+                        );
+                    }
                 }
             }
         }
@@ -151,15 +163,19 @@ fn buddy_fraction_tracks_overflow_rate() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Read-after-write returns the written entry for every target ratio and
-    /// any mix of compressibilities, including repeated rewrites.
+    /// Read-after-write returns the written entry for every codec × target
+    /// ratio and any mix of compressibilities, including repeated rewrites.
+    /// This is the stored-stream-decode contract: whichever codec wrote an
+    /// entry's bitstream is the one that decodes it on read.
     #[test]
     fn read_after_write_round_trips(
+        codec_idx in 0usize..4,
         target_idx in 0usize..5,
         ops in proptest::collection::vec((0u64..24, 0u8..8, any::<u64>()), 1..80)
     ) {
+        let codec = CodecKind::ALL[codec_idx];
         let target = TargetRatio::DESCENDING[target_idx];
-        let mut dev = device();
+        let mut dev = device_with(codec);
         let a = dev.alloc("pt", 24, target).unwrap();
         let mut shadow: Vec<Entry> = vec![[0u8; ENTRY_BYTES]; 24];
         for (idx, kind, seed) in ops {
@@ -170,6 +186,46 @@ proptest! {
         for (i, expect) in shadow.iter().enumerate() {
             prop_assert_eq!(&dev.read_entry(a, i as u64).unwrap(), expect);
         }
+    }
+
+    /// The batched paths are equivalent to per-entry I/O under every codec
+    /// × target: same read-back, same traffic counters, including when
+    /// batches interleave with single-entry rewrites.
+    #[test]
+    fn batched_io_equals_per_entry_io(
+        codec_idx in 0usize..4,
+        target_idx in 0usize..5,
+        start in 0u64..16,
+        kinds in proptest::collection::vec((0u8..8, any::<u64>()), 1..16),
+        rewrite in (0u64..24, 0u8..8, any::<u64>()),
+    ) {
+        let codec = CodecKind::ALL[codec_idx];
+        let target = TargetRatio::DESCENDING[target_idx];
+        let len = kinds.len().min((24 - start) as usize);
+        let batch: Vec<Entry> = kinds[..len]
+            .iter()
+            .map(|&(kind, seed)| entry_of_kind(kind, seed))
+            .collect();
+
+        let mut batched = device_with(codec);
+        let a = batched.alloc("b", 24, target).unwrap();
+        batched.write_entries(a, start, &batch).unwrap();
+        let (ri, rk, rs) = rewrite;
+        batched.write_entry(a, ri, &entry_of_kind(rk, rs)).unwrap();
+        let mut got = vec![[0u8; ENTRY_BYTES]; 24];
+        batched.read_entries(a, 0, &mut got).unwrap();
+
+        let mut single = device_with(codec);
+        let b = single.alloc("b", 24, target).unwrap();
+        for (i, e) in batch.iter().enumerate() {
+            single.write_entry(b, start + i as u64, e).unwrap();
+        }
+        single.write_entry(b, ri, &entry_of_kind(rk, rs)).unwrap();
+        for (i, slot) in got.iter().enumerate() {
+            prop_assert_eq!(slot, &single.read_entry(b, i as u64).unwrap(),
+                "{}/{}: entry {} diverges between batched and single I/O", codec, target, i);
+        }
+        prop_assert_eq!(batched.stats(), single.stats());
     }
 
     /// Metadata state is always consistent with what the entry needs.

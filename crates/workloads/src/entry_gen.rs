@@ -237,7 +237,7 @@ pub fn unit_from_hash(h: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpc::{BitPlane, BlockCompressor};
+    use bpc::{Codec, CodecKind, CompressedBuf};
 
     #[test]
     fn splitmix_is_deterministic_and_spreads() {
@@ -248,14 +248,17 @@ mod tests {
 
     #[test]
     fn class_targets_are_met() {
-        let codec = BitPlane::new();
+        // The generators target *BPC* size classes (the paper's profiler);
+        // classification runs the zero-allocation path the samplers use.
+        let codec = CodecKind::Bpc;
+        let mut scratch = CompressedBuf::new();
         for target in SizeClass::ALL {
             let class = EntryClass::for_target(target);
             let mut hits = 0;
             let samples = 200;
             for i in 0..samples {
                 let entry = class.generate(mix(&[0xC0FFEE, i]));
-                let measured = codec.size_class_of(&entry);
+                let measured = codec.size_class_into(&entry, &mut scratch);
                 if measured == target {
                     hits += 1;
                 }
@@ -278,10 +281,12 @@ mod tests {
     fn ramp_is_highly_compressible_even_with_large_stride() {
         // A constant delta produces at most ~20 all-ones plane codes (5 bits
         // each) plus run codes — always within one sector.
-        let codec = BitPlane::new();
+        let codec = CodecKind::Bpc;
+        let mut scratch = CompressedBuf::new();
         for seed in 0..50 {
             let entry = EntryClass::Ramp { stride_bits: 20 }.generate(seed);
-            let bits = codec.compressed_bits(&entry);
+            codec.compress_into(&entry, &mut scratch);
+            let bits = scratch.bits();
             assert!(bits <= 32 * 8, "ramp compressed to {bits} bits");
         }
     }

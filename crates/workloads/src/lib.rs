@@ -26,7 +26,12 @@
 //! bench.scale = workloads::Scale::test();
 //! let stats = snapshot::capture(
 //!     &bench,
-//!     snapshot::SnapshotConfig { phase: 0.5, seed: 1, sample_cap: 2048 },
+//!     snapshot::SnapshotConfig {
+//!         phase: 0.5,
+//!         seed: 1,
+//!         sample_cap: 2048,
+//!         ..Default::default() // codec: BPC, as the paper profiles
+//!     },
 //! );
 //! // 352.ep is dominated by zero pages: ratio is far above 2x.
 //! assert!(stats.compression_ratio() > 2.0);

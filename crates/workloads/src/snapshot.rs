@@ -6,9 +6,14 @@
 //! allocations, with optional uniform sampling so multi-GB (scaled) images
 //! can be characterized in milliseconds; generators are stationary within an
 //! allocation, so a uniform sample is an unbiased estimate of the full dump.
+//!
+//! Capture is codec-parameterized ([`SnapshotConfig::codec`], BPC by
+//! default) and runs the zero-allocation [`Codec::compress_into`] path with
+//! one reused scratch buffer per capture, so characterizing a scaled image
+//! costs no per-entry heap traffic.
 
 use crate::suite::Benchmark;
-use bpc::{BitPlane, BlockCompressor, SizeClass, SizeHistogram, ENTRY_BYTES};
+use bpc::{Codec, CodecKind, CompressedBuf, SizeClass, SizeHistogram, ENTRY_BYTES};
 
 /// Number of 128 B entries per 8 KB page — one heat-map row in Figure 6.
 pub const ENTRIES_PER_PAGE: u64 = 64;
@@ -92,6 +97,9 @@ pub struct SnapshotConfig {
     /// Maximum entries to compress per allocation (uniform sampling above
     /// this). `u64::MAX` disables sampling.
     pub sample_cap: u64,
+    /// Compression algorithm to characterize with (BPC by default, matching
+    /// the paper; the §2.4 ablation sweeps the others).
+    pub codec: CodecKind,
 }
 
 impl Default for SnapshotConfig {
@@ -100,6 +108,7 @@ impl Default for SnapshotConfig {
             phase: 0.5,
             seed: 0xB0DD7,
             sample_cap: 8192,
+            codec: CodecKind::Bpc,
         }
     }
 }
@@ -107,7 +116,8 @@ impl Default for SnapshotConfig {
 /// Captures per-allocation compression statistics of `benchmark` at the
 /// given phase.
 pub fn capture(benchmark: &Benchmark, config: SnapshotConfig) -> SnapshotStats {
-    let codec = BitPlane::new();
+    let codec = config.codec;
+    let mut scratch = CompressedBuf::new();
     let mut allocations = Vec::with_capacity(benchmark.allocations.len());
     for (alloc_idx, (spec, entries)) in benchmark.allocation_layout().into_iter().enumerate() {
         let sampled_count = entries.min(config.sample_cap);
@@ -121,7 +131,7 @@ pub fn capture(benchmark: &Benchmark, config: SnapshotConfig) -> SnapshotStats {
                 (k as u128 * entries as u128 / sampled_count as u128) as u64
             };
             let entry = spec.entry_at(alloc_seed, index, config.phase);
-            histogram.record(codec.size_class_of(&entry));
+            histogram.record(codec.size_class_into(&entry, &mut scratch));
         }
         allocations.push(AllocationStats {
             name: spec.name,
@@ -187,10 +197,17 @@ impl Heatmap {
     }
 }
 
-/// Builds the Figure 6 heat map for a benchmark, sampling up to `max_pages`
-/// pages spread evenly across the whole address space.
-pub fn heatmap(benchmark: &Benchmark, seed: u64, phase: f64, max_pages: usize) -> Heatmap {
-    let codec = BitPlane::new();
+/// Builds the Figure 6-style heat map for a benchmark under `codec`,
+/// sampling up to `max_pages` pages spread evenly across the whole address
+/// space.
+pub fn heatmap(
+    benchmark: &Benchmark,
+    codec: CodecKind,
+    seed: u64,
+    phase: f64,
+    max_pages: usize,
+) -> Heatmap {
+    let mut scratch = CompressedBuf::new();
     let layout = benchmark.allocation_layout();
     let total_entries: u64 = layout.iter().map(|(_, n)| n).sum();
     let total_pages = (total_entries / ENTRIES_PER_PAGE).max(1);
@@ -209,7 +226,7 @@ pub fn heatmap(benchmark: &Benchmark, seed: u64, phase: f64, max_pages: usize) -
                 if offset < *n {
                     let alloc_seed = crate::entry_gen::mix(&[seed, alloc_idx as u64]);
                     let entry = spec.entry_at(alloc_seed, offset, phase);
-                    cell = codec.size_class_of(&entry).sectors();
+                    cell = codec.size_class_into(&entry, &mut scratch).sectors();
                     break;
                 }
                 offset -= n;
@@ -245,6 +262,7 @@ mod tests {
             phase: 0.3,
             seed: 1,
             sample_cap: 512,
+            codec: CodecKind::Bpc,
         };
         let a = capture(&b, cfg);
         let c = capture(&b, cfg);
@@ -260,6 +278,7 @@ mod tests {
                 phase: 0.5,
                 seed: 2,
                 sample_cap: 4096,
+                codec: CodecKind::Bpc,
             },
         );
         let measured = stats.compression_ratio();
@@ -280,6 +299,7 @@ mod tests {
                 phase: 0.5,
                 seed: 3,
                 sample_cap: u64::MAX,
+                codec: CodecKind::Bpc,
             },
         );
         let sampled = capture(
@@ -288,11 +308,40 @@ mod tests {
                 phase: 0.5,
                 seed: 3,
                 sample_cap: 1024,
+                codec: CodecKind::Bpc,
             },
         );
         let rel = (full.compression_ratio() - sampled.compression_ratio()).abs()
             / full.compression_ratio();
         assert!(rel < 0.15, "sampled ratio diverges: {rel:.3}");
+    }
+
+    #[test]
+    fn capture_is_codec_parameterized() {
+        let b = small_bench();
+        let mut ratios = Vec::new();
+        for codec in CodecKind::ALL {
+            let stats = capture(
+                &b,
+                SnapshotConfig {
+                    phase: 0.5,
+                    seed: 2,
+                    sample_cap: 512,
+                    codec,
+                },
+            );
+            let ratio = stats.compression_ratio();
+            assert!(ratio >= 1.0 - 1e-9, "{codec}: ratio {ratio}");
+            ratios.push(ratio);
+        }
+        // BPC (first in ALL) must beat the zero-detector lower bound (last):
+        // the codec parameter really reaches the compressor.
+        assert!(
+            ratios[0] > ratios[3],
+            "bpc {} should beat zero-rle {}",
+            ratios[0],
+            ratios[3]
+        );
     }
 
     #[test]
@@ -308,7 +357,7 @@ mod tests {
     #[test]
     fn heatmap_dimensions_and_range() {
         let b = small_bench();
-        let map = heatmap(&b, 4, 0.5, 32);
+        let map = heatmap(&b, CodecKind::Bpc, 4, 0.5, 32);
         assert!(map.rows <= 32);
         assert_eq!(map.cells.len(), map.rows * ENTRIES_PER_PAGE as usize);
         assert!(map.cells.iter().all(|&c| c <= 4));
@@ -319,7 +368,7 @@ mod tests {
     #[test]
     fn heatmap_export_formats() {
         let b = small_bench();
-        let map = heatmap(&b, 4, 0.5, 4);
+        let map = heatmap(&b, CodecKind::Bpc, 4, 0.5, 4);
         let csv = map.to_csv();
         assert_eq!(csv.lines().count(), map.rows);
         let pgm = map.to_pgm();

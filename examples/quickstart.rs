@@ -8,7 +8,7 @@
 //! return exactly what was written while most traffic stays in device
 //! memory.
 
-use buddy_compression::bpc::{BitPlane, BlockCompressor, SizeHistogram, ENTRY_BYTES};
+use buddy_compression::bpc::{Codec, CodecKind, CompressedBuf, SizeHistogram, ENTRY_BYTES};
 use buddy_compression::buddy_core::{
     choose_targets, AllocationProfile, BuddyDevice, DeviceConfig, ProfileConfig,
 };
@@ -35,9 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    // --- 2. Profiling pass: compress every entry, build the histogram. ---
-    let codec = BitPlane::new();
-    let histogram: SizeHistogram = data.iter().map(|e| codec.size_class_of(e)).collect();
+    // --- 2. Profiling pass: compress every entry, build the histogram.
+    // (Zero-allocation path: one scratch buffer for the whole scan.) ---
+    let codec = CodecKind::Bpc;
+    let mut scratch = CompressedBuf::new();
+    let histogram: SizeHistogram = data
+        .iter()
+        .map(|e| codec.size_class_into(e, &mut scratch))
+        .collect();
     println!(
         "profiled {} entries: optimistic compression {:.2}x",
         histogram.total(),
@@ -60,16 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let target = outcome.choices[0].target;
     let alloc = device.alloc("field", entries, target)?;
-    for (i, entry) in data.iter().enumerate() {
-        device.write_entry(alloc, i as u64, entry)?;
-    }
-    for (i, entry) in data.iter().enumerate() {
-        assert_eq!(
-            &device.read_entry(alloc, i as u64)?,
-            entry,
-            "lossless read-back"
-        );
-    }
+    device.write_entries(alloc, 0, &data)?;
+    let mut readback = vec![[0u8; ENTRY_BYTES]; entries as usize];
+    device.read_entries(alloc, 0, &mut readback)?;
+    assert_eq!(readback, data, "lossless read-back");
 
     let stats = device.stats();
     println!(

@@ -45,13 +45,16 @@ pub use workloads;
 
 pub use buddy_core::{ProfileConfig, ProfileOutcome, TargetRatio};
 
+use bpc::CodecKind;
 use buddy_core::AllocationProfile;
 use gpu_sim::{EntryPlacement, MemRequest, MemoryLayout, SimStats};
 use workloads::snapshot::{capture, ten_phases, SnapshotConfig};
 use workloads::Benchmark;
 
 /// Runs the paper's profiling pass over a benchmark: ten memory snapshots
-/// across the run, merged into one per-allocation size-class histogram.
+/// across the run compressed with BPC, merged into one per-allocation
+/// size-class histogram. Shorthand for [`profile_benchmark_with`] with
+/// [`CodecKind::Bpc`].
 ///
 /// `sample_cap` bounds the entries compressed per allocation per snapshot
 /// (uniform sampling; the generators are stationary so this is unbiased).
@@ -63,6 +66,21 @@ use workloads::Benchmark;
 /// ten phases cover the same allocations, so a mismatch fails loudly
 /// instead of silently truncating the `zip`.
 pub fn profile_benchmark(bench: &Benchmark, sample_cap: u64, seed: u64) -> Vec<AllocationProfile> {
+    profile_benchmark_with(bench, CodecKind::Bpc, sample_cap, seed)
+}
+
+/// [`profile_benchmark`] under an arbitrary codec — the §2.4 ablation runs
+/// the whole profile → target-choice flow per algorithm through this.
+///
+/// # Panics
+///
+/// As [`profile_benchmark`].
+pub fn profile_benchmark_with(
+    bench: &Benchmark,
+    codec: CodecKind,
+    sample_cap: u64,
+    seed: u64,
+) -> Vec<AllocationProfile> {
     let mut merged: Vec<AllocationProfile> = Vec::new();
     let mut first = true;
     for phase in ten_phases() {
@@ -72,6 +90,7 @@ pub fn profile_benchmark(bench: &Benchmark, sample_cap: u64, seed: u64) -> Vec<A
                 phase,
                 seed,
                 sample_cap,
+                codec,
             },
         );
         if first {
@@ -111,9 +130,21 @@ pub fn profile_benchmark(bench: &Benchmark, sample_cap: u64, seed: u64) -> Vec<A
 }
 
 /// Profiles a benchmark at a single phase (used by the Figure 8 temporal
-/// study, which holds targets fixed while the data evolves).
+/// study, which holds targets fixed while the data evolves). Shorthand for
+/// [`profile_benchmark_at_with`] with [`CodecKind::Bpc`].
 pub fn profile_benchmark_at(
     bench: &Benchmark,
+    phase: f64,
+    sample_cap: u64,
+    seed: u64,
+) -> Vec<AllocationProfile> {
+    profile_benchmark_at_with(bench, CodecKind::Bpc, phase, sample_cap, seed)
+}
+
+/// [`profile_benchmark_at`] under an arbitrary codec.
+pub fn profile_benchmark_at_with(
+    bench: &Benchmark,
+    codec: CodecKind,
     phase: f64,
     sample_cap: u64,
     seed: u64,
@@ -124,6 +155,7 @@ pub fn profile_benchmark_at(
             phase,
             seed,
             sample_cap,
+            codec,
         },
     );
     stats

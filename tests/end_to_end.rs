@@ -2,14 +2,15 @@
 //! workload data through BPC, the profiler, the functional device and the
 //! performance simulator.
 
-use buddy_compression::bpc::{BitPlane, BlockCompressor};
+use buddy_compression::bpc::{BitPlane, BlockCompressor, CodecKind, ENTRY_BYTES};
 use buddy_compression::buddy_core::{
     choose_naive, choose_targets, BuddyDevice, DeviceConfig, ProfileConfig, TargetRatio,
 };
 use buddy_compression::gpu_sim::{Engine, ExecConfig, Fidelity, GpuConfig, MemoryMode};
-use buddy_compression::workloads::{all_benchmarks, by_name, geomean, Scale};
+use buddy_compression::workloads::{all_benchmarks, by_name, entry_gen, geomean, Scale};
 use buddy_compression::{
-    benchmark_requests, profile_benchmark, profile_benchmark_at, BenchmarkLayout,
+    benchmark_requests, profile_benchmark, profile_benchmark_at, profile_benchmark_with,
+    BenchmarkLayout,
 };
 
 fn test_bench(name: &str) -> buddy_compression::workloads::Benchmark {
@@ -42,6 +43,47 @@ fn profile_allocate_write_read_round_trip() {
         }
     }
     assert!(device.effective_ratio() > 1.5, "356.sp compresses well");
+}
+
+/// The codec-agnostic pipeline end to end: profile under each registered
+/// codec, choose targets from that codec's histograms, then batch-write and
+/// batch-read a real workload image through a device built with the same
+/// codec. Stored streams must decode losslessly through the owning codec.
+#[test]
+fn codec_agnostic_pipeline_round_trips() {
+    let bench = test_bench("370.bt");
+    for codec in CodecKind::ALL {
+        let profiles = profile_benchmark_with(&bench, codec, 256, 3);
+        let outcome = choose_targets(&profiles, &ProfileConfig::default());
+        let mut device = BuddyDevice::with_codec(
+            DeviceConfig {
+                device_capacity: 32 << 20,
+                carve_out_factor: 3,
+            },
+            codec,
+        );
+        for (idx, ((spec, entries), choice)) in bench
+            .allocation_layout()
+            .into_iter()
+            .zip(outcome.choices.iter())
+            .enumerate()
+        {
+            let n = entries.min(128);
+            let alloc = device.alloc(spec.name, n, choice.target).expect("fits");
+            let alloc_seed = entry_gen::mix(&[3, idx as u64]);
+            let data: Vec<[u8; ENTRY_BYTES]> =
+                (0..n).map(|i| spec.entry_at(alloc_seed, i, 0.5)).collect();
+            device.write_entries(alloc, 0, &data).expect("batch write");
+            let mut out = vec![[0u8; ENTRY_BYTES]; n as usize];
+            device.read_entries(alloc, 0, &mut out).expect("batch read");
+            assert_eq!(
+                out, data,
+                "{codec}/{}: lossless batched read-back",
+                spec.name
+            );
+        }
+        assert!(device.effective_ratio() >= 1.0 - 1e-9);
+    }
 }
 
 /// The static buddy fraction predicted by the profiler matches what the

@@ -10,7 +10,7 @@
 //!   doc comments and `#[test]` attributes on each case),
 //! - [`Strategy`] with [`Strategy::prop_map`], range strategies for
 //!   integers and floats, tuple strategies, [`prelude::any`],
-//!   [`array::uniform32`] and [`collection::vec`],
+//!   [`array::uniform32`] and [`collection::vec()`](fn@collection::vec),
 //! - [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! **No shrinking.** Failing cases report the failing values via the
@@ -180,7 +180,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
