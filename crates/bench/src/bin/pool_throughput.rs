@@ -1,0 +1,9 @@
+//! Pool throughput sweep: shard count × client count × codec over one
+//! workload trace, reporting aggregate entries/s, logical GB/s and
+//! per-batch latency percentiles. Pass `--quick` for a reduced grid and
+//! `--codec <name>` to choose the headline codec.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::poolfig::pool_throughput(&cfg)
+}

@@ -14,6 +14,7 @@ pub mod ablation;
 pub mod capacity;
 pub mod dlfig;
 pub mod performance;
+pub mod poolfig;
 pub mod report;
 pub mod tables;
 pub mod umfig;
@@ -40,6 +41,7 @@ pub fn reproduce_all(cfg: &RunConfig) -> io::Result<()> {
     dlfig::fig13c(cfg)?;
     dlfig::fig13d(cfg)?;
     ablation::ablation(cfg)?;
+    poolfig::pool_throughput(cfg)?;
     println!(
         "\nAll tables and figures regenerated into {:?}.",
         cfg.results_dir

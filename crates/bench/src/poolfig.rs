@@ -1,0 +1,212 @@
+//! Pool throughput: multi-tenant scaling of the compressed data path.
+//!
+//! The paper's §5 performance model is about *aggregate* traffic — every SM
+//! issues entry accesses concurrently. This harness measures that regime
+//! directly: a sharded [`BuddyPool`] is driven by `N` concurrent client
+//! threads replaying the same workload trace (same master seed, same
+//! per-client splitting rule), sweeping shard count × client count × codec.
+//! Each cell reports aggregate throughput (entries/s, logical GB/s) and
+//! per-batch latency percentiles from the `pool::loadgen` replay harness,
+//! plus the scaling factor against the 1-shard/1-client cell of the same
+//! codec.
+//!
+//! Wall-clock scaling depends on the machine: with `P` hardware threads,
+//! the `min(shards, clients, P)` parallel compression streams are where the
+//! speedup comes from, so the summary prints the detected parallelism next
+//! to the measured scaling factor.
+
+use crate::report::{f3, pct, print_table, write_csv, RunConfig};
+use buddy_compression::bpc::CodecKind;
+use buddy_compression::buddy_core::{DeviceConfig, TargetRatio};
+use buddy_compression::buddy_pool::loadgen::{replay, LoadReport, LoadgenConfig};
+use buddy_compression::buddy_pool::{BuddyPool, PoolConfig};
+use buddy_compression::workloads::by_name;
+use std::io;
+
+/// The benchmark whose access profile drives the replay (a SpecAccel
+/// stencil with a realistic read/write mix).
+const TRACE_BENCH: &str = "356.sp";
+
+/// Entries per batched operation.
+const BATCH: usize = 64;
+
+/// One measured cell of the sweep.
+pub struct Cell {
+    /// Codec under test.
+    pub codec: CodecKind,
+    /// Loadgen report for this (shards, clients) point.
+    pub report: LoadReport,
+}
+
+/// Runs one (codec, shards, clients) cell: builds a pool sized to the
+/// clients' footprint and replays the trace through it.
+pub fn measure(
+    codec: CodecKind,
+    shards: usize,
+    clients: usize,
+    entries_per_client: u64,
+    batches_per_client: u64,
+    seed: u64,
+) -> Cell {
+    let profile = by_name(TRACE_BENCH).expect("trace benchmark exists").access;
+    // Size shards to the replay footprint (with 2× headroom) instead of a
+    // flat multi-MB capacity: the backing arrays are zero-initialized, and
+    // across a 24-cell sweep a fixed large capacity would spend more time
+    // in memset than in compression.
+    let clients_per_shard = clients.div_ceil(shards) as u64;
+    let target = TargetRatio::R2;
+    let device_need =
+        clients_per_shard * entries_per_client * target.device_bytes_per_entry() as u64;
+    let pool = BuddyPool::new(PoolConfig {
+        shards,
+        shard_config: DeviceConfig {
+            device_capacity: (device_need * 2).max(1 << 20),
+            carve_out_factor: 3,
+        },
+        codec,
+    });
+    let cfg = LoadgenConfig {
+        clients,
+        batches_per_client,
+        batch_entries: BATCH,
+        entries_per_client,
+        target,
+        seed,
+    };
+    let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client");
+    Cell { codec, report }
+}
+
+/// The shard × client grid of one sweep.
+fn grid(quick: bool) -> Vec<(usize, usize)> {
+    if quick {
+        vec![(1, 1), (2, 2), (4, 4)]
+    } else {
+        vec![(1, 1), (1, 4), (2, 2), (4, 1), (4, 4), (8, 8)]
+    }
+}
+
+/// Runs the shard × client × codec throughput sweep (the `pool-throughput`
+/// binary; also part of `reproduce-all`).
+pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
+    // Equal work per cell so entries/s columns are directly comparable.
+    let total_entries = cfg.scaled(2_000_000);
+    let entries_per_client = if cfg.quick { 1024 } else { 4096 };
+    let codecs: Vec<CodecKind> = if cfg.quick {
+        vec![cfg.codec]
+    } else {
+        CodecKind::ALL.to_vec()
+    };
+
+    let header = [
+        "codec",
+        "shards",
+        "clients",
+        "entries",
+        "elapsed_ms",
+        "entries_per_s",
+        "logical_gb_per_s",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "buddy_access_frac",
+        "scaling_vs_1s1c",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut headline_scaling = None;
+    for &codec in &codecs {
+        let mut baseline = None;
+        for &(shards, clients) in &grid(cfg.quick) {
+            let batches_per_client = (total_entries / (clients as u64 * BATCH as u64)).max(1);
+            let cell = measure(
+                codec,
+                shards,
+                clients,
+                entries_per_client,
+                batches_per_client,
+                cfg.seed,
+            );
+            let r = &cell.report;
+            let baseline_eps = *baseline.get_or_insert(r.entries_per_sec);
+            let scaling = r.entries_per_sec / baseline_eps;
+            if codec == cfg.codec && shards >= 4 && clients >= 4 {
+                headline_scaling = Some(scaling);
+            }
+            rows.push(vec![
+                codec.to_string(),
+                shards.to_string(),
+                clients.to_string(),
+                r.entries_processed.to_string(),
+                format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                format!("{:.0}", r.entries_per_sec),
+                f3(r.logical_gb_per_sec),
+                f3(r.latency.p50_us),
+                f3(r.latency.p95_us),
+                f3(r.latency.p99_us),
+                pct(r.stats.buddy_access_fraction()),
+                f3(scaling),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Pool throughput: shards × clients × codec ({TRACE_BENCH} trace)"),
+        &header,
+        &rows,
+    );
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if let Some(scaling) = headline_scaling {
+        println!(
+            "  {} scaling 1 shard/1 client -> >=4 shards/>=4 clients: {scaling:.2}x \
+             ({parallelism} hardware threads available)",
+            cfg.codec
+        );
+        println!("  Parallel speedup tracks min(shards, clients, hardware threads); on a");
+        println!("  single-core host the sweep still validates the concurrent data path.");
+    }
+    write_csv(
+        &cfg.results_dir,
+        &cfg.tagged("pool_throughput"),
+        &header,
+        &rows,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_cell_is_consistent() {
+        let cell = measure(CodecKind::Bpc, 2, 2, 256, 16, 11);
+        let r = &cell.report;
+        assert_eq!(r.shards, 2);
+        assert_eq!(r.clients, 2);
+        assert_eq!(r.entries_processed, 2 * 16 * BATCH as u64);
+        assert_eq!(r.stats.total_accesses(), r.entries_processed);
+        assert!(r.entries_per_sec > 0.0);
+    }
+
+    #[test]
+    fn harness_writes_the_csv_artifact() {
+        let dir = std::env::temp_dir().join("buddy-bench-poolfig");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig {
+            quick: true,
+            results_dir: dir.clone(),
+            seed: 5,
+            ..Default::default()
+        };
+        pool_throughput(&cfg).unwrap();
+        let csv = std::fs::read_to_string(dir.join("pool_throughput.csv")).unwrap();
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("codec,shards,clients,entries"));
+        // Quick grid: one row per (1,1), (2,2), (4,4) for the default codec.
+        assert_eq!(lines.count(), 3);
+    }
+}

@@ -89,7 +89,8 @@ impl RunConfig {
     }
 }
 
-/// Comma-separated list of registered codec names (for CLI diagnostics).
+/// Comma-separated list of registered codec names (for CLI diagnostics),
+/// derived from the registry so it can never drift from it.
 fn codec_names() -> String {
     CodecKind::ALL.map(|k| k.to_string()).join(", ")
 }

@@ -163,7 +163,13 @@ impl CompressedBuf {
 ///
 /// Decoders must also be *total* on garbage: any `(data, bits)` input either
 /// decodes or returns a structured [`DecodeError`] — never a panic.
-pub trait Codec {
+///
+/// `Sync` is a supertrait: the registry hands out `&'static dyn Codec`
+/// references that concurrent clients (e.g. the `buddy-pool` shards) share
+/// across threads, so every codec must be safe to call from many threads at
+/// once. All implementations are stateless unit structs, so this costs
+/// nothing.
+pub trait Codec: Sync {
     /// Short stable name of the algorithm (used in reports, metadata and
     /// the [`codec_by_name`] registry).
     fn name(&self) -> &'static str;
@@ -269,17 +275,34 @@ impl CodecKind {
     }
 
     /// Looks a codec up by its stable name (`"bpc"`, `"bdi"`, `"fpc"`,
-    /// `"zero"`; `"zero-rle"` is accepted as an alias).
+    /// `"zero"`; `"zero-rle"` is accepted as an alias). Matching is
+    /// ASCII-case-insensitive, so CLI values like `--codec BPC` resolve.
     pub fn from_name(name: &str) -> Option<Self> {
-        match name {
-            "bpc" => Some(CodecKind::Bpc),
-            "bdi" => Some(CodecKind::Bdi),
-            "fpc" => Some(CodecKind::Fpc),
-            "zero" | "zero-rle" => Some(CodecKind::Zero),
-            _ => None,
+        let eq = |canonical: &str| name.eq_ignore_ascii_case(canonical);
+        if eq("bpc") {
+            Some(CodecKind::Bpc)
+        } else if eq("bdi") {
+            Some(CodecKind::Bdi)
+        } else if eq("fpc") {
+            Some(CodecKind::Fpc)
+        } else if eq("zero") || eq("zero-rle") {
+            Some(CodecKind::Zero)
+        } else {
+            None
         }
     }
 }
+
+// The registry's static codec instances are shared by reference across
+// threads (each `buddy-pool` shard compresses concurrently through the same
+// `&'static dyn Codec`), so both the trait object and the `Copy` handle must
+// be `Send + Sync`. Checked at compile time.
+const _: () = {
+    const fn assert_sync<T: Sync + ?Sized>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_sync::<dyn Codec>();
+    assert_send_sync::<CodecKind>();
+};
 
 impl Codec for CodecKind {
     fn name(&self) -> &'static str {
@@ -344,6 +367,24 @@ mod tests {
         }
         assert!(codec_by_name("lz4").is_none());
         assert_eq!(CodecKind::from_name("zero-rle"), Some(CodecKind::Zero));
+    }
+
+    #[test]
+    fn registry_lookup_is_case_insensitive() {
+        for (kind, upper) in [
+            (CodecKind::Bpc, "BPC"),
+            (CodecKind::Bdi, "Bdi"),
+            (CodecKind::Fpc, "fPc"),
+            (CodecKind::Zero, "ZERO"),
+            (CodecKind::Zero, "Zero-RLE"),
+        ] {
+            assert_eq!(CodecKind::from_name(upper), Some(kind), "{upper}");
+            assert_eq!(
+                codec_by_name(upper).map(|c| c.name()),
+                Some(Codec::name(&kind))
+            );
+        }
+        assert!(CodecKind::from_name("LZ4").is_none());
     }
 
     #[test]

@@ -247,6 +247,19 @@ pub struct BuddyDevice {
     stats: AccessStats,
 }
 
+// The device owns all of its storage (plain `Vec`s and POD bookkeeping, no
+// interior mutability or shared handles), so it can be moved into worker
+// threads or wrapped in a `Mutex` — the `buddy-pool` crate shards exactly
+// this way. Checked at compile time so a future field cannot silently cost
+// the pool its thread-safety.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BuddyDevice>();
+    assert_send_sync::<AccessStats>();
+    assert_send_sync::<DeviceError>();
+    assert_send_sync::<AllocId>();
+};
+
 impl BuddyDevice {
     /// Creates a device with the given configuration and the default BPC
     /// codec.
@@ -297,6 +310,11 @@ impl BuddyDevice {
     /// Buddy carve-out bytes reserved so far.
     pub fn buddy_used(&self) -> u64 {
         self.buddy_used
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
     }
 
     /// Uncompressed bytes represented by all allocations.
@@ -821,6 +839,27 @@ mod tests {
         dev.read_entry(a, 1).unwrap();
         assert_eq!(dev.stats().buddy_sectors, 4);
         assert_eq!(dev.stats().device_sectors, 0);
+    }
+
+    #[test]
+    fn empty_device_reports_neutral_stats() {
+        // No allocations: every ratio/fraction must be a defined, neutral
+        // value rather than the result of a 0/0 float division.
+        let dev = small_device();
+        assert_eq!(dev.device_used(), 0);
+        assert_eq!(dev.buddy_used(), 0);
+        assert_eq!(dev.logical_bytes(), 0);
+        assert_eq!(dev.effective_ratio(), 1.0);
+        let s = dev.stats();
+        assert_eq!(s.total_accesses(), 0);
+        assert_eq!(s.buddy_access_fraction(), 0.0);
+
+        // A zero-entry allocation charges nothing and keeps the neutral
+        // ratio (device_used stays 0).
+        let mut dev = small_device();
+        dev.alloc("empty", 0, TargetRatio::R4).unwrap();
+        assert_eq!(dev.device_used(), 0);
+        assert_eq!(dev.effective_ratio(), 1.0);
     }
 
     #[test]

@@ -228,6 +228,56 @@ proptest! {
         prop_assert_eq!(batched.stats(), single.stats());
     }
 
+    /// Batched I/O boundary behaviour under every codec: a batch is
+    /// accepted iff `start + len <= entries` — zero-length batches are
+    /// no-ops anywhere up to and including the end of the allocation, and
+    /// out-of-range runs fail atomically (device bytes and traffic
+    /// counters untouched).
+    #[test]
+    fn batched_range_edges_are_exact(
+        codec_idx in 0usize..4,
+        entries in 1u64..32,
+        start in 0u64..40,
+        len in 0usize..12,
+    ) {
+        let codec = CodecKind::ALL[codec_idx];
+        let mut dev = device_with(codec);
+        let a = dev.alloc("edge", entries, TargetRatio::R2).unwrap();
+        let pattern = entry_of_kind(1, 42);
+        dev.write_entries(a, 0, &vec![pattern; entries as usize]).unwrap();
+        let stats_before = dev.stats();
+
+        let batch = vec![entry_of_kind(3, 7); len];
+        let mut out = vec![[0u8; ENTRY_BYTES]; len];
+        let in_range = start.checked_add(len as u64).is_some_and(|end| end <= entries);
+        let write_result = dev.write_entries(a, start, &batch);
+        prop_assert_eq!(
+            write_result.is_ok(),
+            in_range,
+            "{}: write_entries(start={}, len={}) on {} entries", codec, start, len, entries
+        );
+        if !in_range {
+            // Failed batch: no stats movement, no data movement.
+            prop_assert_eq!(dev.stats(), stats_before);
+            let read_result = dev.read_entries(a, start, &mut out);
+            prop_assert!(read_result.is_err());
+            prop_assert_eq!(dev.stats(), stats_before);
+            for i in 0..entries {
+                prop_assert_eq!(&dev.read_entry(a, i).unwrap(), &pattern);
+            }
+        } else if len == 0 {
+            // Zero-length batches never touch counters, even at the end.
+            prop_assert_eq!(dev.stats(), stats_before);
+            dev.read_entries(a, start, &mut out).unwrap();
+            prop_assert_eq!(dev.stats(), stats_before);
+        } else {
+            dev.read_entries(a, start, &mut out).unwrap();
+            for slot in &out {
+                prop_assert_eq!(slot, &entry_of_kind(3, 7));
+            }
+        }
+    }
+
     /// Metadata state is always consistent with what the entry needs.
     #[test]
     fn metadata_matches_fit(kind in 0u8..8, seed in any::<u64>()) {

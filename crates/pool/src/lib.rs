@@ -1,0 +1,620 @@
+//! A sharded, thread-safe pool of Buddy-Compression devices.
+//!
+//! The paper's performance story (§5) is about *aggregate* traffic: every SM
+//! issues entry reads and writes concurrently, and the compressed data path
+//! must serve many simultaneous access streams. The functional
+//! [`BuddyDevice`] is deliberately `&mut self` single-threaded; this crate
+//! scales it out by sharding — a [`BuddyPool`] owns `N` devices, each behind
+//! its own lock, and routes every allocation (with all of its entries) to
+//! one shard by hashing. Clients on different shards compress and
+//! decompress fully in parallel; clients on the same shard serialize, which
+//! is exactly the per-partition ordering a real memory controller provides.
+//!
+//! # Concurrency model: a lock per shard, not worker threads
+//!
+//! Two designs were on the table (see DESIGN.md §7):
+//!
+//! 1. **`Mutex<BuddyDevice>` per shard** (chosen). The batched entry I/O
+//!    paths borrow caller buffers directly (`&[Entry]` in, `&mut [Entry]`
+//!    out), so forwarding them under a short critical section preserves the
+//!    zero-allocation data path end to end. The device itself is untouched:
+//!    the lock simply *is* the `&mut self` exclusivity, made dynamic.
+//! 2. **A worker thread per shard fed by mpsc channels.** Rejected: every
+//!    batch would be copied into a message (and every read result copied
+//!    back), reintroducing per-batch heap traffic; and the workers would
+//!    either tie the pool's lifetime to a `std::thread::scope` (infecting
+//!    the public API) or require `'static` messages and shutdown plumbing.
+//!
+//! Contention is bounded by sharding: allocations hash across shards, so
+//! independent clients rarely collide, and the critical sections are pure
+//! CPU work (compress + two `memcpy`s) with no blocking inside.
+//!
+//! A pool with **one shard is observably identical to a bare
+//! [`BuddyDevice`]**: same bytes on every read, same traffic counters —
+//! property-tested in `tests/pool_equivalence.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use buddy_pool::{BuddyPool, PoolConfig, TargetRatio};
+//!
+//! let pool = BuddyPool::new(PoolConfig { shards: 2, ..PoolConfig::default() });
+//! let alloc = pool.alloc("tensor", 1024, TargetRatio::R2)?;
+//! let entry = [7u8; 128];
+//! pool.write_entries(alloc, 0, &[entry, entry])?;
+//! let mut out = [[0u8; 128]; 2];
+//! pool.read_entries(alloc, 0, &mut out)?;
+//! assert_eq!(out, [entry, entry]);
+//! assert_eq!(pool.stats().total_accesses(), 4);
+//! # Ok::<(), buddy_pool::DeviceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+
+pub use bpc::{CodecKind, Entry, ENTRY_BYTES};
+pub use buddy_core::{
+    AccessStats, BuddyDevice, DeviceConfig, DeviceError, EntryState, TargetRatio,
+};
+
+use buddy_core::AllocId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Configuration of a [`BuddyPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of independent shards (each one full [`BuddyDevice`]).
+    pub shards: usize,
+    /// Configuration of every shard device. Total pool capacity is
+    /// `shards × shard_config.device_capacity`.
+    pub shard_config: DeviceConfig,
+    /// Compression codec shared by all shards.
+    pub codec: CodecKind,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            shard_config: DeviceConfig::default(),
+            codec: CodecKind::Bpc,
+        }
+    }
+}
+
+/// Handle to one allocation in a [`BuddyPool`]: the shard it lives on plus
+/// the per-shard allocation id. Every entry of an allocation lives on a
+/// single shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolAllocId {
+    shard: u32,
+    inner: AllocId,
+}
+
+impl PoolAllocId {
+    /// Index of the shard this allocation lives on.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+}
+
+/// Point-in-time occupancy of one shard (see [`BuddyPool::occupancy`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardOccupancy {
+    /// Shard index.
+    pub shard: usize,
+    /// Allocations resident on this shard.
+    pub allocations: usize,
+    /// Device bytes consumed by allocations.
+    pub device_used: u64,
+    /// Usable device bytes.
+    pub device_capacity: u64,
+    /// Buddy carve-out bytes reserved.
+    pub buddy_used: u64,
+    /// Uncompressed bytes represented by the shard's allocations.
+    pub logical_bytes: u64,
+    /// Effective device compression ratio (1.0 when empty).
+    pub effective_ratio: f64,
+    /// Traffic counters accumulated by this shard.
+    pub stats: AccessStats,
+}
+
+/// A sharded, thread-safe pool of Buddy-Compression devices.
+///
+/// All access methods take `&self` and are safe to call from many threads
+/// concurrently; see the crate docs for the locking model.
+#[derive(Debug)]
+pub struct BuddyPool {
+    shards: Vec<Mutex<BuddyDevice>>,
+    config: PoolConfig,
+    /// Monotonic allocation sequence number, folded into the shard hash so
+    /// repeated allocations under one name still spread across shards.
+    alloc_seq: AtomicU64,
+}
+
+// The whole point of the pool: it must be shareable across client threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BuddyPool>();
+    assert_send_sync::<PoolAllocId>();
+    assert_send_sync::<ShardOccupancy>();
+};
+
+impl BuddyPool {
+    /// Creates a pool of `config.shards` identical devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn new(config: PoolConfig) -> Self {
+        assert!(config.shards > 0, "pool needs at least one shard");
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(BuddyDevice::with_codec(config.shard_config, config.codec)))
+            .collect();
+        Self {
+            shards,
+            config,
+            alloc_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The codec every shard compresses with.
+    pub fn codec(&self) -> CodecKind {
+        self.config.codec
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Locks one shard. A poisoned lock is recovered: every device
+    /// operation leaves the device structurally valid even if it panics
+    /// mid-batch (plain `Vec` storage, no unsafe invariants), so the state
+    /// behind a poison is still usable.
+    fn shard(&self, index: usize) -> MutexGuard<'_, BuddyDevice> {
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Resolves a handle to its shard, rejecting handles from a differently
+    /// sized pool.
+    fn guard_of(&self, id: PoolAllocId) -> Result<MutexGuard<'_, BuddyDevice>, DeviceError> {
+        if id.shard() >= self.shards.len() {
+            return Err(DeviceError::BadAllocation);
+        }
+        Ok(self.shard(id.shard()))
+    }
+
+    /// Allocates `entries` 128 B memory-entries with the given target ratio
+    /// on the shard the allocation hashes to.
+    ///
+    /// The home shard is `hash(name, sequence) % shards`; if it lacks
+    /// capacity the remaining shards are probed in ring order, so the pool
+    /// only reports out-of-memory when *no* shard can host the allocation
+    /// (the error reported is the home shard's). With one shard this
+    /// degenerates to exactly [`BuddyDevice::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfDeviceMemory`] /
+    /// [`DeviceError::OutOfBuddyMemory`] if every shard is exhausted.
+    pub fn alloc(
+        &self,
+        name: &str,
+        entries: u64,
+        target: TargetRatio,
+    ) -> Result<PoolAllocId, DeviceError> {
+        let seq = self.alloc_seq.fetch_add(1, Ordering::Relaxed);
+        let home = (shard_hash(name, seq) % self.shards.len() as u64) as usize;
+        let mut home_error = None;
+        for probe in 0..self.shards.len() {
+            let index = (home + probe) % self.shards.len();
+            match self.shard(index).alloc(name, entries, target) {
+                Ok(inner) => {
+                    return Ok(PoolAllocId {
+                        shard: index as u32,
+                        inner,
+                    })
+                }
+                Err(e) => {
+                    if probe == 0 {
+                        home_error = Some(e);
+                    }
+                }
+            }
+        }
+        Err(home_error.expect("at least one shard probed"))
+    }
+
+    /// Writes one entry ([`BuddyDevice::write_entry`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::write_entry`].
+    pub fn write_entry(
+        &self,
+        id: PoolAllocId,
+        index: u64,
+        entry: &Entry,
+    ) -> Result<EntryState, DeviceError> {
+        self.guard_of(id)?.write_entry(id.inner, index, entry)
+    }
+
+    /// Writes a contiguous run of entries ([`BuddyDevice::write_entries`]
+    /// semantics; the whole batch executes under one shard lock, so a batch
+    /// is atomic with respect to other clients of the same shard).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::write_entries`].
+    pub fn write_entries(
+        &self,
+        id: PoolAllocId,
+        start: u64,
+        entries: &[Entry],
+    ) -> Result<(), DeviceError> {
+        self.guard_of(id)?.write_entries(id.inner, start, entries)
+    }
+
+    /// Reads one entry ([`BuddyDevice::read_entry`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::read_entry`].
+    pub fn read_entry(&self, id: PoolAllocId, index: u64) -> Result<Entry, DeviceError> {
+        self.guard_of(id)?.read_entry(id.inner, index)
+    }
+
+    /// Reads a contiguous run of entries ([`BuddyDevice::read_entries`]
+    /// semantics, batch-atomic per shard).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::read_entries`].
+    pub fn read_entries(
+        &self,
+        id: PoolAllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<(), DeviceError> {
+        self.guard_of(id)?.read_entries(id.inner, start, out)
+    }
+
+    /// Per-entry state without touching traffic counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::entry_state`].
+    pub fn entry_state(&self, id: PoolAllocId, index: u64) -> Result<EntryState, DeviceError> {
+        self.guard_of(id)?.entry_state(id.inner, index)
+    }
+
+    /// Name, target ratio and entry count of an allocation (name is cloned
+    /// out of the shard's critical section).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for foreign handles.
+    pub fn allocation_info(
+        &self,
+        id: PoolAllocId,
+    ) -> Result<(String, TargetRatio, u64), DeviceError> {
+        let guard = self.guard_of(id)?;
+        let (name, target, entries) = guard.allocation_info(id.inner)?;
+        Ok((name.to_owned(), target, entries))
+    }
+
+    /// Pool-wide traffic counters: the merge of every shard's
+    /// [`BuddyDevice::stats`]. Shards are sampled one at a time, so counts
+    /// from operations racing this call may or may not be included — totals
+    /// are exact once writers are quiescent (or after [`drain`](Self::drain)).
+    pub fn stats(&self) -> AccessStats {
+        let mut merged = AccessStats::default();
+        for index in 0..self.shards.len() {
+            merged.merge(&self.shard(index).stats());
+        }
+        merged
+    }
+
+    /// Clears every shard's traffic counters.
+    pub fn reset_stats(&self) {
+        for index in 0..self.shards.len() {
+            self.shard(index).reset_stats();
+        }
+    }
+
+    /// Barrier: waits for every in-flight operation to complete and returns
+    /// a *consistent* merged stats snapshot.
+    ///
+    /// All shard locks are acquired (in index order — the only multi-lock
+    /// path in the crate, so no deadlock) and held simultaneously; any
+    /// operation that began before `drain` was called has therefore
+    /// finished, and no operation can start until the snapshot is taken.
+    pub fn drain(&self) -> AccessStats {
+        let guards: Vec<MutexGuard<'_, BuddyDevice>> =
+            (0..self.shards.len()).map(|i| self.shard(i)).collect();
+        let mut merged = AccessStats::default();
+        for guard in &guards {
+            merged.merge(&guard.stats());
+        }
+        merged
+    }
+
+    /// Point-in-time occupancy of every shard, in shard order.
+    pub fn occupancy(&self) -> Vec<ShardOccupancy> {
+        (0..self.shards.len())
+            .map(|index| {
+                let guard = self.shard(index);
+                ShardOccupancy {
+                    shard: index,
+                    allocations: guard.allocation_count(),
+                    device_used: guard.device_used(),
+                    device_capacity: guard.config().device_capacity,
+                    buddy_used: guard.buddy_used(),
+                    logical_bytes: guard.logical_bytes(),
+                    effective_ratio: guard.effective_ratio(),
+                    stats: guard.stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// Uncompressed bytes represented by all allocations, pool-wide.
+    pub fn logical_bytes(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).logical_bytes())
+            .sum()
+    }
+
+    /// Device bytes consumed across all shards.
+    pub fn device_used(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).device_used())
+            .sum()
+    }
+
+    /// Buddy carve-out bytes reserved across all shards.
+    pub fn buddy_used(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).buddy_used())
+            .sum()
+    }
+
+    /// Pool-wide effective compression ratio (logical bytes / device bytes
+    /// used; 1.0 for an empty pool, matching
+    /// [`BuddyDevice::effective_ratio`]).
+    pub fn effective_ratio(&self) -> f64 {
+        let mut logical = 0u64;
+        let mut used = 0u64;
+        for index in 0..self.shards.len() {
+            let guard = self.shard(index);
+            logical += guard.logical_bytes();
+            used += guard.device_used();
+        }
+        if used == 0 {
+            1.0
+        } else {
+            logical as f64 / used as f64
+        }
+    }
+}
+
+/// Deterministic shard routing hash: FNV-1a over the allocation name,
+/// folded with the pool-wide allocation sequence number.
+fn shard_hash(name: &str, seq: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for b in seq.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(shards: usize) -> BuddyPool {
+        BuddyPool::new(PoolConfig {
+            shards,
+            shard_config: DeviceConfig {
+                device_capacity: 1 << 20,
+                carve_out_factor: 3,
+            },
+            codec: CodecKind::Bpc,
+        })
+    }
+
+    fn entry_of_words(mut f: impl FnMut(usize) -> u32) -> Entry {
+        let mut e = [0u8; ENTRY_BYTES];
+        for (i, c) in e.chunks_exact_mut(4).enumerate() {
+            c.copy_from_slice(&f(i).to_le_bytes());
+        }
+        e
+    }
+
+    #[test]
+    fn round_trips_across_shards() {
+        let pool = small_pool(4);
+        let entries: Vec<Entry> = (0..32)
+            .map(|i| entry_of_words(|j| i * 131 + j as u32))
+            .collect();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            handles.push(pool.alloc(&format!("a{i}"), 32, TargetRatio::R2).unwrap());
+        }
+        for &h in &handles {
+            pool.write_entries(h, 0, &entries).unwrap();
+        }
+        for &h in &handles {
+            let mut out = vec![[0u8; ENTRY_BYTES]; 32];
+            pool.read_entries(h, 0, &mut out).unwrap();
+            assert_eq!(out, entries);
+        }
+    }
+
+    #[test]
+    fn allocations_spread_across_shards() {
+        let pool = small_pool(4);
+        for i in 0..32 {
+            pool.alloc(&format!("alloc-{i}"), 64, TargetRatio::R2)
+                .unwrap();
+        }
+        let occupied = pool
+            .occupancy()
+            .iter()
+            .filter(|o| o.allocations > 0)
+            .count();
+        assert!(
+            occupied >= 3,
+            "32 hashed allocations should land on ≥3 of 4 shards, got {occupied}"
+        );
+    }
+
+    #[test]
+    fn full_home_shard_falls_back_to_a_neighbor() {
+        // Shards fit exactly one 64-entry R1 allocation (64 × 128 B).
+        let pool = BuddyPool::new(PoolConfig {
+            shards: 4,
+            shard_config: DeviceConfig {
+                device_capacity: 64 * 128,
+                carve_out_factor: 3,
+            },
+            codec: CodecKind::Bpc,
+        });
+        // Four same-sized allocations must all succeed (one per shard,
+        // wherever they hash), and the fifth must fail pool-wide.
+        for i in 0..4 {
+            pool.alloc(&format!("fill{i}"), 64, TargetRatio::R1)
+                .unwrap();
+        }
+        for o in pool.occupancy() {
+            assert_eq!(o.allocations, 1, "shard {} must host exactly one", o.shard);
+        }
+        let err = pool.alloc("overflow", 64, TargetRatio::R1).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn merged_stats_match_per_shard_sum() {
+        let pool = small_pool(2);
+        let a = pool.alloc("a", 16, TargetRatio::R2).unwrap();
+        let b = pool.alloc("b", 16, TargetRatio::R2).unwrap();
+        let data = [entry_of_words(|j| 7 + j as u32); 8];
+        pool.write_entries(a, 0, &data).unwrap();
+        pool.write_entries(b, 0, &data).unwrap();
+        let mut out = [[0u8; ENTRY_BYTES]; 8];
+        pool.read_entries(a, 0, &mut out).unwrap();
+        let merged = pool.stats();
+        let by_hand = pool
+            .occupancy()
+            .iter()
+            .fold(AccessStats::default(), |mut acc, o| {
+                acc.merge(&o.stats);
+                acc
+            });
+        assert_eq!(merged, by_hand);
+        assert_eq!(merged.total_accesses(), 24);
+        assert_eq!(pool.drain(), merged, "drain sees the same totals");
+    }
+
+    #[test]
+    fn concurrent_clients_round_trip_their_own_data() {
+        let pool = small_pool(4);
+        let handles: Vec<PoolAllocId> = (0..4)
+            .map(|c| {
+                pool.alloc(&format!("client{c}"), 256, TargetRatio::R2)
+                    .unwrap()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (c, &h) in handles.iter().enumerate() {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..16u32 {
+                        let batch: Vec<Entry> = (0..32)
+                            .map(|i| entry_of_words(|j| c as u32 * 1000 + round + i + j as u32))
+                            .collect();
+                        pool.write_entries(h, (round as u64 * 16) % 224, &batch)
+                            .unwrap();
+                        let mut out = vec![[0u8; ENTRY_BYTES]; 32];
+                        pool.read_entries(h, (round as u64 * 16) % 224, &mut out)
+                            .unwrap();
+                        // The client owns its allocation exclusively, so
+                        // read-after-write must return its own bytes even
+                        // under cross-client concurrency.
+                        assert_eq!(out, batch, "client {c} round {round}");
+                    }
+                });
+            }
+        });
+        let stats = pool.drain();
+        assert_eq!(stats.total_accesses(), 4 * 16 * 32 * 2);
+    }
+
+    #[test]
+    fn empty_pool_reports_neutral_aggregates() {
+        let pool = small_pool(3);
+        assert_eq!(pool.effective_ratio(), 1.0);
+        assert_eq!(pool.logical_bytes(), 0);
+        assert_eq!(pool.device_used(), 0);
+        assert_eq!(pool.buddy_used(), 0);
+        assert_eq!(pool.stats(), AccessStats::default());
+        for o in pool.occupancy() {
+            assert_eq!(o.allocations, 0);
+            assert_eq!(o.effective_ratio, 1.0);
+        }
+    }
+
+    #[test]
+    fn foreign_handles_are_rejected() {
+        let big = small_pool(4);
+        let small = small_pool(1);
+        let h = big.alloc("x", 16, TargetRatio::R2).unwrap();
+        if h.shard() >= small.shard_count() {
+            assert!(matches!(
+                small.read_entry(h, 0),
+                Err(DeviceError::BadAllocation)
+            ));
+        }
+        // Out-of-range entry index reports through unchanged.
+        assert!(matches!(
+            big.read_entry(h, 16),
+            Err(DeviceError::BadIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_stats_clears_every_shard() {
+        let pool = small_pool(2);
+        let a = pool.alloc("a", 8, TargetRatio::R2).unwrap();
+        pool.write_entries(a, 0, &[[1u8; ENTRY_BYTES]; 8]).unwrap();
+        assert!(pool.stats().total_accesses() > 0);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), AccessStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        BuddyPool::new(PoolConfig {
+            shards: 0,
+            ..PoolConfig::default()
+        });
+    }
+}

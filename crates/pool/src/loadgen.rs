@@ -1,0 +1,415 @@
+//! Concurrent trace-replay load generator for [`BuddyPool`].
+//!
+//! Replays `workloads` access traces from `N` client threads against a
+//! pool, the multi-tenant operating regime the paper's §5 performance model
+//! aggregates over. Each client owns one allocation (its private partition
+//! of the replayed footprint) and drives it with a
+//! [`TraceGenerator::per_client`] stream seeded deterministically from
+//! `(seed, client)`, so a replay's *work* — every access, every written
+//! byte, every traffic counter — is exactly reproducible; only wall-clock
+//! timing varies.
+//!
+//! Throughput is reported as entries/s and logical GB/s. Latency is sampled
+//! per **entry-batch** (one batched `write_entries`/`read_entries` call),
+//! not per entry: single-entry timings at ~100 ns are dominated by timer
+//! and scheduling noise, while a batch is a large enough unit of work for
+//! wall-clock percentiles (p50/p95/p99) to be meaningful.
+//!
+//! # Example
+//!
+//! ```
+//! use buddy_pool::{BuddyPool, PoolConfig};
+//! use buddy_pool::loadgen::{replay, LoadgenConfig};
+//! use workloads::AccessProfile;
+//!
+//! let pool = BuddyPool::new(PoolConfig { shards: 2, ..PoolConfig::default() });
+//! let cfg = LoadgenConfig {
+//!     clients: 2,
+//!     batches_per_client: 8,
+//!     batch_entries: 16,
+//!     entries_per_client: 256,
+//!     ..LoadgenConfig::default()
+//! };
+//! let report = replay(&pool, AccessProfile::streaming_dl(), &cfg)?;
+//! assert_eq!(report.entries_processed, 2 * 8 * 16);
+//! assert!(report.entries_per_sec > 0.0);
+//! # Ok::<(), buddy_pool::DeviceError>(())
+//! ```
+
+use crate::{AccessStats, BuddyPool, DeviceError, Entry, PoolAllocId, TargetRatio, ENTRY_BYTES};
+use std::time::{Duration, Instant};
+use workloads::{AccessProfile, TraceGenerator};
+
+/// Configuration of one replay run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Batched operations each client issues.
+    pub batches_per_client: u64,
+    /// Entries per batched operation.
+    pub batch_entries: usize,
+    /// Footprint (in entries) of each client's private allocation.
+    pub entries_per_client: u64,
+    /// Target compression ratio of the replayed allocations.
+    pub target: TargetRatio,
+    /// Master seed; every client derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            batches_per_client: 512,
+            batch_entries: 64,
+            entries_per_client: 4096,
+            target: TargetRatio::R2,
+            seed: 0xB0DD7,
+        }
+    }
+}
+
+/// Latency percentiles over per-batch samples, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median batch latency.
+    pub p50_us: f64,
+    /// 95th-percentile batch latency.
+    pub p95_us: f64,
+    /// 99th-percentile batch latency.
+    pub p99_us: f64,
+}
+
+/// Result of one replay run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Shards in the pool the run drove.
+    pub shards: usize,
+    /// Client threads that replayed.
+    pub clients: usize,
+    /// Total 128 B entries moved (reads + writes).
+    pub entries_processed: u64,
+    /// Total batched operations issued.
+    pub batches: u64,
+    /// Wall-clock duration of the replay phase (allocations excluded).
+    pub elapsed: Duration,
+    /// Aggregate throughput in entries per second.
+    pub entries_per_sec: f64,
+    /// Aggregate logical (uncompressed) throughput in GB/s (10⁹ bytes).
+    pub logical_gb_per_sec: f64,
+    /// Per-batch latency percentiles across all clients.
+    pub latency: LatencyPercentiles,
+    /// Traffic this replay added to the pool (delta of the merged
+    /// counters, exact — taken after a [`BuddyPool::drain`] barrier).
+    pub stats: AccessStats,
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** sample of
+/// nanosecond latencies, returned in microseconds. Returns 0 for an empty
+/// sample.
+pub fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted_nanos.len() as f64).ceil() as usize).clamp(1, sorted_nanos.len());
+    sorted_nanos[rank - 1] as f64 / 1_000.0
+}
+
+/// The write palette: a ring of entries spanning the compressibility
+/// spectrum (zero / constant / ramp / noise), generated deterministically
+/// from `seed`. Sized `ring + batch` so any batch is a contiguous window —
+/// write paths borrow straight from the palette with no per-op copying.
+fn write_palette(seed: u64, batch: usize) -> Vec<Entry> {
+    const RING: usize = 256;
+    let mut palette = Vec::with_capacity(RING + batch);
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for slot in 0..RING {
+        let mut entry = [0u8; ENTRY_BYTES];
+        match slot % 4 {
+            0 => {} // zero entry
+            1 => {
+                let word = (slot as u32).wrapping_mul(0x9E37_79B9);
+                for c in entry.chunks_exact_mut(4) {
+                    c.copy_from_slice(&word.to_le_bytes());
+                }
+            }
+            2 => {
+                for (j, c) in entry.chunks_exact_mut(4).enumerate() {
+                    let v = 1_000_000u32.wrapping_add((slot * 64 + j * 3) as u32);
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            _ => {
+                for b in entry.iter_mut() {
+                    *b = (next() >> 33) as u8;
+                }
+            }
+        }
+        palette.push(entry);
+    }
+    // Mirror the head onto the tail so window `i` equals window `i % RING`.
+    for i in 0..batch {
+        let e = palette[i];
+        palette.push(e);
+    }
+    palette
+}
+
+/// Replays `cfg.clients` concurrent trace streams with `profile`'s access
+/// statistics against `pool`.
+///
+/// Setup (outside the timed window): each client gets one private
+/// allocation of `cfg.entries_per_client` entries. Replay (timed): each
+/// client walks its own deterministic [`TraceGenerator`] stream; every
+/// access becomes one batched operation of `cfg.batch_entries` contiguous
+/// entries anchored at the access's entry index (clamped to the
+/// allocation): writes draw from a seeded compressibility palette, reads
+/// decompress into a reusable buffer (read *correctness* under concurrency
+/// is covered by `tests/pool_equivalence.rs`, not re-checked in the timed
+/// loop). Latency is sampled per batch; see the module docs for why.
+///
+/// # Errors
+///
+/// Returns the first [`DeviceError`] any client hits — in practice only
+/// allocation failures, when the pool is too small for
+/// `clients × entries_per_client`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate: zero clients, zero batches, a zero-entry
+/// batch, or a batch larger than the per-client footprint.
+pub fn replay(
+    pool: &BuddyPool,
+    profile: AccessProfile,
+    cfg: &LoadgenConfig,
+) -> Result<LoadReport, DeviceError> {
+    assert!(cfg.clients > 0, "loadgen needs at least one client");
+    assert!(
+        cfg.batches_per_client > 0,
+        "loadgen needs at least one batch"
+    );
+    assert!(
+        cfg.batch_entries > 0 && cfg.batch_entries as u64 <= cfg.entries_per_client,
+        "batch ({}) must be 1..=entries_per_client ({})",
+        cfg.batch_entries,
+        cfg.entries_per_client
+    );
+
+    let handles: Vec<PoolAllocId> = (0..cfg.clients)
+        .map(|c| {
+            pool.alloc(
+                &format!("loadgen-client-{c}"),
+                cfg.entries_per_client,
+                cfg.target,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+
+    let before = pool.drain();
+    let started = Instant::now();
+
+    let per_client: Vec<Result<Vec<u64>, DeviceError>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = handles
+            .iter()
+            .enumerate()
+            .map(|(c, &handle)| {
+                let cfg = *cfg;
+                scope.spawn(move || client_run(pool, handle, profile, &cfg, c as u64))
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("loadgen client panicked"))
+            .collect()
+    });
+
+    let elapsed = started.elapsed();
+    let after = pool.drain();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for result in per_client {
+        latencies.extend(result?);
+    }
+    latencies.sort_unstable();
+
+    let batches = cfg.clients as u64 * cfg.batches_per_client;
+    let entries_processed = batches * cfg.batch_entries as u64;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadReport {
+        shards: pool.shard_count(),
+        clients: cfg.clients,
+        entries_processed,
+        batches,
+        elapsed,
+        entries_per_sec: entries_processed as f64 / secs,
+        logical_gb_per_sec: (entries_processed * ENTRY_BYTES as u64) as f64 / secs / 1e9,
+        latency: LatencyPercentiles {
+            p50_us: percentile_us(&latencies, 0.50),
+            p95_us: percentile_us(&latencies, 0.95),
+            p99_us: percentile_us(&latencies, 0.99),
+        },
+        stats: stats_delta(&before, &after),
+    })
+}
+
+/// One client thread: walks its deterministic trace, issuing one batched
+/// op per access and timing each batch.
+fn client_run(
+    pool: &BuddyPool,
+    handle: PoolAllocId,
+    profile: AccessProfile,
+    cfg: &LoadgenConfig,
+    client: u64,
+) -> Result<Vec<u64>, DeviceError> {
+    let palette = write_palette(cfg.seed.wrapping_add(client), cfg.batch_entries);
+    let ring = palette.len() - cfg.batch_entries;
+    let mut trace = TraceGenerator::per_client(profile, cfg.entries_per_client, cfg.seed, client);
+    let mut read_buf = vec![[0u8; ENTRY_BYTES]; cfg.batch_entries];
+    let mut latencies = Vec::with_capacity(cfg.batches_per_client as usize);
+    let max_start = cfg.entries_per_client - cfg.batch_entries as u64;
+
+    for op in 0..cfg.batches_per_client {
+        let access = trace.next().expect("trace generators are infinite");
+        let start = access.entry.min(max_start);
+        let timer = Instant::now();
+        if access.write {
+            let window = &palette[(op as usize) % ring..][..cfg.batch_entries];
+            pool.write_entries(handle, start, window)?;
+        } else {
+            pool.read_entries(handle, start, &mut read_buf)?;
+            std::hint::black_box(&read_buf);
+        }
+        latencies.push(timer.elapsed().as_nanos() as u64);
+    }
+    Ok(latencies)
+}
+
+/// Field-wise difference of two monotonically increasing counter sets.
+fn stats_delta(before: &AccessStats, after: &AccessStats) -> AccessStats {
+    AccessStats {
+        reads_device_only: after.reads_device_only - before.reads_device_only,
+        reads_with_buddy: after.reads_with_buddy - before.reads_with_buddy,
+        writes_device_only: after.writes_device_only - before.writes_device_only,
+        writes_with_buddy: after.writes_with_buddy - before.writes_with_buddy,
+        device_sectors: after.device_sectors - before.device_sectors,
+        buddy_sectors: after.buddy_sectors - before.buddy_sectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceConfig, PoolConfig};
+
+    fn pool(shards: usize) -> BuddyPool {
+        BuddyPool::new(PoolConfig {
+            shards,
+            shard_config: DeviceConfig {
+                device_capacity: 4 << 20,
+                carve_out_factor: 3,
+            },
+            codec: crate::CodecKind::Bpc,
+        })
+    }
+
+    fn quick_cfg(clients: usize) -> LoadgenConfig {
+        LoadgenConfig {
+            clients,
+            batches_per_client: 32,
+            batch_entries: 16,
+            entries_per_client: 512,
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_accounts_every_entry() {
+        let pool = pool(2);
+        let report = replay(&pool, AccessProfile::streaming_dl(), &quick_cfg(3)).unwrap();
+        assert_eq!(report.clients, 3);
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.batches, 3 * 32);
+        assert_eq!(report.entries_processed, 3 * 32 * 16);
+        // One traffic-counter access per entry moved.
+        assert_eq!(report.stats.total_accesses(), report.entries_processed);
+        assert!(report.entries_per_sec > 0.0);
+        assert!(report.logical_gb_per_sec > 0.0);
+        assert!(report.latency.p50_us <= report.latency.p95_us);
+        assert!(report.latency.p95_us <= report.latency.p99_us);
+    }
+
+    #[test]
+    fn replay_work_is_deterministic() {
+        // Same seed on fresh pools ⇒ identical traffic, whatever the
+        // thread interleaving was.
+        let a = replay(&pool(4), AccessProfile::random_sparse(), &quick_cfg(4)).unwrap();
+        let b = replay(&pool(4), AccessProfile::random_sparse(), &quick_cfg(4)).unwrap();
+        assert_eq!(a.stats, b.stats);
+        // Different seed ⇒ different access mix (with overwhelming odds).
+        let other = LoadgenConfig {
+            seed: 7,
+            ..quick_cfg(4)
+        };
+        let c = replay(&pool(4), AccessProfile::random_sparse(), &other).unwrap();
+        assert_ne!(a.stats, c.stats);
+    }
+
+    #[test]
+    fn stats_are_a_delta_not_a_total() {
+        let pool = pool(1);
+        let first = replay(&pool, AccessProfile::stencil(), &quick_cfg(1)).unwrap();
+        let second = replay(&pool, AccessProfile::stencil(), &quick_cfg(1)).unwrap();
+        // The second replay allocates fresh regions but reports only its
+        // own traffic, not the pool's lifetime counters.
+        assert_eq!(first.stats.total_accesses(), second.stats.total_accesses());
+        assert_eq!(
+            pool.stats().total_accesses(),
+            first.stats.total_accesses() + second.stats.total_accesses()
+        );
+    }
+
+    #[test]
+    fn undersized_pool_reports_allocation_failure() {
+        let tiny = BuddyPool::new(PoolConfig {
+            shards: 1,
+            shard_config: DeviceConfig {
+                device_capacity: 4096,
+                carve_out_factor: 3,
+            },
+            codec: crate::CodecKind::Bpc,
+        });
+        let err = replay(&tiny, AccessProfile::stencil(), &quick_cfg(2)).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile_us(&sample, 0.50), 50.0);
+        assert_eq!(percentile_us(&sample, 0.95), 95.0);
+        assert_eq!(percentile_us(&sample, 0.99), 99.0);
+        assert_eq!(percentile_us(&sample, 1.0), 100.0);
+        assert_eq!(percentile_us(&sample, 0.0), 1.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[5000], 0.99), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch")]
+    fn oversized_batch_is_rejected() {
+        let cfg = LoadgenConfig {
+            batch_entries: 1024,
+            entries_per_client: 512,
+            ..quick_cfg(1)
+        };
+        let _ = replay(&pool(1), AccessProfile::stencil(), &cfg);
+    }
+}

@@ -1,0 +1,215 @@
+//! A one-shard [`BuddyPool`] must be observably identical to a bare
+//! [`BuddyDevice`]: same bytes on every read, same error on every invalid
+//! access, same traffic counters and occupancy after any operation
+//! sequence. This is the pool's correctness anchor — sharding and locking
+//! may only ever *distribute* the device semantics, never change them.
+
+use buddy_pool::{
+    AccessStats, BuddyDevice, BuddyPool, CodecKind, DeviceConfig, Entry, PoolConfig, TargetRatio,
+    ENTRY_BYTES,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workloads::{AccessProfile, TraceGenerator};
+
+const SHARD_CONFIG: DeviceConfig = DeviceConfig {
+    device_capacity: 1 << 20,
+    carve_out_factor: 3,
+};
+
+fn pair(codec: CodecKind) -> (BuddyPool, BuddyDevice) {
+    let pool = BuddyPool::new(PoolConfig {
+        shards: 1,
+        shard_config: SHARD_CONFIG,
+        codec,
+    });
+    let device = BuddyDevice::with_codec(SHARD_CONFIG, codec);
+    (pool, device)
+}
+
+/// Entries spanning the compressibility spectrum, like the core tests use.
+fn entry_of_kind(kind: u8, seed: u64) -> Entry {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut entry = [0u8; ENTRY_BYTES];
+    match kind % 4 {
+        0 => {}
+        1 => {
+            let w: u32 = rng.gen();
+            for c in entry.chunks_exact_mut(4) {
+                c.copy_from_slice(&w.to_le_bytes());
+            }
+        }
+        2 => {
+            let base: u32 = rng.gen_range(1 << 28..1 << 29);
+            for c in entry.chunks_exact_mut(4) {
+                let v = base + rng.gen_range(0u32..1 << 10);
+                c.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        _ => rng.fill(&mut entry[..]),
+    }
+    entry
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random operation sequences — batched and single-entry reads and
+    /// writes, in-range and out-of-range, plus mid-sequence allocations —
+    /// behave identically on a 1-shard pool and a bare device, under every
+    /// codec and target ratio.
+    #[test]
+    fn one_shard_pool_matches_bare_device(
+        (codec_idx, target_idx) in (0u8..4, 0u8..5),
+        ops in proptest::collection::vec((0u8..5, any::<u64>(), 0usize..12, any::<u64>()), 1..24),
+    ) {
+        let codec = CodecKind::ALL[codec_idx as usize];
+        let target = TargetRatio::DESCENDING[target_idx as usize];
+        let (pool, mut device) = pair(codec);
+
+        let mut handles = vec![(
+            pool.alloc("base", 48, target).unwrap(),
+            device.alloc("base", 48, target).unwrap(),
+        )];
+        let mut entry_counts = vec![48u64];
+
+        for (op, pos, len, data_seed) in ops {
+            let slot = (pos % handles.len() as u64) as usize;
+            let (pool_id, dev_id) = handles[slot];
+            let entries = entry_counts[slot];
+            // Bias starts toward the boundary so zero-length batches at
+            // `entries` and out-of-range starts both occur regularly.
+            let start = pos % (entries + 4);
+            match op {
+                0 => {
+                    let batch: Vec<Entry> = (0..len)
+                        .map(|i| entry_of_kind((data_seed + i as u64) as u8, data_seed ^ i as u64))
+                        .collect();
+                    prop_assert_eq!(
+                        pool.write_entries(pool_id, start, &batch),
+                        device.write_entries(dev_id, start, &batch)
+                    );
+                }
+                1 => {
+                    let mut from_pool = vec![[0u8; ENTRY_BYTES]; len];
+                    let mut from_dev = vec![[1u8; ENTRY_BYTES]; len];
+                    let pr = pool.read_entries(pool_id, start, &mut from_pool);
+                    let dr = device.read_entries(dev_id, start, &mut from_dev);
+                    prop_assert_eq!(pr.clone(), dr);
+                    if pr.is_ok() {
+                        prop_assert_eq!(&from_pool, &from_dev, "read bytes must match");
+                    }
+                }
+                2 => {
+                    let entry = entry_of_kind(data_seed as u8, data_seed);
+                    prop_assert_eq!(
+                        pool.write_entry(pool_id, start, &entry),
+                        device.write_entry(dev_id, start, &entry)
+                    );
+                }
+                3 => {
+                    prop_assert_eq!(
+                        pool.read_entry(pool_id, start),
+                        device.read_entry(dev_id, start)
+                    );
+                }
+                _ => {
+                    let n = 8 + pos % 24;
+                    let name = format!("alloc{}", handles.len());
+                    let pa = pool.alloc(&name, n, target);
+                    let da = device.alloc(&name, n, target);
+                    prop_assert_eq!(pa.is_ok(), da.is_ok());
+                    if let (Ok(p), Ok(d)) = (pa, da) {
+                        handles.push((p, d));
+                        entry_counts.push(n);
+                    }
+                }
+            }
+        }
+
+        prop_assert_eq!(pool.stats(), device.stats(), "traffic counters diverged");
+        prop_assert_eq!(pool.device_used(), device.device_used());
+        prop_assert_eq!(pool.buddy_used(), device.buddy_used());
+        prop_assert_eq!(pool.logical_bytes(), device.logical_bytes());
+        prop_assert_eq!(pool.effective_ratio(), device.effective_ratio());
+    }
+}
+
+/// The same *workload trace* replayed through a 1-shard pool and a bare
+/// device — access-for-access, including batched runs — yields identical
+/// read-back bytes and identical stats.
+#[test]
+fn same_trace_through_pool_and_device() {
+    for codec in CodecKind::ALL {
+        let (pool, mut device) = pair(codec);
+        const ENTRIES: u64 = 512;
+        const BATCH: usize = 16;
+        let pool_id = pool.alloc("trace", ENTRIES, TargetRatio::R2).unwrap();
+        let dev_id = device.alloc("trace", ENTRIES, TargetRatio::R2).unwrap();
+
+        let trace = TraceGenerator::per_client(AccessProfile::stencil(), ENTRIES, 0xB0DD7, 0);
+        for (i, access) in trace.take(400).enumerate() {
+            let start = access.entry.min(ENTRIES - BATCH as u64);
+            if access.write {
+                let batch: Vec<Entry> = (0..BATCH)
+                    .map(|j| entry_of_kind((i + j) as u8, (i * 31 + j) as u64))
+                    .collect();
+                pool.write_entries(pool_id, start, &batch).unwrap();
+                device.write_entries(dev_id, start, &batch).unwrap();
+            } else {
+                let mut from_pool = [[0u8; ENTRY_BYTES]; BATCH];
+                let mut from_dev = [[0u8; ENTRY_BYTES]; BATCH];
+                pool.read_entries(pool_id, start, &mut from_pool).unwrap();
+                device.read_entries(dev_id, start, &mut from_dev).unwrap();
+                assert_eq!(from_pool, from_dev, "{codec}: access {i}");
+            }
+        }
+
+        assert_eq!(pool.stats(), device.stats(), "{codec}: stats diverged");
+        let occupancy = pool.occupancy();
+        assert_eq!(occupancy.len(), 1);
+        assert_eq!(occupancy[0].stats, device.stats());
+        assert_eq!(occupancy[0].effective_ratio, device.effective_ratio());
+
+        // Final memory images agree entry for entry.
+        for index in 0..ENTRIES {
+            assert_eq!(
+                pool.read_entry(pool_id, index).unwrap(),
+                device.read_entry(dev_id, index).unwrap(),
+                "{codec}: final image at {index}"
+            );
+        }
+    }
+}
+
+/// Merging per-shard stats is lossless: a multi-shard pool serving disjoint
+/// clients reports exactly the sum of what the same clients would have done
+/// to private devices.
+#[test]
+fn multi_shard_stats_merge_is_lossless() {
+    let pool = BuddyPool::new(PoolConfig {
+        shards: 4,
+        shard_config: SHARD_CONFIG,
+        codec: CodecKind::Bpc,
+    });
+    let mut reference = AccessStats::default();
+    for c in 0..4u64 {
+        let mut device = BuddyDevice::new(SHARD_CONFIG);
+        let pool_id = pool.alloc(&format!("c{c}"), 128, TargetRatio::R2).unwrap();
+        let dev_id = device
+            .alloc(&format!("c{c}"), 128, TargetRatio::R2)
+            .unwrap();
+        for i in 0..64 {
+            let entry = entry_of_kind((c + i) as u8, c * 1000 + i);
+            pool.write_entry(pool_id, i, &entry).unwrap();
+            device.write_entry(dev_id, i, &entry).unwrap();
+            assert_eq!(
+                pool.read_entry(pool_id, i).unwrap(),
+                device.read_entry(dev_id, i).unwrap()
+            );
+        }
+        reference.merge(&device.stats());
+    }
+    assert_eq!(pool.drain(), reference);
+}

@@ -160,6 +160,10 @@ impl Benchmark {
     }
 
     /// Builds an access-trace generator over this benchmark's footprint.
+    ///
+    /// For multi-client replays, split the footprint into per-client
+    /// slices and build one [`TraceGenerator::per_client`] per slice, as
+    /// the `buddy-pool` load generator does.
     pub fn trace(&self, seed: u64) -> TraceGenerator {
         TraceGenerator::new(self.access, self.total_entries(), seed)
     }
@@ -827,6 +831,20 @@ mod tests {
             let mut t = b.trace(1);
             let access = t.next().expect("trace yields accesses");
             assert!(access.entry < b.total_entries());
+        }
+    }
+
+    #[test]
+    fn per_client_split_of_a_benchmark_stays_in_slice() {
+        let mut b = by_name("356.sp").unwrap();
+        b.scale = Scale::test();
+        let per_client = b.total_entries() / 4;
+        for c in 0..4 {
+            let t = TraceGenerator::per_client(b.access, per_client, 9, c);
+            assert_eq!(t.footprint_entries(), per_client, "client {c} slice");
+            for access in t.take(500) {
+                assert!(access.entry < per_client, "client {c} stays in slice");
+            }
         }
     }
 }

@@ -12,7 +12,9 @@
 //!    metadata, the profiling pass and a functional compressed device,
 //! 4. [`gpu_sim`] — the dependency-driven performance simulator (Table 2),
 //! 5. [`unified_memory`] — the UM oversubscription model (Figure 12),
-//! 6. [`dl_model`] — the DL training case study (Figure 13).
+//! 6. [`dl_model`] — the DL training case study (Figure 13),
+//! 7. [`buddy_pool`] — a sharded, thread-safe pool of `BuddyDevice`s with a
+//!    concurrent trace-replay load harness (multi-tenant scaling).
 //!
 //! The glue items here ([`profile_benchmark`], [`BenchmarkLayout`],
 //! [`benchmark_requests`], [`run_performance_sim`]) connect a workload to
@@ -38,6 +40,7 @@
 
 pub use bpc;
 pub use buddy_core;
+pub use buddy_pool;
 pub use dl_model;
 pub use gpu_sim;
 pub use unified_memory;

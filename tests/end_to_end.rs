@@ -86,6 +86,60 @@ fn codec_agnostic_pipeline_round_trips() {
     }
 }
 
+/// The §3.5 flow served multi-tenant: profiled targets drive concurrent
+/// clients writing a real workload image through a sharded pool, with
+/// lossless read-back under cross-client concurrency and the same
+/// compression the single-device flow achieves.
+#[test]
+fn pooled_pipeline_round_trips_concurrently() {
+    use buddy_compression::buddy_pool::{BuddyPool, PoolConfig};
+
+    let bench = test_bench("356.sp");
+    let profiles = profile_benchmark(&bench, 512, 3);
+    let outcome = choose_targets(&profiles, &ProfileConfig::default());
+
+    let pool = BuddyPool::new(PoolConfig {
+        shards: 4,
+        shard_config: DeviceConfig {
+            device_capacity: 16 << 20,
+            carve_out_factor: 3,
+        },
+        codec: CodecKind::Bpc,
+    });
+    // One client per allocation, all writing and verifying concurrently.
+    std::thread::scope(|scope| {
+        for (idx, ((spec, entries), choice)) in bench
+            .allocation_layout()
+            .into_iter()
+            .zip(outcome.choices.iter())
+            .enumerate()
+        {
+            let pool = &pool;
+            scope.spawn(move || {
+                let n = entries.min(256);
+                let alloc = pool.alloc(spec.name, n, choice.target).expect("fits");
+                let alloc_seed = entry_gen::mix(&[3, idx as u64]);
+                let data: Vec<[u8; ENTRY_BYTES]> =
+                    (0..n).map(|i| spec.entry_at(alloc_seed, i, 0.5)).collect();
+                pool.write_entries(alloc, 0, &data).expect("batch write");
+                let mut out = vec![[0u8; ENTRY_BYTES]; n as usize];
+                pool.read_entries(alloc, 0, &mut out).expect("batch read");
+                assert_eq!(out, data, "{}: lossless under concurrency", spec.name);
+            });
+        }
+    });
+    assert!(
+        pool.effective_ratio() > 1.5,
+        "356.sp compresses well pooled"
+    );
+    let stats = pool.drain();
+    assert_eq!(
+        stats.total_accesses(),
+        2 * pool.logical_bytes() / ENTRY_BYTES as u64,
+        "one write + one read per entry"
+    );
+}
+
 /// The static buddy fraction predicted by the profiler matches what the
 /// functional device actually observes when the data is stored.
 #[test]

@@ -1,10 +1,10 @@
 //! Coverage for the `examples/` directory.
 //!
-//! All three examples are compiled as part of `cargo test` / `cargo build
+//! All four examples are compiled as part of `cargo test` / `cargo build
 //! --examples` (compilation is the coverage for the two long-running
-//! sweeps); `quickstart` is additionally *executed* here — it is already a
-//! test-scale configuration (4096 entries against a 1 MiB device) and
-//! finishes in well under a second.
+//! sweeps); `quickstart` and `pool_replay` are additionally *executed*
+//! here — both are test-scale configurations that finish in well under a
+//! second.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -50,6 +50,37 @@ fn quickstart_example_runs_and_reports_compression() {
     assert!(
         stdout.contains("device ratio"),
         "missing device-stats line:\n{stdout}"
+    );
+}
+
+#[test]
+fn pool_replay_example_runs_and_reports_throughput() {
+    let bin = example_bin("pool_replay");
+    assert!(
+        bin.exists(),
+        "{} not found — examples should be built alongside tests",
+        bin.display()
+    );
+    let output = Command::new(&bin).output().expect("pool_replay spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "pool_replay failed ({}):\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // 4 clients × 128 batches × 32 entries, all accounted for.
+    assert!(
+        stdout.contains("replayed 16384 entries in 512 batches from 4 clients over 4 shards"),
+        "missing replay accounting line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("merged traffic: 16384 accesses"),
+        "missing merged-stats line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("shard 3:"),
+        "missing per-shard occupancy lines:\n{stdout}"
     );
 }
 
