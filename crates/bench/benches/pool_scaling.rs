@@ -33,6 +33,7 @@ fn replay_once(shards: usize, clients: usize) {
         entries_per_client: ENTRIES_PER_CLIENT,
         target: TargetRatio::R2,
         seed: 0xB0DD7,
+        retarget_every: 0,
     };
     let report = replay(&pool, AccessProfile::streaming_dl(), &cfg).expect("pool fits clients");
     criterion::black_box(report.entries_per_sec);

@@ -1,0 +1,8 @@
+//! Online re-targeting study: static one-shot profiling vs the adaptive
+//! policy over the drift workload (DESIGN.md §8). Writes
+//! `results/adaptive_retarget.csv`. Pass --quick for a reduced run.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::adaptfig::adaptive_retarget(&cfg)
+}

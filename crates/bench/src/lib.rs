@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adaptfig;
 pub mod capacity;
 pub mod dlfig;
 pub mod performance;
@@ -42,6 +43,7 @@ pub fn reproduce_all(cfg: &RunConfig) -> io::Result<()> {
     dlfig::fig13d(cfg)?;
     ablation::ablation(cfg)?;
     poolfig::pool_throughput(cfg)?;
+    adaptfig::adaptive_retarget(cfg)?;
     println!(
         "\nAll tables and figures regenerated into {:?}.",
         cfg.results_dir

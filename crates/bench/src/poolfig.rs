@@ -72,6 +72,7 @@ pub fn measure(
         entries_per_client,
         target,
         seed,
+        retarget_every: 0,
     };
     let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client");
     Cell { codec, report }

@@ -9,6 +9,7 @@
 //! changes never move any *other* data (§3.3, "No Page-Faulting Expense"),
 //! which `tests/no_movement.rs` verifies.
 
+use crate::adapt::StateWindow;
 use crate::metadata::{EntryState, Gbbr, MetadataStore};
 use crate::target::TargetRatio;
 use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
@@ -45,6 +46,13 @@ pub enum DeviceError {
         /// Entries in the allocation.
         entries: u64,
     },
+    /// An allocation of zero entries was requested. Zero-entry allocations
+    /// are rejected uniformly across every path (`alloc` on devices and
+    /// pools alike): they would be unaddressable (every access out of
+    /// range) and un-retargetable (no states to observe), so the request
+    /// is pinned to an explicit error instead of behaving differently per
+    /// layer.
+    EmptyAllocation,
 }
 
 impl fmt::Display for DeviceError {
@@ -75,6 +83,9 @@ impl fmt::Display for DeviceError {
                     "entry index {index} out of range (allocation has {entries})"
                 )
             }
+            DeviceError::EmptyAllocation => {
+                write!(f, "allocations must contain at least one entry")
+            }
         }
     }
 }
@@ -101,6 +112,16 @@ pub struct AccessStats {
     pub device_sectors: u64,
     /// 32 B sectors moved over the interconnect to/from buddy memory.
     pub buddy_sectors: u64,
+    /// Completed [`retarget`](BuddyDevice::retarget) migrations.
+    pub retargets: u64,
+    /// 32 B sectors rewritten by migrations: the re-encoded entries of the
+    /// retargeted allocation plus any neighbouring regions relocated to
+    /// make room. Kept separate from `device_sectors`/`buddy_sectors` so
+    /// migration overhead is visible on its own and entry-access
+    /// accounting ([`total_accesses`](Self::total_accesses),
+    /// [`buddy_access_fraction`](Self::buddy_access_fraction)) is
+    /// unaffected.
+    pub moved_sectors: u64,
 }
 
 impl AccessStats {
@@ -113,6 +134,8 @@ impl AccessStats {
         self.writes_with_buddy += other.writes_with_buddy;
         self.device_sectors += other.device_sectors;
         self.buddy_sectors += other.buddy_sectors;
+        self.retargets += other.retargets;
+        self.moved_sectors += other.moved_sectors;
     }
 
     /// Fraction of entry accesses that touched the buddy memory — the
@@ -135,6 +158,27 @@ impl AccessStats {
             + self.writes_device_only
             + self.writes_with_buddy
     }
+}
+
+/// Outcome of one online re-targeting migration
+/// (see [`BuddyDevice::retarget`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetargetReport {
+    /// Target ratio the allocation migrated away from.
+    pub old_target: TargetRatio,
+    /// Target ratio the allocation now holds.
+    pub new_target: TargetRatio,
+    /// Entries re-encoded.
+    pub entries: u64,
+    /// 32 B sectors physically rewritten by this migration (re-encoded
+    /// entry storage plus relocated neighbouring regions); also
+    /// accumulated into [`AccessStats::moved_sectors`].
+    pub moved_sectors: u64,
+    /// Change in this allocation's device-memory reservation, in bytes
+    /// (negative when the migration reclaims device memory).
+    pub device_bytes_delta: i64,
+    /// Change in this allocation's buddy carve-out reservation, in bytes.
+    pub buddy_bytes_delta: i64,
 }
 
 /// Internal bookkeeping for one allocation: the display name plus the POD
@@ -353,7 +397,8 @@ impl BuddyDevice {
     ///
     /// # Errors
     ///
-    /// Returns [`DeviceError::OutOfDeviceMemory`] or
+    /// Returns [`DeviceError::EmptyAllocation`] for a zero-entry request,
+    /// and [`DeviceError::OutOfDeviceMemory`] or
     /// [`DeviceError::OutOfBuddyMemory`] if either region is exhausted.
     pub fn alloc(
         &mut self,
@@ -361,6 +406,9 @@ impl BuddyDevice {
         entries: u64,
         target: TargetRatio,
     ) -> Result<AllocId, DeviceError> {
+        if entries == 0 {
+            return Err(DeviceError::EmptyAllocation);
+        }
         let device_need = entries * target.device_bytes_per_entry() as u64;
         let buddy_need = entries * target.buddy_bytes_per_entry() as u64;
         let device_avail = self.config.device_capacity - self.device_used;
@@ -634,6 +682,188 @@ impl BuddyDevice {
         ))
     }
 
+    /// Migrates an allocation to a new target ratio, re-encoding every
+    /// entry in place: device/buddy sectors are reclaimed or reserved, the
+    /// stored bytes are preserved exactly, and metadata is rewritten for
+    /// the new split. This is the online escape hatch from a stale
+    /// profiling decision (the paper picks targets once, §3.5; see
+    /// DESIGN.md §8 and the [`adapt`](crate::adapt) policy that drives it).
+    ///
+    /// Migration is **observation-equivalent**: after `retarget`, every
+    /// read returns the same bytes, every invalid access the same error,
+    /// and occupancy/traffic accounting matches a device whose allocation
+    /// was created at `new_target` in the first place
+    /// (`tests/retarget_equivalence.rs` proves this across every codec ×
+    /// target × target combination). The allocation's own region grows or
+    /// shrinks in place; later allocations' regions are relocated by the
+    /// size delta (their bytes move, their contents don't change — reads
+    /// of *other* allocations are byte-identical before and after).
+    ///
+    /// The cost is accounted in [`AccessStats::retargets`] /
+    /// [`AccessStats::moved_sectors`] and in the returned
+    /// [`RetargetReport`] — not in the entry-access counters, which keep
+    /// their read/write meaning. Re-targeting to the current target is a
+    /// free no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for an unknown handle, and
+    /// [`DeviceError::OutOfDeviceMemory`] / [`DeviceError::OutOfBuddyMemory`]
+    /// if the new target needs more bytes than the device has free — in
+    /// which case the device is left completely unchanged.
+    pub fn retarget(
+        &mut self,
+        id: AllocId,
+        new_target: TargetRatio,
+    ) -> Result<RetargetReport, DeviceError> {
+        let view = self.view(id)?;
+        let old_target = view.target;
+        let entries = view.entries;
+        if old_target == new_target {
+            return Ok(RetargetReport {
+                old_target,
+                new_target,
+                entries,
+                moved_sectors: 0,
+                device_bytes_delta: 0,
+                buddy_bytes_delta: 0,
+            });
+        }
+        let old_device = entries * old_target.device_bytes_per_entry() as u64;
+        let new_device = entries * new_target.device_bytes_per_entry() as u64;
+        let old_buddy = entries * old_target.buddy_bytes_per_entry() as u64;
+        let new_buddy = entries * new_target.buddy_bytes_per_entry() as u64;
+        // Admission control before any mutation: a failed retarget must
+        // leave the device byte-for-byte as it was.
+        if new_device > old_device {
+            let requested = new_device - old_device;
+            let available = self.config.device_capacity - self.device_used;
+            if requested > available {
+                return Err(DeviceError::OutOfDeviceMemory {
+                    requested,
+                    available,
+                });
+            }
+        }
+        if new_buddy > old_buddy {
+            let requested = new_buddy - old_buddy;
+            let buddy_capacity = self.config.device_capacity * self.config.carve_out_factor;
+            let available = buddy_capacity - self.buddy_used;
+            if requested > available {
+                return Err(DeviceError::OutOfBuddyMemory {
+                    requested,
+                    available,
+                });
+            }
+        }
+
+        // 1. Decode the allocation's live contents through the old layout.
+        //    (Functional model: the real design would stream this through
+        //    the compression pipeline sector by sector.) No entry-access
+        //    traffic is recorded — migration cost is `moved_sectors`.
+        let mut contents = vec![[0u8; ENTRY_BYTES]; entries as usize];
+        for (i, slot) in contents.iter_mut().enumerate() {
+            self.read_one(&view, i as u64, slot);
+        }
+
+        // 2. Relocate every later allocation's region by the size delta so
+        //    this allocation can grow or shrink in place. Allocations are
+        //    laid out in allocation order with no holes, so "later" is a
+        //    single contiguous tail in each byte array.
+        let device_delta = new_device as i64 - old_device as i64;
+        let buddy_delta = new_buddy as i64 - old_buddy as i64;
+        let mut moved_sectors = 0u64;
+        if device_delta != 0 {
+            let tail = (view.device_base + old_device) as usize..self.device_used as usize;
+            let dest = (tail.start as i64 + device_delta) as usize;
+            moved_sectors += (tail.len() as u64).div_ceil(SECTOR_BYTES as u64);
+            self.device.copy_within(tail, dest);
+        }
+        if buddy_delta != 0 {
+            let tail = (view.buddy_base + old_buddy) as usize..self.buddy_used as usize;
+            let dest = (tail.start as i64 + buddy_delta) as usize;
+            moved_sectors += (tail.len() as u64).div_ceil(SECTOR_BYTES as u64);
+            self.buddy.copy_within(tail, dest);
+        }
+        for alloc in self.allocations[id.0 + 1..].iter_mut() {
+            alloc.view.device_base = (alloc.view.device_base as i64 + device_delta) as u64;
+            alloc.view.buddy_base = (alloc.view.buddy_base as i64 + buddy_delta) as u64;
+        }
+        self.device_used = (self.device_used as i64 + device_delta) as u64;
+        self.buddy_used = (self.buddy_used as i64 + buddy_delta) as u64;
+        self.allocations[id.0].view.target = new_target;
+
+        // 3. Re-encode every entry under the new target (metadata entries
+        //    are per-entry, so the metadata region is unaffected).
+        let new_view = AllocView {
+            target: new_target,
+            ..view
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (i, entry) in contents.iter().enumerate() {
+            let state = self.write_one(&new_view, i as u64, entry, &mut scratch);
+            moved_sectors += Self::device_sectors_of(new_target, state)
+                + Self::buddy_sectors_of(new_target, state);
+        }
+        self.scratch = scratch;
+
+        self.stats.retargets += 1;
+        self.stats.moved_sectors += moved_sectors;
+        Ok(RetargetReport {
+            old_target,
+            new_target,
+            entries,
+            moved_sectors,
+            device_bytes_delta: device_delta,
+            buddy_bytes_delta: buddy_delta,
+        })
+    }
+
+    /// [`retarget`](Self::retarget) addressed by allocation name (the most
+    /// recently created allocation wins if a name was reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for an unknown name — pinned
+    /// alongside the zero-entry `alloc` behaviour so every invalid
+    /// re-target request fails the same way on every path — plus the
+    /// capacity errors of [`retarget`](Self::retarget).
+    pub fn retarget_by_name(
+        &mut self,
+        name: &str,
+        new_target: TargetRatio,
+    ) -> Result<RetargetReport, DeviceError> {
+        let index = self
+            .allocations
+            .iter()
+            .rposition(|a| a.name == name)
+            .ok_or(DeviceError::BadAllocation)?;
+        self.retarget(AllocId(index), new_target)
+    }
+
+    /// Summarizes the live metadata states of an allocation into a
+    /// [`StateWindow`] for the [`adapt`](crate::adapt) policy. A pure
+    /// metadata scan: records no traffic (4 bits per entry — the
+    /// information the memory controller already holds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for invalid handles.
+    pub fn state_window(&self, id: AllocId) -> Result<StateWindow, DeviceError> {
+        let view = self.view(id)?;
+        let mut window = StateWindow::new();
+        for i in 0..view.entries {
+            window.observe(self.metadata.get(view.metadata_base + i));
+        }
+        Ok(window)
+    }
+
+    /// Handles of every live allocation, in allocation order (for
+    /// policy sweeps over a whole device).
+    pub fn allocation_ids(&self) -> Vec<AllocId> {
+        (0..self.allocations.len()).map(AllocId).collect()
+    }
+
     /// Decodes a stored stream through the owning codec. Trailing padding
     /// from sector alignment is ignored by every decoder.
     fn decode(&self, data: &[u8], out: &mut Entry) {
@@ -853,13 +1083,37 @@ mod tests {
         let s = dev.stats();
         assert_eq!(s.total_accesses(), 0);
         assert_eq!(s.buddy_access_fraction(), 0.0);
+    }
 
-        // A zero-entry allocation charges nothing and keeps the neutral
-        // ratio (device_used stays 0).
+    #[test]
+    fn zero_entry_requests_are_pinned_to_an_explicit_error() {
+        // Zero-entry allocations are rejected uniformly: every target,
+        // every path, the same explicit variant — not a silent success
+        // here and a panic in a harness there.
         let mut dev = small_device();
-        dev.alloc("empty", 0, TargetRatio::R4).unwrap();
+        for target in TargetRatio::DESCENDING {
+            assert_eq!(
+                dev.alloc("empty", 0, target),
+                Err(DeviceError::EmptyAllocation),
+                "{target}"
+            );
+        }
+        assert_eq!(dev.allocation_count(), 0);
         assert_eq!(dev.device_used(), 0);
-        assert_eq!(dev.effective_ratio(), 1.0);
+        // Re-targeting an unknown name fails the same pinned way every
+        // invalid handle does.
+        assert_eq!(
+            dev.retarget_by_name("never-allocated", TargetRatio::R2),
+            Err(DeviceError::BadAllocation)
+        );
+        assert_eq!(
+            dev.retarget(AllocId(3), TargetRatio::R2),
+            Err(DeviceError::BadAllocation)
+        );
+        assert_eq!(
+            DeviceError::EmptyAllocation.to_string(),
+            "allocations must contain at least one entry"
+        );
     }
 
     #[test]
@@ -992,6 +1246,154 @@ mod tests {
             single.stats(),
             "batched stats must equal the per-entry accounting"
         );
+    }
+
+    #[test]
+    fn retarget_preserves_bytes_and_resizes_reservations() {
+        let mut dev = small_device();
+        let a = dev.alloc("t", 32, TargetRatio::R2).unwrap();
+        let entries: Vec<Entry> = (0..32)
+            .map(|i| {
+                if i % 3 == 0 {
+                    [0u8; ENTRY_BYTES]
+                } else {
+                    entry_of_words(|j| 40 + i * 17 + j as u32)
+                }
+            })
+            .collect();
+        dev.write_entries(a, 0, &entries).unwrap();
+        let report = dev.retarget(a, TargetRatio::R4).unwrap();
+        assert_eq!(report.old_target, TargetRatio::R2);
+        assert_eq!(report.new_target, TargetRatio::R4);
+        assert_eq!(report.entries, 32);
+        assert_eq!(report.device_bytes_delta, -(32 * 32));
+        assert_eq!(report.buddy_bytes_delta, 32 * 32);
+        assert!(report.moved_sectors > 0);
+        assert_eq!(dev.device_used(), 32 * 32);
+        assert_eq!(dev.buddy_used(), 32 * 96);
+        let mut out = vec![[0u8; ENTRY_BYTES]; 32];
+        dev.read_entries(a, 0, &mut out).unwrap();
+        assert_eq!(out, entries, "migration must preserve every byte");
+        let (_, target, _) = dev.allocation_info(a).unwrap();
+        assert_eq!(target, TargetRatio::R4);
+        let s = dev.stats();
+        assert_eq!(s.retargets, 1);
+        assert_eq!(s.moved_sectors, report.moved_sectors);
+    }
+
+    #[test]
+    fn retarget_to_same_target_is_a_free_noop() {
+        let mut dev = small_device();
+        let a = dev.alloc("t", 8, TargetRatio::R2).unwrap();
+        dev.write_entries(a, 0, &[entry_of_words(|j| j as u32); 8])
+            .unwrap();
+        let before = dev.stats();
+        let report = dev.retarget(a, TargetRatio::R2).unwrap();
+        assert_eq!(report.moved_sectors, 0);
+        assert_eq!(report.device_bytes_delta, 0);
+        assert_eq!(dev.stats(), before, "no-op must not move counters");
+        assert_eq!(dev.stats().retargets, 0);
+    }
+
+    #[test]
+    fn retarget_relocates_later_allocations_losslessly() {
+        // Three allocations; the *middle* one migrates both ways. The
+        // later allocation's region is relocated by the size delta and its
+        // contents must survive byte-for-byte.
+        let mut dev = small_device();
+        let a = dev.alloc("first", 16, TargetRatio::R4).unwrap();
+        let b = dev.alloc("middle", 16, TargetRatio::R2).unwrap();
+        let c = dev.alloc("last", 16, TargetRatio::ZeroPage16).unwrap();
+        let data = |salt: u32| -> Vec<Entry> {
+            (0..16)
+                .map(|i| entry_of_words(|j| salt + i * 13 + j as u32))
+                .collect()
+        };
+        let (da, db, dc) = (data(1000), data(2000), data(3000));
+        dev.write_entries(a, 0, &da).unwrap();
+        dev.write_entries(b, 0, &db).unwrap();
+        dev.write_entries(c, 0, &dc).unwrap();
+        for new_target in [TargetRatio::R1, TargetRatio::ZeroPage16, TargetRatio::R4] {
+            dev.retarget(b, new_target).unwrap();
+            for (id, expect, name) in [(a, &da, "first"), (b, &db, "middle"), (c, &dc, "last")] {
+                let mut out = vec![[0u8; ENTRY_BYTES]; 16];
+                dev.read_entries(id, 0, &mut out).unwrap();
+                assert_eq!(&out, expect, "{name} after middle -> {new_target}");
+            }
+        }
+        assert_eq!(dev.stats().retargets, 3);
+        // Reservations account for the final targets exactly.
+        assert_eq!(dev.device_used(), 16 * (32 + 32 + 8));
+        assert_eq!(dev.buddy_used(), 16 * (96 + 96 + 128));
+    }
+
+    #[test]
+    fn retarget_capacity_failure_leaves_device_untouched() {
+        // Device sized so the 2x allocation fits but 1x does not.
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 64 * 64 + 16,
+            carve_out_factor: 3,
+        });
+        let a = dev.alloc("tight", 64, TargetRatio::R2).unwrap();
+        let entries: Vec<Entry> = (0..64).map(|i| entry_of_words(|j| i + j as u32)).collect();
+        dev.write_entries(a, 0, &entries).unwrap();
+        let stats_before = dev.stats();
+        let err = dev.retarget(a, TargetRatio::R1).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfDeviceMemory { .. }));
+        assert_eq!(dev.stats(), stats_before, "failed retarget must not count");
+        assert_eq!(dev.device_used(), 64 * 64);
+        let (_, target, _) = dev.allocation_info(a).unwrap();
+        assert_eq!(target, TargetRatio::R2, "target must be unchanged");
+        let mut out = vec![[0u8; ENTRY_BYTES]; 64];
+        dev.read_entries(a, 0, &mut out).unwrap();
+        assert_eq!(out, entries);
+
+        // Buddy exhaustion is detected the same way (no carve-out at all).
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4096,
+            carve_out_factor: 0,
+        });
+        let a = dev.alloc("plain", 16, TargetRatio::R1).unwrap();
+        assert!(matches!(
+            dev.retarget(a, TargetRatio::R2),
+            Err(DeviceError::OutOfBuddyMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn retarget_by_name_addresses_the_latest_allocation() {
+        let mut dev = small_device();
+        let first = dev.alloc("tensor", 8, TargetRatio::R2).unwrap();
+        let second = dev.alloc("tensor", 8, TargetRatio::R2).unwrap();
+        dev.retarget_by_name("tensor", TargetRatio::R4).unwrap();
+        assert_eq!(dev.allocation_info(first).unwrap().1, TargetRatio::R2);
+        assert_eq!(dev.allocation_info(second).unwrap().1, TargetRatio::R4);
+    }
+
+    #[test]
+    fn state_window_reflects_metadata_without_traffic() {
+        let mut dev = small_device();
+        let a = dev.alloc("w", 16, TargetRatio::R2).unwrap();
+        // 8 zeros (untouched), 4 one-sector ramps, 4 incompressible.
+        for i in 0..4u64 {
+            dev.write_entry(a, i, &entry_of_words(|j| 500 + j as u32))
+                .unwrap();
+        }
+        let mut s = 1u64;
+        let noisy = entry_of_words(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 32) as u32
+        });
+        for i in 4..8u64 {
+            dev.write_entry(a, i, &noisy).unwrap();
+        }
+        let before = dev.stats();
+        let window = dev.state_window(a).unwrap();
+        assert_eq!(dev.stats(), before, "window scans must be traffic-free");
+        assert_eq!(window.total(), 16);
+        assert!((window.zero_fraction() - 0.5).abs() < 1e-12);
+        assert!((window.overflow_fraction(TargetRatio::R2) - 0.25).abs() < 1e-12);
+        assert_eq!(dev.allocation_ids(), vec![a]);
     }
 
     #[test]

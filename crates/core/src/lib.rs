@@ -19,6 +19,10 @@
 //! * A profiling pass ([`profile`]) picks per-allocation targets subject to
 //!   the **Buddy Threshold** — the maximum tolerated fraction of entries
 //!   that overflow to buddy memory.
+//! * Targets are not frozen at allocation time: [`BuddyDevice::retarget`]
+//!   migrates a live allocation to a new ratio (byte-preserving,
+//!   observation-equivalent), and the [`adapt`] module's online policy
+//!   recommends such migrations from live metadata with hysteresis.
 //!
 //! The [`BuddyDevice`] here is a *functional* model with real compressed
 //! storage (reads return exactly what was written); the companion `gpu-sim`
@@ -54,12 +58,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod device;
 pub mod metadata;
 pub mod profile;
 pub mod target;
 
-pub use device::{AccessStats, AllocId, BuddyDevice, DeviceConfig, DeviceError, StorageRanges};
+pub use adapt::{AdaptConfig, RetargetPolicy, StateWindow};
+pub use device::{
+    AccessStats, AllocId, BuddyDevice, DeviceConfig, DeviceError, RetargetReport, StorageRanges,
+};
 pub use metadata::{EntryState, Gbbr, MetadataStore, ENTRIES_PER_METADATA_LINE};
 pub use profile::{
     best_achievable, choose_naive, choose_targets, AllocationProfile, ProfileConfig,

@@ -56,7 +56,8 @@ pub mod loadgen;
 
 pub use bpc::{CodecKind, Entry, ENTRY_BYTES};
 pub use buddy_core::{
-    AccessStats, BuddyDevice, DeviceConfig, DeviceError, EntryState, TargetRatio,
+    AccessStats, AdaptConfig, BuddyDevice, DeviceConfig, DeviceError, EntryState, RetargetPolicy,
+    RetargetReport, StateWindow, TargetRatio,
 };
 
 use buddy_core::AllocId;
@@ -207,7 +208,9 @@ impl BuddyPool {
     ///
     /// # Errors
     ///
-    /// Returns [`DeviceError::OutOfDeviceMemory`] /
+    /// Returns [`DeviceError::EmptyAllocation`] for a zero-entry request
+    /// (rejected up front, identically to [`BuddyDevice::alloc`] — no
+    /// shard is probed), and [`DeviceError::OutOfDeviceMemory`] /
     /// [`DeviceError::OutOfBuddyMemory`] if every shard is exhausted.
     pub fn alloc(
         &self,
@@ -215,6 +218,9 @@ impl BuddyPool {
         entries: u64,
         target: TargetRatio,
     ) -> Result<PoolAllocId, DeviceError> {
+        if entries == 0 {
+            return Err(DeviceError::EmptyAllocation);
+        }
         let seq = self.alloc_seq.fetch_add(1, Ordering::Relaxed);
         let home = (shard_hash(name, seq) % self.shards.len() as u64) as usize;
         let mut home_error = None;
@@ -298,6 +304,34 @@ impl BuddyPool {
     /// As [`BuddyDevice::entry_state`].
     pub fn entry_state(&self, id: PoolAllocId, index: u64) -> Result<EntryState, DeviceError> {
         self.guard_of(id)?.entry_state(id.inner, index)
+    }
+
+    /// Migrates an allocation to a new target ratio
+    /// ([`BuddyDevice::retarget`] semantics). The whole migration executes
+    /// under the owning shard's lock: clients of the same shard are
+    /// serialized past it and can never observe a half-migrated
+    /// allocation, while other shards keep serving (DESIGN.md §8).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::retarget`]; on error the shard is unchanged.
+    pub fn retarget(
+        &self,
+        id: PoolAllocId,
+        new_target: TargetRatio,
+    ) -> Result<RetargetReport, DeviceError> {
+        self.guard_of(id)?.retarget(id.inner, new_target)
+    }
+
+    /// Summarizes an allocation's live metadata states for the adaptive
+    /// re-targeting policy ([`BuddyDevice::state_window`] semantics; a
+    /// traffic-free metadata scan under the owning shard's lock).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::state_window`].
+    pub fn state_window(&self, id: PoolAllocId) -> Result<StateWindow, DeviceError> {
+        self.guard_of(id)?.state_window(id.inner)
     }
 
     /// Name, target ratio and entry count of an allocation (name is cloned
@@ -607,6 +641,54 @@ mod tests {
         assert!(pool.stats().total_accesses() > 0);
         pool.reset_stats();
         assert_eq!(pool.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn retarget_round_trips_under_the_shard_lock() {
+        let pool = small_pool(2);
+        let a = pool.alloc("drift", 64, TargetRatio::R2).unwrap();
+        let entries: Vec<Entry> = (0..64)
+            .map(|i| entry_of_words(|j| 77 + i * 19 + j as u32))
+            .collect();
+        pool.write_entries(a, 0, &entries).unwrap();
+        let report = pool.retarget(a, TargetRatio::R4).unwrap();
+        assert_eq!(report.old_target, TargetRatio::R2);
+        assert_eq!(report.new_target, TargetRatio::R4);
+        let mut out = vec![[0u8; ENTRY_BYTES]; 64];
+        pool.read_entries(a, 0, &mut out).unwrap();
+        assert_eq!(out, entries, "migration must preserve bytes");
+        assert_eq!(pool.stats().retargets, 1);
+        assert!(pool.stats().moved_sectors > 0);
+        let (_, target, _) = pool.allocation_info(a).unwrap();
+        assert_eq!(target, TargetRatio::R4);
+        // The window the policy would consume is served the same way.
+        assert_eq!(pool.state_window(a).unwrap().total(), 64);
+    }
+
+    #[test]
+    fn retarget_rejects_foreign_handles() {
+        let big = small_pool(4);
+        let small = small_pool(1);
+        let h = big.alloc("x", 16, TargetRatio::R2).unwrap();
+        if h.shard() >= small.shard_count() {
+            assert_eq!(
+                small.retarget(h, TargetRatio::R4),
+                Err(DeviceError::BadAllocation)
+            );
+            assert_eq!(small.state_window(h), Err(DeviceError::BadAllocation));
+        }
+    }
+
+    #[test]
+    fn zero_entry_allocations_are_rejected_without_probing() {
+        let pool = small_pool(3);
+        assert_eq!(
+            pool.alloc("empty", 0, TargetRatio::R2),
+            Err(DeviceError::EmptyAllocation)
+        );
+        for o in pool.occupancy() {
+            assert_eq!(o.allocations, 0, "no shard may host a zero-entry alloc");
+        }
     }
 
     #[test]

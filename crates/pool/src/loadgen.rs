@@ -15,6 +15,12 @@
 //! and scheduling noise, while a batch is a large enough unit of work for
 //! wall-clock percentiles (p50/p95/p99) to be meaningful.
 //!
+//! With [`LoadgenConfig::retarget_every`] set, each client additionally
+//! runs the adaptive re-targeting sweep between batches (window → policy →
+//! [`BuddyPool::retarget`]), so migrations execute concurrently with other
+//! clients' reads and writes on the same shards — the harness's standing
+//! exercise of live migration under contention (DESIGN.md §8).
+//!
 //! # Example
 //!
 //! ```
@@ -36,7 +42,10 @@
 //! # Ok::<(), buddy_pool::DeviceError>(())
 //! ```
 
-use crate::{AccessStats, BuddyPool, DeviceError, Entry, PoolAllocId, TargetRatio, ENTRY_BYTES};
+use crate::{
+    AccessStats, AdaptConfig, BuddyPool, DeviceError, Entry, PoolAllocId, RetargetPolicy,
+    TargetRatio, ENTRY_BYTES,
+};
 use std::time::{Duration, Instant};
 use workloads::{AccessProfile, TraceGenerator};
 
@@ -55,6 +64,22 @@ pub struct LoadgenConfig {
     pub target: TargetRatio,
     /// Master seed; every client derives its own stream from it.
     pub seed: u64,
+    /// Re-targeting sweep period in batches (`0` disables the sweep).
+    /// Every `retarget_every` batches a client pauses between operations,
+    /// reads its allocation's [`StateWindow`](crate::StateWindow) and
+    /// applies the default [`RetargetPolicy`]'s recommendation via
+    /// [`BuddyPool::retarget`] — so a replay with the sweep enabled
+    /// exercises live migration *concurrent* with other clients hammering
+    /// the same shards. Decisions depend only on the client's own
+    /// deterministic write stream, so each client performs the same
+    /// migration sequence (and the same entry-access traffic) on every
+    /// run. The one scheduler-visible quantity is
+    /// [`AccessStats::moved_sectors`]: a migration's relocation cost
+    /// includes co-shard neighbours' regions at their *instantaneous*
+    /// reservations, which can differ by interleaving when the 16×
+    /// zero-page target (the only one whose device+buddy total isn't
+    /// 128 B/entry) is in play.
+    pub retarget_every: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -66,6 +91,7 @@ impl Default for LoadgenConfig {
             entries_per_client: 4096,
             target: TargetRatio::R2,
             seed: 0xB0DD7,
+            retarget_every: 0,
         }
     }
 }
@@ -275,6 +301,8 @@ fn client_run(
     let mut read_buf = vec![[0u8; ENTRY_BYTES]; cfg.batch_entries];
     let mut latencies = Vec::with_capacity(cfg.batches_per_client as usize);
     let max_start = cfg.entries_per_client - cfg.batch_entries as u64;
+    let policy = RetargetPolicy::new(AdaptConfig::default());
+    let mut current_target = cfg.target;
 
     for op in 0..cfg.batches_per_client {
         let access = trace.next().expect("trace generators are infinite");
@@ -288,6 +316,18 @@ fn client_run(
             std::hint::black_box(&read_buf);
         }
         latencies.push(timer.elapsed().as_nanos() as u64);
+
+        // Between batches: the optional re-targeting sweep. Outside the
+        // latency sample (migration is a background maintenance cost, not
+        // an access), inside the replay window (it contends for the shard
+        // lock exactly like production migration would).
+        if cfg.retarget_every > 0 && (op + 1) % cfg.retarget_every == 0 {
+            let window = pool.state_window(handle)?;
+            if let Some(next) = policy.recommend(current_target, &window) {
+                pool.retarget(handle, next)?;
+                current_target = next;
+            }
+        }
     }
     Ok(latencies)
 }
@@ -301,6 +341,8 @@ fn stats_delta(before: &AccessStats, after: &AccessStats) -> AccessStats {
         writes_with_buddy: after.writes_with_buddy - before.writes_with_buddy,
         device_sectors: after.device_sectors - before.device_sectors,
         buddy_sectors: after.buddy_sectors - before.buddy_sectors,
+        retargets: after.retargets - before.retargets,
+        moved_sectors: after.moved_sectors - before.moved_sectors,
     }
 }
 
@@ -400,6 +442,58 @@ mod tests {
         assert_eq!(percentile_us(&sample, 0.0), 1.0);
         assert_eq!(percentile_us(&[], 0.5), 0.0);
         assert_eq!(percentile_us(&[5000], 0.99), 5.0);
+    }
+
+    #[test]
+    fn retarget_sweep_fixes_mis_targeted_allocations() {
+        // Clients start on the 16x zero-page target, but the palette is
+        // only ~25% zero entries: the sweep must demote each client's
+        // allocation (to a standard target) exactly once and then hold.
+        let pool = pool(2);
+        let cfg = LoadgenConfig {
+            target: TargetRatio::ZeroPage16,
+            retarget_every: 4,
+            batches_per_client: 96,
+            ..quick_cfg(3)
+        };
+        let report = replay(&pool, AccessProfile::streaming_dl(), &cfg).unwrap();
+        assert_eq!(
+            report.stats.retargets, 3,
+            "each client demotes its zero-page allocation exactly once"
+        );
+        assert!(report.stats.moved_sectors > 0);
+        // Sweeps never lose data: each allocation still answers reads and
+        // no longer sits on the zero-page target.
+        assert_eq!(report.entries_processed, 3 * 96 * 16);
+    }
+
+    #[test]
+    fn retarget_sweep_is_deterministic_and_off_by_default() {
+        let sweep_cfg = LoadgenConfig {
+            retarget_every: 8,
+            ..quick_cfg(4)
+        };
+        let a = replay(&pool(4), AccessProfile::stencil(), &sweep_cfg).unwrap();
+        let b = replay(&pool(4), AccessProfile::stencil(), &sweep_cfg).unwrap();
+        // Every per-client decision — accesses, states, migration count —
+        // replays identically. `moved_sectors` is excluded by design: a
+        // migration's relocation cost covers co-shard neighbours at their
+        // instantaneous reservations, so with the 16x target in play it
+        // legitimately varies with thread interleaving (see the
+        // `retarget_every` docs).
+        let normalize = |mut s: AccessStats| {
+            s.moved_sectors = 0;
+            s
+        };
+        assert_eq!(
+            normalize(a.stats),
+            normalize(b.stats),
+            "sweep decisions must replay identically for a fixed seed"
+        );
+        assert!(a.stats.retargets > 0, "the sweep must actually migrate");
+        let off = replay(&pool(4), AccessProfile::stencil(), &quick_cfg(4)).unwrap();
+        assert_eq!(off.stats.retargets, 0, "no sweep without opting in");
+        assert_eq!(off.stats.moved_sectors, 0);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! may only ever *distribute* the device semantics, never change them.
 
 use buddy_pool::{
-    AccessStats, BuddyDevice, BuddyPool, CodecKind, DeviceConfig, Entry, PoolConfig, TargetRatio,
-    ENTRY_BYTES,
+    AccessStats, BuddyDevice, BuddyPool, CodecKind, DeviceConfig, Entry, PoolAllocId, PoolConfig,
+    TargetRatio, ENTRY_BYTES,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -56,13 +56,13 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random operation sequences — batched and single-entry reads and
-    /// writes, in-range and out-of-range, plus mid-sequence allocations —
-    /// behave identically on a 1-shard pool and a bare device, under every
-    /// codec and target ratio.
+    /// writes, in-range and out-of-range, mid-sequence allocations, plus
+    /// interleaved re-target migrations — behave identically on a 1-shard
+    /// pool and a bare device, under every codec and target ratio.
     #[test]
     fn one_shard_pool_matches_bare_device(
         (codec_idx, target_idx) in (0u8..4, 0u8..5),
-        ops in proptest::collection::vec((0u8..5, any::<u64>(), 0usize..12, any::<u64>()), 1..24),
+        ops in proptest::collection::vec((0u8..6, any::<u64>(), 0usize..12, any::<u64>()), 1..24),
     ) {
         let codec = CodecKind::ALL[codec_idx as usize];
         let target = TargetRatio::DESCENDING[target_idx as usize];
@@ -114,7 +114,7 @@ proptest! {
                         device.read_entry(dev_id, start)
                     );
                 }
-                _ => {
+                4 => {
                     let n = 8 + pos % 24;
                     let name = format!("alloc{}", handles.len());
                     let pa = pool.alloc(&name, n, target);
@@ -124,6 +124,21 @@ proptest! {
                         handles.push((p, d));
                         entry_counts.push(n);
                     }
+                }
+                _ => {
+                    // Live migration, interleaved with the I/O above: the
+                    // pool must route it to the same shard state the bare
+                    // device holds, reporting the identical outcome.
+                    let new_target = TargetRatio::DESCENDING[(data_seed % 5) as usize];
+                    prop_assert_eq!(
+                        pool.retarget(pool_id, new_target),
+                        device.retarget(dev_id, new_target),
+                        "retarget to {} diverged", new_target
+                    );
+                    prop_assert_eq!(
+                        pool.state_window(pool_id),
+                        device.state_window(dev_id)
+                    );
                 }
             }
         }
@@ -181,6 +196,97 @@ fn same_trace_through_pool_and_device() {
             );
         }
     }
+}
+
+/// Live migration under fire: client threads hammer batched reads and
+/// writes while a dedicated thread re-targets the *same* allocations.
+/// Every client read must return exactly what that client last wrote (no
+/// torn reads — migration holds the shard lock for its whole critical
+/// section), every migration the retargeter commits must be visible in the
+/// merged stats (lossless merge), and the final images must survive
+/// byte-for-byte.
+#[test]
+fn concurrent_retargets_never_tear_client_reads() {
+    const CLIENTS: usize = 4;
+    const ENTRIES: u64 = 256;
+    const BATCH: usize = 16;
+    const ROUNDS: u32 = 24;
+
+    let pool = BuddyPool::new(PoolConfig {
+        shards: 2,
+        shard_config: SHARD_CONFIG,
+        codec: CodecKind::Bpc,
+    });
+    let handles: Vec<PoolAllocId> = (0..CLIENTS)
+        .map(|c| {
+            pool.alloc(&format!("client{c}"), ENTRIES, TargetRatio::R2)
+                .unwrap()
+        })
+        .collect();
+
+    let committed_retargets = std::thread::scope(|scope| {
+        for (c, &handle) in handles.iter().enumerate() {
+            let pool = &pool;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let start = (round as u64 * BATCH as u64) % (ENTRIES - BATCH as u64);
+                    let batch: Vec<Entry> = (0..BATCH)
+                        .map(|i| {
+                            entry_of_kind(
+                                (c + i + round as usize) as u8,
+                                (c as u64) << 32 | (round as u64) << 8 | i as u64,
+                            )
+                        })
+                        .collect();
+                    pool.write_entries(handle, start, &batch).unwrap();
+                    let mut out = vec![[0u8; ENTRY_BYTES]; BATCH];
+                    pool.read_entries(handle, start, &mut out).unwrap();
+                    // The client owns this allocation: read-after-write
+                    // must hold whatever migrations raced in between.
+                    assert_eq!(out, batch, "client {c} round {round}: torn read");
+                }
+            });
+        }
+        // The retargeter walks every allocation through every target while
+        // the clients run. Capacity is sized so no migration can fail.
+        let retargeter = {
+            let pool = &pool;
+            let handles = handles.clone();
+            scope.spawn(move || {
+                let mut committed = 0u64;
+                for round in 0..10usize {
+                    for (i, &handle) in handles.iter().enumerate() {
+                        let target = TargetRatio::DESCENDING[(round + i) % 5];
+                        let report = pool.retarget(handle, target).unwrap();
+                        if report.old_target != report.new_target {
+                            committed += 1;
+                        }
+                    }
+                }
+                committed
+            })
+        };
+        retargeter.join().expect("retargeter panicked")
+    });
+
+    // Stats merged losslessly across shards: every committed migration is
+    // accounted exactly once, and the per-shard sum equals the drain.
+    let merged = pool.drain();
+    assert_eq!(merged.retargets, committed_retargets);
+    assert!(merged.moved_sectors > 0);
+    let by_hand = pool
+        .occupancy()
+        .iter()
+        .fold(AccessStats::default(), |mut acc, o| {
+            acc.merge(&o.stats);
+            acc
+        });
+    assert_eq!(merged, by_hand);
+    assert_eq!(
+        merged.total_accesses(),
+        (CLIENTS as u64) * (ROUNDS as u64) * (BATCH as u64) * 2,
+        "migrations must not perturb entry-access accounting"
+    );
 }
 
 /// Merging per-shard stats is lossless: a multi-shard pool serving disjoint

@@ -1,0 +1,135 @@
+//! The drift workload: allocations whose compressibility shifts across
+//! execution phases, built to give an online re-targeting policy something
+//! to chase.
+//!
+//! The paper observes both directions of drift: 355.seismic starts
+//! mostly-zero and densifies toward 2× as the wavefield fills in (§3.1),
+//! while DL memory pools churn entries under a stable aggregate (Figure 8).
+//! A profiling pass that merges snapshots from the *whole* run (§3.5)
+//! necessarily picks one conservative compromise target for a drifting
+//! allocation; an online policy can track each phase instead. This module
+//! packages three allocations that span the interesting cases:
+//!
+//! * **`sparsifying`** — starts dense (2-sector entries), zeroes out to
+//!   90% by the end of the run: the static compromise is 2×, online
+//!   re-targeting can promote to 4× once the zeros dominate.
+//! * **`densifying`** — the 355.seismic shape: 90% zero at the start,
+//!   dense by the end: online re-targeting rides 4× through the early
+//!   phases and demotes to the static 2× only when the data demands it.
+//! * **`steady`** — a stable 80/20 one-/two-sector mix: the control arm.
+//!   A correct policy with hysteresis never migrates it.
+//!
+//! Contents come from the same measured-compressibility entry generators
+//! as the benchmark suite ([`AllocationSpec::entry_at`] with the paper's
+//! [`TemporalDrift::ZeroFill`] machinery), so "compressibility at phase
+//! *p*" is real bytes through the real compressor, not an annotation.
+
+use crate::entry_gen::MixtureProfile;
+use crate::spec::{AllocationSpec, SpatialPattern, TemporalDrift};
+use bpc::SizeClass;
+
+/// Phases the drift study samples by default (the paper's temporal studies
+/// use ten snapshots across a run).
+pub const DRIFT_PHASES: usize = 10;
+
+/// The three drift-study allocations (see the module docs). Equal
+/// footprint shares, speckled layout, nonzero bodies sized to two sectors
+/// (`B64`) so that every standard target's overflow fraction is exactly
+/// the nonzero fraction the phase dictates.
+pub fn drift_allocations() -> Vec<AllocationSpec> {
+    vec![
+        AllocationSpec {
+            name: "sparsifying",
+            footprint_frac: 1.0 / 3.0,
+            profile: MixtureProfile::from_class_weights(&[(SizeClass::B64, 1.0)]),
+            pattern: SpatialPattern::Speckled,
+            drift: TemporalDrift::ZeroFill {
+                start_zero: 0.05,
+                end_zero: 0.90,
+            },
+        },
+        AllocationSpec {
+            name: "densifying",
+            footprint_frac: 1.0 / 3.0,
+            profile: MixtureProfile::from_class_weights(&[(SizeClass::B64, 1.0)]),
+            pattern: SpatialPattern::Speckled,
+            drift: TemporalDrift::ZeroFill {
+                start_zero: 0.90,
+                end_zero: 0.05,
+            },
+        },
+        AllocationSpec {
+            name: "steady",
+            footprint_frac: 1.0 / 3.0,
+            profile: MixtureProfile::from_class_weights(&[
+                (SizeClass::B32, 0.8),
+                (SizeClass::B64, 0.2),
+            ]),
+            pattern: SpatialPattern::Speckled,
+            drift: TemporalDrift::Stable,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry_gen::EntryClass;
+
+    fn zero_fraction(spec: &AllocationSpec, phase: f64) -> f64 {
+        let n = 2000u64;
+        let zeros = (0..n)
+            .filter(|&i| spec.class_at(7, i, phase) == EntryClass::Zero)
+            .count();
+        zeros as f64 / n as f64
+    }
+
+    #[test]
+    fn drift_directions_are_as_documented() {
+        let specs = drift_allocations();
+        let by_name = |name: &str| specs.iter().find(|s| s.name == name).unwrap();
+
+        let sparsifying = by_name("sparsifying");
+        assert!(zero_fraction(sparsifying, 0.0) < 0.10);
+        assert!(zero_fraction(sparsifying, 1.0) > 0.85);
+
+        let densifying = by_name("densifying");
+        assert!(zero_fraction(densifying, 0.0) > 0.85);
+        assert!(zero_fraction(densifying, 1.0) < 0.10);
+
+        let steady = by_name("steady");
+        assert_eq!(zero_fraction(steady, 0.0), 0.0);
+        assert_eq!(zero_fraction(steady, 1.0), 0.0);
+    }
+
+    #[test]
+    fn drift_is_progressive_per_entry() {
+        // ZeroFill keys each entry on a stable draw: an entry of the
+        // densifying allocation that has filled in never reverts to zero.
+        let specs = drift_allocations();
+        let densifying = specs.iter().find(|s| s.name == "densifying").unwrap();
+        for i in 0..200u64 {
+            let mut was_nonzero = false;
+            for step in 0..=10 {
+                let phase = step as f64 / 10.0;
+                let nonzero = densifying.class_at(3, i, phase) != EntryClass::Zero;
+                if was_nonzero {
+                    assert!(nonzero, "entry {i} reverted at phase {phase}");
+                }
+                was_nonzero |= nonzero;
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_fracs_normalize() {
+        let specs = drift_allocations();
+        assert_eq!(specs.len(), 3);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+        let total: f64 = specs.iter().map(|s| s.footprint_frac).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod entry_gen;
 pub mod snapshot;
 pub mod spec;
 pub mod suite;
 pub mod trace;
 
+pub use drift::{drift_allocations, DRIFT_PHASES};
 pub use entry_gen::{EntryClass, MixtureProfile};
 pub use snapshot::{capture, heatmap, Heatmap, SnapshotConfig, SnapshotStats};
 pub use spec::{AllocationSpec, SpatialPattern, TemporalDrift};

@@ -27,6 +27,9 @@ fn main() {
         entries_per_client: 1024,
         target: TargetRatio::R2,
         seed: 0xB0DD7,
+        // Between-batch adaptive re-targeting sweep (0 disables); see the
+        // adaptive_retarget example for the single-device walkthrough.
+        retarget_every: 32,
     };
     let report = replay(&pool, bench.access, &cfg).expect("pool hosts all clients");
 

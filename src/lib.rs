@@ -9,7 +9,9 @@
 //!    (memory images with controlled BPC compressibility + access traces),
 //! 2. [`bpc`] — Bit-Plane Compression and baseline compressors,
 //! 3. [`buddy_core`] — the Buddy Compression design: target ratios,
-//!    metadata, the profiling pass and a functional compressed device,
+//!    metadata, the profiling pass, a functional compressed device with
+//!    live target-ratio migration, and the online re-targeting policy
+//!    ([`buddy_core::adapt`]),
 //! 4. [`gpu_sim`] — the dependency-driven performance simulator (Table 2),
 //! 5. [`unified_memory`] — the UM oversubscription model (Figure 12),
 //! 6. [`dl_model`] — the DL training case study (Figure 13),

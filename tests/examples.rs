@@ -1,10 +1,10 @@
 //! Coverage for the `examples/` directory.
 //!
-//! All four examples are compiled as part of `cargo test` / `cargo build
+//! All five examples are compiled as part of `cargo test` / `cargo build
 //! --examples` (compilation is the coverage for the two long-running
-//! sweeps); `quickstart` and `pool_replay` are additionally *executed*
-//! here — both are test-scale configurations that finish in well under a
-//! second.
+//! sweeps); `quickstart`, `pool_replay` and `adaptive_retarget` are
+//! additionally *executed* here — all are test-scale configurations that
+//! finish in well under a second.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -81,6 +81,40 @@ fn pool_replay_example_runs_and_reports_throughput() {
     assert!(
         stdout.contains("shard 3:"),
         "missing per-shard occupancy lines:\n{stdout}"
+    );
+}
+
+#[test]
+fn adaptive_retarget_example_migrates_and_verifies() {
+    let bin = example_bin("adaptive_retarget");
+    assert!(
+        bin.exists(),
+        "{} not found — examples should be built alongside tests",
+        bin.display()
+    );
+    let output = Command::new(&bin)
+        .output()
+        .expect("adaptive_retarget spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "adaptive_retarget failed ({}):\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // The example walks drift → policy recommendation → migration →
+    // byte-identical read-back; spot-check each stage.
+    assert!(
+        stdout.contains("policy recommends 2x"),
+        "missing recommendation line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("retargeted 4x -> 2x"),
+        "missing migration line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("read-back verified: 4096/4096 entries byte-identical"),
+        "missing verification line:\n{stdout}"
     );
 }
 
