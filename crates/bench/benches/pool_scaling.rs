@@ -34,6 +34,7 @@ fn replay_once(shards: usize, clients: usize) {
         target: TargetRatio::R2,
         seed: 0xB0DD7,
         retarget_every: 0,
+        churn_every: 0,
     };
     let report = replay(&pool, AccessProfile::streaming_dl(), &cfg).expect("pool fits clients");
     criterion::black_box(report.entries_per_sec);

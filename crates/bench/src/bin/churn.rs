@@ -1,0 +1,8 @@
+//! Steady-state allocation-churn sweep: effective ratio, fragmentation
+//! and alloc-failure rate per lifetime distribution (DESIGN.md §9).
+//! Pass --quick for a reduced smoke run.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::churnfig::churn(&cfg)
+}

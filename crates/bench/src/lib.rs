@@ -13,6 +13,7 @@
 pub mod ablation;
 pub mod adaptfig;
 pub mod capacity;
+pub mod churnfig;
 pub mod dlfig;
 pub mod performance;
 pub mod poolfig;
@@ -44,6 +45,7 @@ pub fn reproduce_all(cfg: &RunConfig) -> io::Result<()> {
     ablation::ablation(cfg)?;
     poolfig::pool_throughput(cfg)?;
     adaptfig::adaptive_retarget(cfg)?;
+    churnfig::churn(cfg)?;
     println!(
         "\nAll tables and figures regenerated into {:?}.",
         cfg.results_dir

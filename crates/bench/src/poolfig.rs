@@ -73,6 +73,7 @@ pub fn measure(
         target,
         seed,
         retarget_every: 0,
+        churn_every: 0,
     };
     let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client");
     Cell { codec, report }

@@ -11,6 +11,7 @@
 
 use crate::adapt::StateWindow;
 use crate::metadata::{EntryState, Gbbr, MetadataStore};
+use crate::region::RegionAllocator;
 use crate::target::TargetRatio;
 use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
 use std::error::Error;
@@ -53,6 +54,11 @@ pub enum DeviceError {
     /// is pinned to an explicit error instead of behaving differently per
     /// layer.
     EmptyAllocation,
+    /// The request's byte accounting (`entries × bytes-per-entry`)
+    /// overflows `u64`. Pinned to an explicit error so an absurd request
+    /// fails cleanly on every build instead of panicking in debug and
+    /// wrapping silently in release.
+    RequestOverflow,
 }
 
 impl fmt::Display for DeviceError {
@@ -86,6 +92,9 @@ impl fmt::Display for DeviceError {
             DeviceError::EmptyAllocation => {
                 write!(f, "allocations must contain at least one entry")
             }
+            DeviceError::RequestOverflow => {
+                write!(f, "request size arithmetic overflows u64")
+            }
         }
     }
 }
@@ -93,8 +102,19 @@ impl fmt::Display for DeviceError {
 impl Error for DeviceError {}
 
 /// Handle to one compressed allocation.
+///
+/// Ids are **generational**: [`free`](BuddyDevice::free) bumps the
+/// generation of the slot it vacates, so a handle kept across a `free` is
+/// permanently dead — every use returns
+/// [`DeviceError::BadAllocation`] even after the slot has been reused by a
+/// newer allocation. A stale id can never silently alias live data
+/// (generations are 64-bit, so a slot cannot wrap back to a retained
+/// stale generation within any physically reachable churn volume).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct AllocId(usize);
+pub struct AllocId {
+    slot: u32,
+    generation: u64,
+}
 
 /// Traffic counters for one device (sector granularity, matching the HBM2
 /// access unit).
@@ -114,9 +134,9 @@ pub struct AccessStats {
     pub buddy_sectors: u64,
     /// Completed [`retarget`](BuddyDevice::retarget) migrations.
     pub retargets: u64,
-    /// 32 B sectors rewritten by migrations: the re-encoded entries of the
-    /// retargeted allocation plus any neighbouring regions relocated to
-    /// make room. Kept separate from `device_sectors`/`buddy_sectors` so
+    /// 32 B sectors rewritten by migrations: exactly the re-encoded
+    /// entries of the retargeted allocation — no other allocation is ever
+    /// relocated. Kept separate from `device_sectors`/`buddy_sectors` so
     /// migration overhead is visible on its own and entry-access
     /// accounting ([`total_accesses`](Self::total_accesses),
     /// [`buddy_access_fraction`](Self::buddy_access_fraction)) is
@@ -170,8 +190,8 @@ pub struct RetargetReport {
     pub new_target: TargetRatio,
     /// Entries re-encoded.
     pub entries: u64,
-    /// 32 B sectors physically rewritten by this migration (re-encoded
-    /// entry storage plus relocated neighbouring regions); also
+    /// 32 B sectors physically rewritten by this migration (the
+    /// re-encoded entry storage of this allocation alone); also
     /// accumulated into [`AccessStats::moved_sectors`].
     pub moved_sectors: u64,
     /// Change in this allocation's device-memory reservation, in bytes
@@ -181,12 +201,23 @@ pub struct RetargetReport {
     pub buddy_bytes_delta: i64,
 }
 
-/// Internal bookkeeping for one allocation: the display name plus the POD
-/// addressing fields.
+/// Internal bookkeeping for one allocation: the display name, the POD
+/// addressing fields, and the creation sequence number (the `*_by_name`
+/// paths address the most recently *created* allocation under a name,
+/// which slot reuse would otherwise scramble).
 #[derive(Debug, Clone)]
 struct Allocation {
     name: String,
+    seq: u64,
     view: AllocView,
+}
+
+/// One entry of the allocation slot map: the current generation plus the
+/// resident allocation (`None` while the slot is on the free-slot stack).
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u64,
+    alloc: Option<Allocation>,
 }
 
 /// The `Copy`-able addressing facts of one allocation.
@@ -232,6 +263,15 @@ pub struct DeviceConfig {
     /// Carve-out size as a multiple of device capacity. The paper uses 3×,
     /// "to support a 4× maximum compression ratio" (§3.5).
     pub carve_out_factor: u64,
+}
+
+impl DeviceConfig {
+    /// Buddy carve-out size in bytes (`device_capacity × carve_out_factor`),
+    /// or `None` when the product overflows `u64` — the construction paths
+    /// check this instead of performing an unchecked multiply.
+    pub fn buddy_capacity(&self) -> Option<u64> {
+        self.device_capacity.checked_mul(self.carve_out_factor)
+    }
 }
 
 impl Default for DeviceConfig {
@@ -284,10 +324,18 @@ pub struct BuddyDevice {
     buddy: Vec<u8>,
     metadata: MetadataStore,
     gbbr: Gbbr,
-    allocations: Vec<Allocation>,
-    device_used: u64,
-    buddy_used: u64,
-    metadata_used: u64,
+    /// Allocation slot map; freed slots are recycled through `free_slots`
+    /// with their generation bumped, so stale [`AllocId`]s stay dead.
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// Monotonic creation counter feeding `Allocation::seq`.
+    alloc_seq: u64,
+    /// Region allocators for the three storage regions (bytes for the two
+    /// data arrays, entries for metadata). First-fit with coalescing — the
+    /// full allocation lifecycle runs on these.
+    device_region: RegionAllocator,
+    buddy_region: RegionAllocator,
+    metadata_region: RegionAllocator,
     stats: AccessStats,
 }
 
@@ -307,13 +355,24 @@ const _: () = {
 impl BuddyDevice {
     /// Creates a device with the given configuration and the default BPC
     /// codec.
+    ///
+    /// # Panics
+    ///
+    /// As [`with_codec`](Self::with_codec).
     pub fn new(config: DeviceConfig) -> Self {
         Self::with_codec(config, CodecKind::Bpc)
     }
 
     /// Creates a device that compresses every entry with `codec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device_capacity × carve_out_factor` overflows `u64`
+    /// (checked explicitly — such a carve-out cannot be backed anyway).
     pub fn with_codec(config: DeviceConfig, codec: CodecKind) -> Self {
-        let buddy_capacity = config.device_capacity * config.carve_out_factor;
+        let buddy_capacity = config
+            .buddy_capacity()
+            .expect("device_capacity x carve_out_factor overflows u64");
         let metadata_entries = config.device_capacity / 8; // worst case: 16x entries
         Self {
             codec,
@@ -323,10 +382,12 @@ impl BuddyDevice {
             buddy: vec![0u8; buddy_capacity as usize],
             metadata: MetadataStore::new(metadata_entries),
             gbbr: Gbbr(0),
-            allocations: Vec::new(),
-            device_used: 0,
-            buddy_used: 0,
-            metadata_used: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            alloc_seq: 0,
+            device_region: RegionAllocator::new(config.device_capacity),
+            buddy_region: RegionAllocator::new(buddy_capacity),
+            metadata_region: RegionAllocator::new(metadata_entries),
             stats: AccessStats::default(),
         }
     }
@@ -346,36 +407,79 @@ impl BuddyDevice {
         self.gbbr
     }
 
-    /// Device bytes consumed by allocations so far.
+    /// Device bytes consumed by live allocations.
     pub fn device_used(&self) -> u64 {
-        self.device_used
+        self.device_region.used()
     }
 
-    /// Buddy carve-out bytes reserved so far.
+    /// Buddy carve-out bytes reserved by live allocations.
     pub fn buddy_used(&self) -> u64 {
-        self.buddy_used
+        self.buddy_region.used()
+    }
+
+    /// Device bytes currently free (across all holes).
+    pub fn device_free(&self) -> u64 {
+        self.device_region.free_total()
+    }
+
+    /// Buddy carve-out bytes currently free.
+    pub fn buddy_free(&self) -> u64 {
+        self.buddy_region.free_total()
+    }
+
+    /// Largest contiguous free run of device memory — the biggest
+    /// allocation (in device bytes) that can currently succeed.
+    pub fn largest_free_region(&self) -> u64 {
+        self.device_region.largest_free()
+    }
+
+    /// External fragmentation of device memory in `[0, 1)`: the fraction
+    /// of free device bytes not reachable by one maximal allocation
+    /// (`1 − largest_free_region / device_free`; `0` when nothing is
+    /// free). The churn harness plots this at steady state.
+    pub fn fragmentation(&self) -> f64 {
+        self.device_region.fragmentation()
     }
 
     /// Number of live allocations.
     pub fn allocation_count(&self) -> usize {
-        self.allocations.len()
+        self.slots.len() - self.free_slots.len()
     }
 
-    /// Uncompressed bytes represented by all allocations.
+    /// Uncompressed bytes represented by all live allocations.
     pub fn logical_bytes(&self) -> u64 {
-        self.allocations
-            .iter()
-            .map(|a| a.view.entries * ENTRY_BYTES as u64)
+        self.live_allocations()
+            .map(|(_, a)| a.view.entries * ENTRY_BYTES as u64)
             .sum()
     }
 
     /// Effective device compression ratio achieved by the current
     /// allocations (logical bytes / device bytes).
     pub fn effective_ratio(&self) -> f64 {
-        if self.device_used == 0 {
+        let used = self.device_region.used();
+        if used == 0 {
             return 1.0;
         }
-        self.logical_bytes() as f64 / self.device_used as f64
+        self.logical_bytes() as f64 / used as f64
+    }
+
+    /// Iterates the live slots as `(slot index, allocation)`.
+    fn live_allocations(&self) -> impl Iterator<Item = (u32, &Allocation)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.alloc.as_ref().map(|a| (i as u32, a)))
+    }
+
+    /// Resolves a name to the most recently created live allocation.
+    fn find_by_name(&self, name: &str) -> Option<AllocId> {
+        self.live_allocations()
+            .filter(|(_, a)| a.name == name)
+            .max_by_key(|(_, a)| a.seq)
+            .map(|(slot, _)| AllocId {
+                slot,
+                generation: self.slots[slot as usize].generation,
+            })
     }
 
     /// Traffic counters accumulated since the last [`reset_stats`].
@@ -394,12 +498,16 @@ impl BuddyDevice {
     ///
     /// Device memory is charged `entries × 128/r` bytes; the buddy carve-out
     /// is charged the complementary slot space. All entries start as zero.
+    /// Regions come from a first-fit free-list allocator, so space returned
+    /// by [`free`](Self::free) is reused (coalesced with free neighbours).
     ///
     /// # Errors
     ///
     /// Returns [`DeviceError::EmptyAllocation`] for a zero-entry request,
-    /// and [`DeviceError::OutOfDeviceMemory`] or
-    /// [`DeviceError::OutOfBuddyMemory`] if either region is exhausted.
+    /// [`DeviceError::RequestOverflow`] if the byte accounting overflows
+    /// `u64`, and [`DeviceError::OutOfDeviceMemory`] /
+    /// [`DeviceError::OutOfBuddyMemory`] if no contiguous free run can
+    /// host the reservation (`available` reports the largest run).
     pub fn alloc(
         &mut self,
         name: &str,
@@ -409,57 +517,128 @@ impl BuddyDevice {
         if entries == 0 {
             return Err(DeviceError::EmptyAllocation);
         }
-        let device_need = entries * target.device_bytes_per_entry() as u64;
-        let buddy_need = entries * target.buddy_bytes_per_entry() as u64;
-        let device_avail = self.config.device_capacity - self.device_used;
-        if device_need > device_avail {
-            return Err(DeviceError::OutOfDeviceMemory {
-                requested: device_need,
-                available: device_avail,
-            });
-        }
-        let buddy_capacity = self.config.device_capacity * self.config.carve_out_factor;
-        let buddy_avail = buddy_capacity - self.buddy_used;
-        if buddy_need > buddy_avail {
+        // All three products are checked up front: an overflow-sized
+        // request must fail cleanly, not wrap in release builds.
+        let device_need = entries
+            .checked_mul(target.device_bytes_per_entry() as u64)
+            .ok_or(DeviceError::RequestOverflow)?;
+        let buddy_need = entries
+            .checked_mul(target.buddy_bytes_per_entry() as u64)
+            .ok_or(DeviceError::RequestOverflow)?;
+        entries
+            .checked_mul(ENTRY_BYTES as u64)
+            .ok_or(DeviceError::RequestOverflow)?;
+        let device_base =
+            self.device_region
+                .alloc(device_need)
+                .ok_or(DeviceError::OutOfDeviceMemory {
+                    requested: device_need,
+                    available: self.device_region.largest_free(),
+                })?;
+        let Some(buddy_base) = self.buddy_region.alloc(buddy_need) else {
+            self.device_region.free(device_base, device_need);
             return Err(DeviceError::OutOfBuddyMemory {
                 requested: buddy_need,
-                available: buddy_avail,
+                available: self.buddy_region.largest_free(),
             });
-        }
-        if self.metadata_used + entries > self.metadata.entries() {
-            // Grow the metadata region (functional model only; the 0.4%
-            // overhead accounting is reported separately).
-            let mut grown = MetadataStore::new((self.metadata_used + entries).next_power_of_two());
-            for i in 0..self.metadata_used {
-                grown.set(i, self.metadata.get(i));
+        };
+        let metadata_base = match self.metadata_region.alloc(entries) {
+            Some(base) => base,
+            None => {
+                // Grow the metadata region (functional model only; the 0.4%
+                // overhead accounting is reported separately).
+                let grown = (self.metadata_region.capacity() + entries).next_power_of_two();
+                self.metadata.grow(grown);
+                self.metadata_region.grow(grown);
+                self.metadata_region
+                    .alloc(entries)
+                    .expect("grown metadata region hosts the request")
             }
-            self.metadata = grown;
-        }
+        };
+        // A recycled metadata range may hold a dead allocation's states;
+        // fresh entries must read as zero.
+        self.metadata.clear_range(metadata_base, entries);
 
-        let alloc = Allocation {
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    alloc: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let seq = self.alloc_seq;
+        self.alloc_seq += 1;
+        self.slots[slot as usize].alloc = Some(Allocation {
             name: name.to_owned(),
+            seq,
             view: AllocView {
                 target,
                 entries,
-                device_base: self.device_used,
-                buddy_base: self.buddy_used,
-                metadata_base: self.metadata_used,
+                device_base,
+                buddy_base,
+                metadata_base,
             },
-        };
-        self.device_used += device_need;
-        self.buddy_used += buddy_need;
-        self.metadata_used += entries;
-        self.allocations.push(alloc);
-        Ok(AllocId(self.allocations.len() - 1))
+        });
+        Ok(AllocId {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        })
+    }
+
+    /// Releases an allocation: its device, buddy and metadata reservations
+    /// return to the free lists (coalescing with adjacent free runs) and
+    /// the id's slot generation is bumped, so `id` — and every copy of it —
+    /// is dead from here on: any further use returns
+    /// [`DeviceError::BadAllocation`], even after the slot is reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for unknown, stale or
+    /// already-freed handles.
+    pub fn free(&mut self, id: AllocId) -> Result<(), DeviceError> {
+        let view = self.view(id)?;
+        let slot = &mut self.slots[id.slot as usize];
+        slot.alloc = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_slots.push(id.slot);
+        self.device_region
+            .free(view.device_base, view.entries * view.device_stride());
+        self.buddy_region
+            .free(view.buddy_base, view.entries * view.buddy_stride());
+        self.metadata_region.free(view.metadata_base, view.entries);
+        Ok(())
+    }
+
+    /// [`free`](Self::free) addressed by allocation name (the most recently
+    /// created live allocation wins if a name was reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for a name with no live
+    /// allocation.
+    pub fn free_by_name(&mut self, name: &str) -> Result<(), DeviceError> {
+        let id = self.find_by_name(name).ok_or(DeviceError::BadAllocation)?;
+        self.free(id)
+    }
+
+    /// Resolves a generational id to its live allocation — the single
+    /// validation path every handle-taking method goes through (slot in
+    /// range, generation matches, allocation resident).
+    fn resolve(&self, id: AllocId) -> Result<&Allocation, DeviceError> {
+        self.slots
+            .get(id.slot as usize)
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.alloc.as_ref())
+            .ok_or(DeviceError::BadAllocation)
     }
 
     /// Copies the POD addressing fields of an allocation — no `String`
-    /// clone on the access paths.
+    /// clone on the access paths. Validates the generational id.
     fn view(&self, id: AllocId) -> Result<AllocView, DeviceError> {
-        self.allocations
-            .get(id.0)
-            .map(|a| a.view)
-            .ok_or(DeviceError::BadAllocation)
+        self.resolve(id).map(|a| a.view)
     }
 
     fn check_index(view: &AllocView, index: u64) -> Result<(), DeviceError> {
@@ -486,10 +665,7 @@ impl BuddyDevice {
 
     /// Name and target of an allocation (for reports).
     pub fn allocation_info(&self, id: AllocId) -> Result<(&str, TargetRatio, u64), DeviceError> {
-        let a = self
-            .allocations
-            .get(id.0)
-            .ok_or(DeviceError::BadAllocation)?;
+        let a = self.resolve(id)?;
         Ok((&a.name, a.view.target, a.view.entries))
     }
 
@@ -682,35 +858,45 @@ impl BuddyDevice {
         ))
     }
 
-    /// Migrates an allocation to a new target ratio, re-encoding every
-    /// entry in place: device/buddy sectors are reclaimed or reserved, the
-    /// stored bytes are preserved exactly, and metadata is rewritten for
-    /// the new split. This is the online escape hatch from a stale
-    /// profiling decision (the paper picks targets once, §3.5; see
-    /// DESIGN.md §8 and the [`adapt`](crate::adapt) policy that drives it).
+    /// Migrates an allocation to a new target ratio by re-encoding it onto
+    /// fresh regions: the new device/buddy reservations are allocated, the
+    /// preserved bytes are re-encoded into them, and the old reservations
+    /// are freed back to the allocator (alloc-new / re-encode / free-old).
+    /// **No other allocation is touched** — the old tail-`memmove`
+    /// relocation of every later allocation is gone, so migration cost is
+    /// proportional to the migrated allocation alone. This is the online
+    /// escape hatch from a stale profiling decision (the paper picks
+    /// targets once, §3.5; see DESIGN.md §8 and the
+    /// [`adapt`](crate::adapt) policy that drives it).
     ///
     /// Migration is **observation-equivalent**: after `retarget`, every
     /// read returns the same bytes, every invalid access the same error,
     /// and occupancy/traffic accounting matches a device whose allocation
     /// was created at `new_target` in the first place
     /// (`tests/retarget_equivalence.rs` proves this across every codec ×
-    /// target × target combination). The allocation's own region grows or
-    /// shrinks in place; later allocations' regions are relocated by the
-    /// size delta (their bytes move, their contents don't change — reads
-    /// of *other* allocations are byte-identical before and after).
+    /// target × target combination). The handle stays valid (migration is
+    /// not a `free`), and on a tight device the old reservation is
+    /// released before the new one is placed, so any migration whose
+    /// steady-state footprint fits will succeed unless the free space is
+    /// too fragmented to host it contiguously.
     ///
     /// The cost is accounted in [`AccessStats::retargets`] /
     /// [`AccessStats::moved_sectors`] and in the returned
     /// [`RetargetReport`] — not in the entry-access counters, which keep
-    /// their read/write meaning. Re-targeting to the current target is a
-    /// free no-op.
+    /// their read/write meaning. `moved_sectors` now prices exactly the
+    /// re-encoded allocation's stored sectors (no relocated neighbours
+    /// exist any more). Re-targeting to the current target is a free
+    /// no-op.
     ///
     /// # Errors
     ///
-    /// Returns [`DeviceError::BadAllocation`] for an unknown handle, and
-    /// [`DeviceError::OutOfDeviceMemory`] / [`DeviceError::OutOfBuddyMemory`]
-    /// if the new target needs more bytes than the device has free — in
-    /// which case the device is left completely unchanged.
+    /// Returns [`DeviceError::BadAllocation`] for an unknown or stale
+    /// handle, [`DeviceError::RequestOverflow`] if the new byte accounting
+    /// overflows, and [`DeviceError::OutOfDeviceMemory`] /
+    /// [`DeviceError::OutOfBuddyMemory`] if no contiguous free run can
+    /// host the new reservation even with the old one released — in which
+    /// case the device is left completely unchanged (the old reservation
+    /// is restored at its exact offsets).
     pub fn retarget(
         &mut self,
         id: AllocId,
@@ -730,75 +916,41 @@ impl BuddyDevice {
             });
         }
         let old_device = entries * old_target.device_bytes_per_entry() as u64;
-        let new_device = entries * new_target.device_bytes_per_entry() as u64;
         let old_buddy = entries * old_target.buddy_bytes_per_entry() as u64;
-        let new_buddy = entries * new_target.buddy_bytes_per_entry() as u64;
-        // Admission control before any mutation: a failed retarget must
-        // leave the device byte-for-byte as it was.
-        if new_device > old_device {
-            let requested = new_device - old_device;
-            let available = self.config.device_capacity - self.device_used;
-            if requested > available {
-                return Err(DeviceError::OutOfDeviceMemory {
-                    requested,
-                    available,
-                });
-            }
-        }
-        if new_buddy > old_buddy {
-            let requested = new_buddy - old_buddy;
-            let buddy_capacity = self.config.device_capacity * self.config.carve_out_factor;
-            let available = buddy_capacity - self.buddy_used;
-            if requested > available {
-                return Err(DeviceError::OutOfBuddyMemory {
-                    requested,
-                    available,
-                });
-            }
-        }
+        let new_device = entries
+            .checked_mul(new_target.device_bytes_per_entry() as u64)
+            .ok_or(DeviceError::RequestOverflow)?;
+        let new_buddy = entries
+            .checked_mul(new_target.buddy_bytes_per_entry() as u64)
+            .ok_or(DeviceError::RequestOverflow)?;
 
         // 1. Decode the allocation's live contents through the old layout.
         //    (Functional model: the real design would stream this through
         //    the compression pipeline sector by sector.) No entry-access
         //    traffic is recorded — migration cost is `moved_sectors`.
+        //    Nothing is mutated yet: a failed placement below leaves the
+        //    device byte-for-byte as it was.
         let mut contents = vec![[0u8; ENTRY_BYTES]; entries as usize];
         for (i, slot) in contents.iter_mut().enumerate() {
             self.read_one(&view, i as u64, slot);
         }
 
-        // 2. Relocate every later allocation's region by the size delta so
-        //    this allocation can grow or shrink in place. Allocations are
-        //    laid out in allocation order with no holes, so "later" is a
-        //    single contiguous tail in each byte array.
-        let device_delta = new_device as i64 - old_device as i64;
-        let buddy_delta = new_buddy as i64 - old_buddy as i64;
-        let mut moved_sectors = 0u64;
-        if device_delta != 0 {
-            let tail = (view.device_base + old_device) as usize..self.device_used as usize;
-            let dest = (tail.start as i64 + device_delta) as usize;
-            moved_sectors += (tail.len() as u64).div_ceil(SECTOR_BYTES as u64);
-            self.device.copy_within(tail, dest);
-        }
-        if buddy_delta != 0 {
-            let tail = (view.buddy_base + old_buddy) as usize..self.buddy_used as usize;
-            let dest = (tail.start as i64 + buddy_delta) as usize;
-            moved_sectors += (tail.len() as u64).div_ceil(SECTOR_BYTES as u64);
-            self.buddy.copy_within(tail, dest);
-        }
-        for alloc in self.allocations[id.0 + 1..].iter_mut() {
-            alloc.view.device_base = (alloc.view.device_base as i64 + device_delta) as u64;
-            alloc.view.buddy_base = (alloc.view.buddy_base as i64 + buddy_delta) as u64;
-        }
-        self.device_used = (self.device_used as i64 + device_delta) as u64;
-        self.buddy_used = (self.buddy_used as i64 + buddy_delta) as u64;
-        self.allocations[id.0].view.target = new_target;
+        // 2. Place the new reservations on the allocator.
+        let (device_base, buddy_base) =
+            self.place_retarget_regions(&view, (old_device, old_buddy), (new_device, new_buddy))?;
+        let alloc = self.slots[id.slot as usize]
+            .alloc
+            .as_mut()
+            .expect("validated live slot");
+        alloc.view.target = new_target;
+        alloc.view.device_base = device_base;
+        alloc.view.buddy_base = buddy_base;
+        let new_view = alloc.view;
 
         // 3. Re-encode every entry under the new target (metadata entries
-        //    are per-entry, so the metadata region is unaffected).
-        let new_view = AllocView {
-            target: new_target,
-            ..view
-        };
+        //    are per-entry, so the metadata region is untouched and keeps
+        //    its base).
+        let mut moved_sectors = 0u64;
         let mut scratch = std::mem::take(&mut self.scratch);
         for (i, entry) in contents.iter().enumerate() {
             let state = self.write_one(&new_view, i as u64, entry, &mut scratch);
@@ -814,13 +966,60 @@ impl BuddyDevice {
             new_target,
             entries,
             moved_sectors,
-            device_bytes_delta: device_delta,
-            buddy_bytes_delta: buddy_delta,
+            device_bytes_delta: new_device as i64 - old_device as i64,
+            buddy_bytes_delta: new_buddy as i64 - old_buddy as i64,
         })
     }
 
+    /// Allocates the new device/buddy regions for a migration and frees
+    /// the old ones. Tries alloc-new-first (old reservation still held, no
+    /// transient hole); on a tight device it releases the old reservation
+    /// before placing the new one, restoring the old regions at their
+    /// exact offsets if placement still fails — so an error leaves the
+    /// allocator state identical.
+    fn place_retarget_regions(
+        &mut self,
+        view: &AllocView,
+        (old_device, old_buddy): (u64, u64),
+        (new_device, new_buddy): (u64, u64),
+    ) -> Result<(u64, u64), DeviceError> {
+        if let Some(device_base) = self.device_region.alloc(new_device) {
+            if let Some(buddy_base) = self.buddy_region.alloc(new_buddy) {
+                self.device_region.free(view.device_base, old_device);
+                self.buddy_region.free(view.buddy_base, old_buddy);
+                return Ok((device_base, buddy_base));
+            }
+            self.device_region.free(device_base, new_device);
+        }
+        // Tight fit: the steady-state footprint may still fit once the old
+        // reservation is released.
+        self.device_region.free(view.device_base, old_device);
+        self.buddy_region.free(view.buddy_base, old_buddy);
+        let restore = |dev: &mut Self| {
+            let ok = dev.device_region.reserve_at(view.device_base, old_device)
+                && dev.buddy_region.reserve_at(view.buddy_base, old_buddy);
+            debug_assert!(ok, "just-freed regions must be restorable");
+        };
+        let Some(device_base) = self.device_region.alloc(new_device) else {
+            restore(self);
+            return Err(DeviceError::OutOfDeviceMemory {
+                requested: new_device,
+                available: self.device_region.largest_free(),
+            });
+        };
+        let Some(buddy_base) = self.buddy_region.alloc(new_buddy) else {
+            self.device_region.free(device_base, new_device);
+            restore(self);
+            return Err(DeviceError::OutOfBuddyMemory {
+                requested: new_buddy,
+                available: self.buddy_region.largest_free(),
+            });
+        };
+        Ok((device_base, buddy_base))
+    }
+
     /// [`retarget`](Self::retarget) addressed by allocation name (the most
-    /// recently created allocation wins if a name was reused).
+    /// recently created live allocation wins if a name was reused).
     ///
     /// # Errors
     ///
@@ -833,12 +1032,8 @@ impl BuddyDevice {
         name: &str,
         new_target: TargetRatio,
     ) -> Result<RetargetReport, DeviceError> {
-        let index = self
-            .allocations
-            .iter()
-            .rposition(|a| a.name == name)
-            .ok_or(DeviceError::BadAllocation)?;
-        self.retarget(AllocId(index), new_target)
+        let id = self.find_by_name(name).ok_or(DeviceError::BadAllocation)?;
+        self.retarget(id, new_target)
     }
 
     /// Summarizes the live metadata states of an allocation into a
@@ -858,10 +1053,23 @@ impl BuddyDevice {
         Ok(window)
     }
 
-    /// Handles of every live allocation, in allocation order (for
-    /// policy sweeps over a whole device).
+    /// Handles of every live allocation, in creation order (for policy
+    /// sweeps over a whole device). Freed allocations do not appear.
     pub fn allocation_ids(&self) -> Vec<AllocId> {
-        (0..self.allocations.len()).map(AllocId).collect()
+        let mut live: Vec<(u64, AllocId)> = self
+            .live_allocations()
+            .map(|(slot, a)| {
+                (
+                    a.seq,
+                    AllocId {
+                        slot,
+                        generation: self.slots[slot as usize].generation,
+                    },
+                )
+            })
+            .collect();
+        live.sort_unstable_by_key(|&(seq, _)| seq);
+        live.into_iter().map(|(_, id)| id).collect()
     }
 
     /// Decodes a stored stream through the owning codec. Trailing padding
@@ -1107,7 +1315,13 @@ mod tests {
             Err(DeviceError::BadAllocation)
         );
         assert_eq!(
-            dev.retarget(AllocId(3), TargetRatio::R2),
+            dev.retarget(
+                AllocId {
+                    slot: 3,
+                    generation: 0
+                },
+                TargetRatio::R2
+            ),
             Err(DeviceError::BadAllocation)
         );
         assert_eq!(
@@ -1150,7 +1364,13 @@ mod tests {
         let mut dev = small_device();
         let a = dev.alloc("a", 4, TargetRatio::R1).unwrap();
         assert!(matches!(
-            dev.read_entry(AllocId(7), 0),
+            dev.read_entry(
+                AllocId {
+                    slot: 7,
+                    generation: 0
+                },
+                0
+            ),
             Err(DeviceError::BadAllocation)
         ));
         assert!(matches!(
@@ -1296,10 +1516,11 @@ mod tests {
     }
 
     #[test]
-    fn retarget_relocates_later_allocations_losslessly() {
+    fn retarget_never_disturbs_other_allocations() {
         // Three allocations; the *middle* one migrates both ways. The
-        // later allocation's region is relocated by the size delta and its
-        // contents must survive byte-for-byte.
+        // neighbours' regions are never touched (migration is alloc-new /
+        // re-encode / free-old) and their contents must survive
+        // byte-for-byte.
         let mut dev = small_device();
         let a = dev.alloc("first", 16, TargetRatio::R4).unwrap();
         let b = dev.alloc("middle", 16, TargetRatio::R2).unwrap();
@@ -1394,6 +1615,179 @@ mod tests {
         assert!((window.zero_fraction() - 0.5).abs() < 1e-12);
         assert!((window.overflow_fraction(TargetRatio::R2) - 0.25).abs() < 1e-12);
         assert_eq!(dev.allocation_ids(), vec![a]);
+    }
+
+    #[test]
+    fn free_reclaims_all_three_regions() {
+        let mut dev = small_device();
+        let data = entry_of_words(|j| 31 * j as u32);
+        let ids: Vec<AllocId> = (0..8)
+            .map(|i| dev.alloc(&format!("a{i}"), 64, TargetRatio::R2).unwrap())
+            .collect();
+        for &id in &ids {
+            dev.write_entry(id, 0, &data).unwrap();
+        }
+        assert_eq!(dev.device_used(), 8 * 64 * 64);
+        for &id in &ids {
+            dev.free(id).unwrap();
+        }
+        assert_eq!(dev.device_used(), 0);
+        assert_eq!(dev.buddy_used(), 0);
+        assert_eq!(dev.allocation_count(), 0);
+        assert_eq!(dev.logical_bytes(), 0);
+        assert_eq!(dev.fragmentation(), 0.0, "full coalesce after churn");
+        // The reclaimed space hosts a full-capacity allocation again.
+        let entries = dev.config().device_capacity / 128;
+        let big = dev.alloc("big", entries, TargetRatio::R1).unwrap();
+        assert_eq!(dev.device_used(), dev.config().device_capacity);
+        // Recycled storage reads as zero despite the earlier writes.
+        assert_eq!(dev.read_entry(big, 0).unwrap(), [0u8; ENTRY_BYTES]);
+    }
+
+    #[test]
+    fn stale_ids_are_dead_even_after_slot_reuse() {
+        let mut dev = small_device();
+        let a = dev.alloc("a", 16, TargetRatio::R2).unwrap();
+        dev.free(a).unwrap();
+        // The slot is recycled by the next allocation; the stale handle
+        // must not alias it.
+        let b = dev.alloc("b", 16, TargetRatio::R2).unwrap();
+        assert_ne!(a, b, "generation must distinguish reused slots");
+        assert_eq!(dev.read_entry(a, 0), Err(DeviceError::BadAllocation));
+        assert_eq!(
+            dev.write_entry(a, 0, &[1u8; ENTRY_BYTES]),
+            Err(DeviceError::BadAllocation)
+        );
+        assert_eq!(
+            dev.retarget(a, TargetRatio::R4),
+            Err(DeviceError::BadAllocation)
+        );
+        assert_eq!(dev.state_window(a), Err(DeviceError::BadAllocation));
+        assert_eq!(dev.free(a), Err(DeviceError::BadAllocation), "double free");
+        // The live handle still works.
+        assert_eq!(dev.read_entry(b, 0).unwrap(), [0u8; ENTRY_BYTES]);
+        assert_eq!(dev.allocation_ids(), vec![b]);
+    }
+
+    #[test]
+    fn free_by_name_releases_the_latest_creation() {
+        let mut dev = small_device();
+        let first = dev.alloc("tensor", 8, TargetRatio::R2).unwrap();
+        let second = dev.alloc("tensor", 8, TargetRatio::R2).unwrap();
+        dev.free_by_name("tensor").unwrap();
+        assert_eq!(dev.read_entry(second, 0), Err(DeviceError::BadAllocation));
+        assert!(dev.read_entry(first, 0).is_ok());
+        dev.free_by_name("tensor").unwrap();
+        assert_eq!(
+            dev.free_by_name("tensor"),
+            Err(DeviceError::BadAllocation),
+            "no live allocation left under the name"
+        );
+    }
+
+    #[test]
+    fn freed_holes_are_reused_first_fit() {
+        // Device sized for exactly four 64-entry R2 allocations.
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 4 * 64 * 64,
+            carve_out_factor: 3,
+        });
+        let ids: Vec<AllocId> = (0..4)
+            .map(|i| dev.alloc(&format!("a{i}"), 64, TargetRatio::R2).unwrap())
+            .collect();
+        assert!(dev.alloc("extra", 64, TargetRatio::R2).is_err());
+        // Free the two middle allocations: adjacent holes coalesce into
+        // one 8 KiB run that hosts a double-size allocation.
+        dev.free(ids[1]).unwrap();
+        dev.free(ids[2]).unwrap();
+        assert_eq!(dev.device_free(), 2 * 64 * 64);
+        assert_eq!(dev.largest_free_region(), 2 * 64 * 64);
+        assert_eq!(dev.fragmentation(), 0.0);
+        let big = dev.alloc("big", 128, TargetRatio::R2).unwrap();
+        assert_eq!(dev.device_used(), dev.config().device_capacity);
+        let data = entry_of_words(|j| 5 + j as u32);
+        dev.write_entry(big, 127, &data).unwrap();
+        assert_eq!(dev.read_entry(big, 127).unwrap(), data);
+        // Neighbours at the edges were never touched.
+        assert!(dev.read_entry(ids[0], 0).is_ok());
+        assert!(dev.read_entry(ids[3], 0).is_ok());
+    }
+
+    #[test]
+    fn fragmentation_is_observable() {
+        // Three allocations, free the first and third: two disjoint holes.
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 3 * 64 * 64,
+            carve_out_factor: 3,
+        });
+        let a = dev.alloc("a", 64, TargetRatio::R2).unwrap();
+        let b = dev.alloc("b", 64, TargetRatio::R2).unwrap();
+        let c = dev.alloc("c", 64, TargetRatio::R2).unwrap();
+        dev.free(a).unwrap();
+        dev.free(c).unwrap();
+        assert_eq!(dev.device_free(), 2 * 64 * 64);
+        assert_eq!(dev.largest_free_region(), 64 * 64);
+        assert!((dev.fragmentation() - 0.5).abs() < 1e-12);
+        // A request larger than the largest hole fails despite enough
+        // total free bytes, and reports the largest contiguous run.
+        let err = dev.alloc("big", 128, TargetRatio::R2).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfDeviceMemory {
+                requested: 128 * 64,
+                available: 64 * 64,
+            }
+        );
+        let _ = b;
+    }
+
+    #[test]
+    fn overflow_sized_requests_fail_cleanly() {
+        let mut dev = small_device();
+        for target in TargetRatio::DESCENDING {
+            assert_eq!(
+                dev.alloc("huge", u64::MAX / 2, target),
+                Err(DeviceError::RequestOverflow),
+                "{target}"
+            );
+        }
+        assert_eq!(dev.allocation_count(), 0);
+        assert_eq!(dev.device_used(), 0);
+        assert_eq!(
+            DeviceError::RequestOverflow.to_string(),
+            "request size arithmetic overflows u64"
+        );
+        // The config product is checked, not wrapped.
+        let absurd = DeviceConfig {
+            device_capacity: u64::MAX,
+            carve_out_factor: 3,
+        };
+        assert_eq!(absurd.buddy_capacity(), None);
+        assert_eq!(
+            DeviceConfig::default().buddy_capacity(),
+            Some(3 * (64 << 20))
+        );
+    }
+
+    #[test]
+    fn retarget_succeeds_on_a_completely_full_device() {
+        // Every device byte is reserved: the alloc-new-first path cannot
+        // place the new region, so the migration must fall back to
+        // releasing the old reservation first — and still succeed.
+        let mut dev = BuddyDevice::new(DeviceConfig {
+            device_capacity: 64 * 128,
+            carve_out_factor: 3,
+        });
+        let a = dev.alloc("full", 64, TargetRatio::R1).unwrap();
+        assert_eq!(dev.device_free(), 0);
+        let entries: Vec<Entry> = (0..64).map(|i| entry_of_words(|j| i + j as u32)).collect();
+        dev.write_entries(a, 0, &entries).unwrap();
+        let report = dev.retarget(a, TargetRatio::R2).unwrap();
+        assert_eq!(report.device_bytes_delta, -(64 * 64));
+        let mut out = vec![[0u8; ENTRY_BYTES]; 64];
+        dev.read_entries(a, 0, &mut out).unwrap();
+        assert_eq!(out, entries);
+        assert_eq!(dev.device_used(), 64 * 64);
     }
 
     #[test]

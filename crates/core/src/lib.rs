@@ -62,6 +62,7 @@ pub mod adapt;
 pub mod device;
 pub mod metadata;
 pub mod profile;
+pub mod region;
 pub mod target;
 
 pub use adapt::{AdaptConfig, RetargetPolicy, StateWindow};
@@ -73,4 +74,5 @@ pub use profile::{
     best_achievable, choose_naive, choose_targets, AllocationProfile, ProfileConfig,
     ProfileOutcome, TargetChoice,
 };
+pub use region::RegionAllocator;
 pub use target::TargetRatio;

@@ -136,6 +136,52 @@ impl MetadataStore {
         }
     }
 
+    /// Extends the store to cover `new_entries` entries; the added tail
+    /// reads as [`EntryState::Zero`]. Existing states are untouched (no
+    /// copy — the nibble array is extended in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_entries` is smaller than the current size.
+    pub fn grow(&mut self, new_entries: u64) {
+        assert!(
+            new_entries >= self.entries,
+            "metadata grow cannot shrink ({} -> {new_entries})",
+            self.entries
+        );
+        self.nibbles.resize(new_entries.div_ceil(2) as usize, 0);
+        self.entries = new_entries;
+    }
+
+    /// Resets `[start, start + len)` to [`EntryState::Zero`] — the state
+    /// of a fresh allocation. Byte-aligned interior nibble pairs are
+    /// cleared with a fill; the unaligned edges nibble-by-nibble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the tracked entries.
+    pub fn clear_range(&mut self, start: u64, len: u64) {
+        let end = start.checked_add(len).expect("range end overflows");
+        assert!(
+            end <= self.entries,
+            "metadata range {start}+{len} out of range"
+        );
+        let mut i = start;
+        while i < end && i % 2 == 1 {
+            self.set(i, EntryState::Zero);
+            i += 1;
+        }
+        let aligned_end = end - end % 2;
+        if i < aligned_end {
+            self.nibbles[(i / 2) as usize..(aligned_end / 2) as usize].fill(0);
+            i = aligned_end;
+        }
+        while i < end {
+            self.set(i, EntryState::Zero);
+            i += 1;
+        }
+    }
+
     /// The metadata line index covering entry `index` (the unit cached by
     /// the metadata cache).
     pub fn line_of(index: u64) -> u64 {
@@ -218,6 +264,41 @@ mod tests {
         assert_eq!(MetadataStore::line_of(63), 0);
         assert_eq!(MetadataStore::line_of(64), 1);
         assert_eq!(ENTRIES_PER_METADATA_LINE * 4 / 8, 32); // 32 B per line
+    }
+
+    #[test]
+    fn grow_preserves_states_and_zeroes_the_tail() {
+        let mut store = MetadataStore::new(5);
+        store.set(0, EntryState::Compressed { sectors: 4 });
+        store.set(4, EntryState::ZeroPageFit);
+        store.grow(12);
+        assert_eq!(store.entries(), 12);
+        assert_eq!(store.get(0), EntryState::Compressed { sectors: 4 });
+        assert_eq!(store.get(4), EntryState::ZeroPageFit);
+        for i in 5..12 {
+            assert_eq!(store.get(i), EntryState::Zero, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn clear_range_resets_only_the_range() {
+        let mut store = MetadataStore::new(16);
+        for i in 0..16 {
+            store.set(i, EntryState::Compressed { sectors: 2 });
+        }
+        // Odd start, odd end: exercises both unaligned edges and the
+        // byte-aligned interior fill.
+        store.clear_range(3, 7);
+        for i in 0..16 {
+            let expect = if (3..10).contains(&i) {
+                EntryState::Zero
+            } else {
+                EntryState::Compressed { sectors: 2 }
+            };
+            assert_eq!(store.get(i), expect, "entry {i}");
+        }
+        // Zero-length clears are no-ops, even at the end.
+        store.clear_range(16, 0);
     }
 
     #[test]

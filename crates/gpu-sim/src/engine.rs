@@ -598,6 +598,46 @@ mod tests {
     }
 
     #[test]
+    fn engine_always_fills_before_marking_dirty() {
+        // Regression for the fill-before-mark invariant pinned by
+        // `SectoredCache::mark_dirty`'s debug assert: a write-heavy trace
+        // mixing full-line, two-sector and single-sector stores (plus
+        // interleaved reads) drives every L2 write path — hit, partial
+        // hit and miss — in all three memory modes. If the engine ever
+        // marked a not-yet-filled sector dirty, the assert would abort
+        // this (debug-built) test; completing with plausible stats is the
+        // pass condition.
+        let entries = 4096u64;
+        let layout = UniformLayout {
+            entries,
+            placement: EntryPlacement {
+                device_sectors: 2,
+                buddy_sectors: 2,
+            },
+        };
+        for mode in [
+            MemoryMode::Uncompressed,
+            MemoryMode::BandwidthCompressed,
+            MemoryMode::Buddy,
+        ] {
+            let mut state = 7u64;
+            let mut trace = std::iter::from_fn(move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let masks = [0b1111u8, 0b0011, 0b0001, 0b1100];
+                Some(MemRequest {
+                    entry: (state >> 33) % entries,
+                    sector_mask: masks[(state >> 13) as usize % masks.len()],
+                    write: state >> 7 & 0b11 != 0, // 75% stores
+                    to_host: false,
+                })
+            });
+            let stats = run(mode, &layout, &mut trace, 40_000);
+            assert_eq!(stats.accesses, 40_000, "{mode:?}: all requests executed");
+            assert!(stats.dram_sectors > 0, "{mode:?}: writebacks reached DRAM");
+        }
+    }
+
+    #[test]
     fn buddy_overflow_generates_link_traffic() {
         let entries = 1024 * 1024;
         let layout = UniformLayout {

@@ -243,6 +243,20 @@ impl BuddyPool {
         Err(home_error.expect("at least one shard probed"))
     }
 
+    /// Releases an allocation ([`BuddyDevice::free`] semantics), returning
+    /// its device/buddy/metadata reservations to the owning shard's free
+    /// lists under that shard's lock. The handle — and every copy of it —
+    /// is dead afterwards: ids are generational, so later allocations can
+    /// reuse the space without a stale handle ever aliasing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for foreign, stale or
+    /// already-freed handles.
+    pub fn free(&self, id: PoolAllocId) -> Result<(), DeviceError> {
+        self.guard_of(id)?.free(id.inner)
+    }
+
     /// Writes one entry ([`BuddyDevice::write_entry`] semantics).
     ///
     /// # Errors
@@ -677,6 +691,96 @@ mod tests {
             );
             assert_eq!(small.state_window(h), Err(DeviceError::BadAllocation));
         }
+    }
+
+    #[test]
+    fn free_reclaims_shard_capacity_and_kills_the_handle() {
+        // Shards fit exactly one 64-entry R1 allocation.
+        let pool = BuddyPool::new(PoolConfig {
+            shards: 2,
+            shard_config: DeviceConfig {
+                device_capacity: 64 * 128,
+                carve_out_factor: 3,
+            },
+            codec: CodecKind::Bpc,
+        });
+        let ids: Vec<PoolAllocId> = (0..2)
+            .map(|i| {
+                pool.alloc(&format!("fill{i}"), 64, TargetRatio::R1)
+                    .unwrap()
+            })
+            .collect();
+        assert!(pool.alloc("extra", 64, TargetRatio::R1).is_err());
+        pool.write_entry(ids[0], 0, &[9u8; ENTRY_BYTES]).unwrap();
+        pool.free(ids[0]).unwrap();
+        assert_eq!(pool.device_used(), 64 * 128, "one shard's worth released");
+        // The stale handle is dead on every path, even after the slot is
+        // reused by the replacement allocation.
+        let replacement = pool.alloc("again", 64, TargetRatio::R1).unwrap();
+        assert_eq!(pool.read_entry(ids[0], 0), Err(DeviceError::BadAllocation));
+        assert_eq!(
+            pool.retarget(ids[0], TargetRatio::R2),
+            Err(DeviceError::BadAllocation)
+        );
+        assert_eq!(pool.free(ids[0]), Err(DeviceError::BadAllocation));
+        // The recycled storage reads as zero, not the freed bytes.
+        assert_eq!(pool.read_entry(replacement, 0).unwrap(), [0u8; ENTRY_BYTES]);
+    }
+
+    #[test]
+    fn exhausted_pool_reports_the_home_shards_error() {
+        // Two shards; the fill pattern leaves them with *different* free
+        // space (one full, one with 32 entries spare), so the error a
+        // failing alloc reports identifies which shard produced it. The
+        // ring probe must try every shard and then surface the *home*
+        // shard's error — over many names both shards' errors must appear,
+        // proving the error is not pinned to shard 0 (or to the last shard
+        // probed).
+        let pool = BuddyPool::new(PoolConfig {
+            shards: 2,
+            shard_config: DeviceConfig {
+                device_capacity: 64 * 128,
+                carve_out_factor: 3,
+            },
+            codec: CodecKind::Bpc,
+        });
+        pool.alloc("first", 64, TargetRatio::R1).unwrap();
+        pool.alloc("second", 32, TargetRatio::R1).unwrap();
+        let spare: Vec<u64> = pool
+            .occupancy()
+            .iter()
+            .map(|o| o.device_capacity - o.device_used)
+            .collect();
+        assert!(spare.contains(&0) && spare.contains(&(32 * 128)));
+
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16 {
+            let err = pool
+                .alloc(&format!("probe{i}"), 64, TargetRatio::R1)
+                .unwrap_err();
+            match err {
+                DeviceError::OutOfDeviceMemory {
+                    requested,
+                    available,
+                } => {
+                    assert_eq!(requested, 64 * 128);
+                    assert!(
+                        available == 0 || available == 32 * 128,
+                        "available {available} matches neither shard"
+                    );
+                    seen.insert(available);
+                }
+                other => panic!("expected OutOfDeviceMemory, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            2,
+            "both shards' errors must surface as the home shard rotates"
+        );
+        // Failed probes leak nothing.
+        let total: usize = pool.occupancy().iter().map(|o| o.allocations).sum();
+        assert_eq!(total, 2);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! runs the adaptive re-targeting sweep between batches (window → policy →
 //! [`BuddyPool::retarget`]), so migrations execute concurrently with other
 //! clients' reads and writes on the same shards — the harness's standing
-//! exercise of live migration under contention (DESIGN.md §8).
+//! exercise of live migration under contention (DESIGN.md §8). With
+//! [`LoadgenConfig::churn_every`] set, clients also free and re-allocate
+//! their footprint mid-replay (DL-iteration activation turnover), driving
+//! the shards' free-list allocators concurrently with entry traffic
+//! (DESIGN.md §9).
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ use crate::{
     TargetRatio, ENTRY_BYTES,
 };
 use std::time::{Duration, Instant};
+use workloads::entry_gen::splitmix64;
 use workloads::{AccessProfile, TraceGenerator};
 
 /// Configuration of one replay run.
@@ -72,14 +77,21 @@ pub struct LoadgenConfig {
     /// exercises live migration *concurrent* with other clients hammering
     /// the same shards. Decisions depend only on the client's own
     /// deterministic write stream, so each client performs the same
-    /// migration sequence (and the same entry-access traffic) on every
-    /// run. The one scheduler-visible quantity is
-    /// [`AccessStats::moved_sectors`]: a migration's relocation cost
-    /// includes co-shard neighbours' regions at their *instantaneous*
-    /// reservations, which can differ by interleaving when the 16×
-    /// zero-page target (the only one whose device+buddy total isn't
-    /// 128 B/entry) is in play.
+    /// migration sequence on every run, and since a migration re-encodes
+    /// only its own allocation (alloc-new/re-encode/free-old — no
+    /// neighbour is relocated), **every** counter, including
+    /// [`AccessStats::moved_sectors`], replays identically regardless of
+    /// thread interleaving.
     pub retarget_every: u64,
+    /// Churn period in batches (`0` disables churn). Every `churn_every`
+    /// batches a client **frees its allocation and allocates a fresh one**
+    /// of the same size at the configured target — the DL-iteration
+    /// activation-turnover regime, exercised mid-replay while other
+    /// clients keep hammering the same shards. The replacement starts
+    /// zeroed (like any fresh allocation) and the freed space returns to
+    /// the shard's free lists, so a churning replay holds the pool at a
+    /// steady footprint instead of leaking a new region per cycle.
+    pub churn_every: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -92,6 +104,7 @@ impl Default for LoadgenConfig {
             target: TargetRatio::R2,
             seed: 0xB0DD7,
             retarget_every: 0,
+            churn_every: 0,
         }
     }
 }
@@ -126,6 +139,9 @@ pub struct LoadReport {
     pub logical_gb_per_sec: f64,
     /// Per-batch latency percentiles across all clients.
     pub latency: LatencyPercentiles,
+    /// Alloc/free churn cycles the clients performed
+    /// ([`LoadgenConfig::churn_every`]; `0` when churn is disabled).
+    pub churn_cycles: u64,
     /// Traffic this replay added to the pool (delta of the merged
     /// counters, exact — taken after a [`BuddyPool::drain`] barrier).
     pub stats: AccessStats,
@@ -147,10 +163,15 @@ pub fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
 /// spectrum (zero / constant / ramp / noise), generated deterministically
 /// from `seed`. Sized `ring + batch` so any batch is a contiguous window —
 /// write paths borrow straight from the palette with no per-op copying.
+///
+/// The seed is diffused through splitmix64 before driving the LCG: the
+/// previous `seed | 1` initialization collapsed seeds differing only in
+/// bit 0 — exactly the adjacent per-client seeds the replay hands out — to
+/// byte-identical palettes, so two clients replayed identical traffic.
 fn write_palette(seed: u64, batch: usize) -> Vec<Entry> {
     const RING: usize = 256;
     let mut palette = Vec::with_capacity(RING + batch);
-    let mut state = seed | 1;
+    let mut state = splitmix64(seed);
     let mut next = || {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -269,6 +290,12 @@ pub fn replay(
     let batches = cfg.clients as u64 * cfg.batches_per_client;
     let entries_processed = batches * cfg.batch_entries as u64;
     let secs = elapsed.as_secs_f64().max(1e-9);
+    // Every cycle either completed or surfaced its error above, so the
+    // count is a closed form, not something the clients need to report.
+    let churn_cycles = cfg
+        .batches_per_client
+        .checked_div(cfg.churn_every)
+        .map_or(0, |cycles| cfg.clients as u64 * cycles);
     Ok(LoadReport {
         shards: pool.shard_count(),
         clients: cfg.clients,
@@ -282,6 +309,7 @@ pub fn replay(
             p95_us: percentile_us(&latencies, 0.95),
             p99_us: percentile_us(&latencies, 0.99),
         },
+        churn_cycles,
         stats: stats_delta(&before, &after),
     })
 }
@@ -290,7 +318,7 @@ pub fn replay(
 /// op per access and timing each batch.
 fn client_run(
     pool: &BuddyPool,
-    handle: PoolAllocId,
+    mut handle: PoolAllocId,
     profile: AccessProfile,
     cfg: &LoadgenConfig,
     client: u64,
@@ -303,6 +331,7 @@ fn client_run(
     let max_start = cfg.entries_per_client - cfg.batch_entries as u64;
     let policy = RetargetPolicy::new(AdaptConfig::default());
     let mut current_target = cfg.target;
+    let mut cycle = 0u64;
 
     for op in 0..cfg.batches_per_client {
         let access = trace.next().expect("trace generators are infinite");
@@ -327,6 +356,23 @@ fn client_run(
                 pool.retarget(handle, next)?;
                 current_target = next;
             }
+        }
+
+        // Between batches: the optional churn cycle — the client releases
+        // its allocation and takes a fresh one of the same size, the
+        // DL-iteration activation turnover. Freed space returns to the
+        // shard free lists mid-replay while other clients keep accessing
+        // the same shards; the replacement starts zeroed and back on the
+        // configured target.
+        if cfg.churn_every > 0 && (op + 1) % cfg.churn_every == 0 {
+            pool.free(handle)?;
+            cycle += 1;
+            handle = pool.alloc(
+                &format!("loadgen-client-{client}-cycle-{cycle}"),
+                cfg.entries_per_client,
+                cfg.target,
+            )?;
+            current_target = cfg.target;
         }
     }
     Ok(latencies)
@@ -475,25 +521,72 @@ mod tests {
         };
         let a = replay(&pool(4), AccessProfile::stencil(), &sweep_cfg).unwrap();
         let b = replay(&pool(4), AccessProfile::stencil(), &sweep_cfg).unwrap();
-        // Every per-client decision — accesses, states, migration count —
-        // replays identically. `moved_sectors` is excluded by design: a
-        // migration's relocation cost covers co-shard neighbours at their
-        // instantaneous reservations, so with the 16x target in play it
-        // legitimately varies with thread interleaving (see the
-        // `retarget_every` docs).
-        let normalize = |mut s: AccessStats| {
-            s.moved_sectors = 0;
-            s
-        };
+        // Every per-client decision — accesses, states, migration count,
+        // and since a migration re-encodes only its own allocation, even
+        // `moved_sectors` — replays identically whatever the scheduler did.
         assert_eq!(
-            normalize(a.stats),
-            normalize(b.stats),
-            "sweep decisions must replay identically for a fixed seed"
+            a.stats, b.stats,
+            "sweep decisions and costs must replay identically for a fixed seed"
         );
         assert!(a.stats.retargets > 0, "the sweep must actually migrate");
         let off = replay(&pool(4), AccessProfile::stencil(), &quick_cfg(4)).unwrap();
         assert_eq!(off.stats.retargets, 0, "no sweep without opting in");
         assert_eq!(off.stats.moved_sectors, 0);
+    }
+
+    #[test]
+    fn adjacent_seeds_generate_distinct_palettes() {
+        // Regression: the palette generator used `state = seed | 1`, so
+        // seeds differing only in bit 0 — exactly the adjacent per-client
+        // seeds `seed + client` hands out — produced byte-identical
+        // palettes and two clients replayed identical traffic.
+        for seed in [0u64, 2, 0xB0DD6, 0xFFFF_FFFF_FFFF_FFFE] {
+            assert_ne!(
+                write_palette(seed, 16),
+                write_palette(seed | 1, 16),
+                "palettes for seeds {seed} and {} must differ",
+                seed | 1
+            );
+        }
+        // Still deterministic for a fixed seed.
+        assert_eq!(write_palette(42, 16), write_palette(42, 16));
+    }
+
+    #[test]
+    fn churn_mode_turns_the_footprint_over_without_leaking() {
+        let pool = pool(2);
+        let cfg = LoadgenConfig {
+            churn_every: 8,
+            batches_per_client: 64,
+            ..quick_cfg(3)
+        };
+        let report = replay(&pool, AccessProfile::streaming_dl(), &cfg).unwrap();
+        assert_eq!(report.churn_cycles, 3 * (64 / 8));
+        assert_eq!(report.entries_processed, 3 * 64 * 16);
+        // Every client ends with exactly one live allocation: all churned
+        // regions were freed, so the pool's footprint is the steady-state
+        // 3 × 512 entries, not 3 × (cycles + 1) × 512.
+        let live: usize = pool.occupancy().iter().map(|o| o.allocations).sum();
+        assert_eq!(live, 3);
+        assert_eq!(
+            pool.device_used(),
+            3 * 512 * cfg.target.device_bytes_per_entry() as u64
+        );
+    }
+
+    #[test]
+    fn churn_replay_is_deterministic() {
+        let cfg = LoadgenConfig {
+            churn_every: 4,
+            retarget_every: 8,
+            ..quick_cfg(4)
+        };
+        let a = replay(&pool(4), AccessProfile::stencil(), &cfg).unwrap();
+        let b = replay(&pool(4), AccessProfile::stencil(), &cfg).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.churn_cycles, b.churn_cycles);
+        let off = replay(&pool(4), AccessProfile::stencil(), &quick_cfg(4)).unwrap();
+        assert_eq!(off.churn_cycles, 0, "no churn without opting in");
     }
 
     #[test]

@@ -30,6 +30,9 @@ fn main() {
         // Between-batch adaptive re-targeting sweep (0 disables); see the
         // adaptive_retarget example for the single-device walkthrough.
         retarget_every: 32,
+        // Alloc/free churn every 64 batches: each client turns its whole
+        // footprint over mid-replay (see the churn_lifecycle example).
+        churn_every: 64,
     };
     let report = replay(&pool, bench.access, &cfg).expect("pool hosts all clients");
 

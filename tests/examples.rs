@@ -1,10 +1,10 @@
 //! Coverage for the `examples/` directory.
 //!
-//! All five examples are compiled as part of `cargo test` / `cargo build
+//! All six examples are compiled as part of `cargo test` / `cargo build
 //! --examples` (compilation is the coverage for the two long-running
-//! sweeps); `quickstart`, `pool_replay` and `adaptive_retarget` are
-//! additionally *executed* here — all are test-scale configurations that
-//! finish in well under a second.
+//! sweeps); `quickstart`, `pool_replay`, `adaptive_retarget` and
+//! `churn_lifecycle` are additionally *executed* here — all are
+//! test-scale configurations that finish in well under a second.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -115,6 +115,42 @@ fn adaptive_retarget_example_migrates_and_verifies() {
     assert!(
         stdout.contains("read-back verified: 4096/4096 entries byte-identical"),
         "missing verification line:\n{stdout}"
+    );
+}
+
+#[test]
+fn churn_lifecycle_example_reclaims_and_reports() {
+    let bin = example_bin("churn_lifecycle");
+    assert!(
+        bin.exists(),
+        "{} not found — examples should be built alongside tests",
+        bin.display()
+    );
+    let output = Command::new(&bin).output().expect("churn_lifecycle spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "churn_lifecycle failed ({}):\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // The example walks churn → drain → stale-handle pin → full-capacity
+    // re-allocation; spot-check each stage.
+    assert!(
+        stdout.contains("over 8 iterations"),
+        "missing churn accounting line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("after the final backward pass: 0 B used"),
+        "missing leak-freedom line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("BadAllocation (generational ids)"),
+        "missing stale-handle line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("succeeded after churn"),
+        "missing coalescing line:\n{stdout}"
     );
 }
 
