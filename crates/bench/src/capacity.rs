@@ -218,9 +218,9 @@ pub fn fig08(cfg: &RunConfig) -> io::Result<()> {
         let bench = all_benchmarks()
             .into_iter()
             .find(|b| b.name == name)
-            .expect("benchmark exists");
-        // Profile across the run (the paper's static targets), then measure
-        // per-snapshot overflow with those targets held fixed.
+            .expect("benchmark exists"); // lint-allow(no-unwrap): benchmark names are compiled into all_benchmarks()
+                                         // Profile across the run (the paper's static targets), then measure
+                                         // per-snapshot overflow with those targets held fixed.
         let profiles = profile_benchmark_with(&bench, cfg.codec, sample_cap(cfg), cfg.seed);
         let outcome = choose_targets(&profiles, &ProfileConfig::default());
         let mut row = vec![name.to_string(), f3(outcome.device_compression_ratio())];

@@ -167,6 +167,7 @@ pub fn run_distribution(label: &'static str, lifetime: Lifetime, cfg: &RunConfig
     let mut write_buf = vec![[0u8; ENTRY_BYTES]; WRITE_PREFIX as usize];
 
     for op_index in 0..total_ops {
+        // lint-allow(no-unwrap): churn traces are infinite by construction
         match trace.next().expect("churn traces are infinite") {
             ChurnOp::Alloc { key, entries } => {
                 attempts += 1;
@@ -180,20 +181,20 @@ pub fn run_distribution(label: &'static str, lifetime: Lifetime, cfg: &RunConfig
                             *slot = class.generate(mix(&[cfg.seed, key, i as u64]));
                         }
                         dev.write_entries(id, 0, &write_buf[..n])
-                            .expect("prefix is in range");
+                            .expect("prefix is in range"); // lint-allow(no-unwrap): the WRITE_PREFIX window is in range for every accepted alloc
                         handles.insert(key, id);
                     }
                     Err(
                         DeviceError::OutOfDeviceMemory { .. }
                         | DeviceError::OutOfBuddyMemory { .. },
                     ) => failures += 1,
-                    Err(other) => panic!("unexpected alloc error: {other}"),
+                    Err(other) => panic!("unexpected alloc error: {other}"), // lint-allow(no-unwrap): any error besides out-of-memory is a harness bug; abort with its message
                 }
             }
             ChurnOp::Free { key } => {
                 // Keys whose alloc was rejected have no handle to free.
                 if let Some(id) = handles.remove(&key) {
-                    dev.free(id).expect("live handle frees cleanly");
+                    dev.free(id).expect("live handle frees cleanly"); // lint-allow(no-unwrap): the handle came from the live map
                 }
             }
         }
@@ -220,7 +221,7 @@ pub fn run_distribution(label: &'static str, lifetime: Lifetime, cfg: &RunConfig
     // Leak freedom: drain the survivors; the device must return to empty
     // with its free space fully coalesced.
     for (_, id) in handles.drain() {
-        dev.free(id).expect("survivor frees cleanly");
+        dev.free(id).expect("survivor frees cleanly"); // lint-allow(no-unwrap): drained handles are live by construction
     }
     assert_eq!(dev.device_used(), 0, "{label}: leaked device bytes");
     assert_eq!(dev.buddy_used(), 0, "{label}: leaked buddy bytes");

@@ -48,11 +48,11 @@ pub fn measure(
     batches_per_client: u64,
     seed: u64,
 ) -> Cell {
-    let profile = by_name(TRACE_BENCH).expect("trace benchmark exists").access;
-    // Size shards to the replay footprint (with 2× headroom) instead of a
-    // flat multi-MB capacity: the backing arrays are zero-initialized, and
-    // across a 24-cell sweep a fixed large capacity would spend more time
-    // in memset than in compression.
+    let profile = by_name(TRACE_BENCH).expect("trace benchmark exists").access; // lint-allow(no-unwrap): the trace benchmark is compiled into the suite
+                                                                                // Size shards to the replay footprint (with 2× headroom) instead of a
+                                                                                // flat multi-MB capacity: the backing arrays are zero-initialized, and
+                                                                                // across a 24-cell sweep a fixed large capacity would spend more time
+                                                                                // in memset than in compression.
     let clients_per_shard = clients.div_ceil(shards) as u64;
     let target = TargetRatio::R2;
     let device_need =
@@ -75,7 +75,7 @@ pub fn measure(
         retarget_every: 0,
         churn_every: 0,
     };
-    let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client");
+    let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client"); // lint-allow(no-unwrap): the pool is sized with 2x headroom for every client
     Cell { codec, report }
 }
 

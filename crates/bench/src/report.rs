@@ -35,22 +35,29 @@ impl RunConfig {
     /// Builds the configuration from process arguments (`--quick`,
     /// `--codec <name>`).
     ///
-    /// # Panics
-    ///
-    /// Panics with the list of registered codecs if `--codec` names an
-    /// unknown algorithm or is missing its value.
+    /// Exits with status 2 and the list of registered codecs on stderr if
+    /// `--codec` names an unknown algorithm or is missing its value — a
+    /// usage error, not a harness bug, so no backtrace.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
+        let usage_error = |message: String| -> ! {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        };
         let codec = match args.iter().position(|a| a == "--codec") {
             None => CodecKind::Bpc,
             Some(i) => {
-                let name = args
-                    .get(i + 1)
-                    .unwrap_or_else(|| panic!("--codec needs a value: one of {}", codec_names()));
-                CodecKind::from_name(name).unwrap_or_else(|| {
-                    panic!("unknown codec {name:?}: expected one of {}", codec_names())
-                })
+                let Some(name) = args.get(i + 1) else {
+                    usage_error(format!("--codec needs a value: one of {}", codec_names()));
+                };
+                match CodecKind::from_name(name) {
+                    Some(codec) => codec,
+                    None => usage_error(format!(
+                        "unknown codec {name:?}: expected one of {}",
+                        codec_names()
+                    )),
+                }
             }
         };
         if codec != CodecKind::Bpc {

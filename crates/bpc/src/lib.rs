@@ -248,7 +248,7 @@ pub trait BlockCompressor {
 pub(crate) fn to_symbols(entry: &Entry) -> [u32; 32] {
     let mut symbols = [0u32; 32];
     for (symbol, chunk) in symbols.iter_mut().zip(entry.chunks_exact(4)) {
-        *symbol = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        *symbol = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk")); // lint-allow(no-unwrap): chunks_exact(4) yields exactly 4-byte slices
     }
     symbols
 }

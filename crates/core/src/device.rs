@@ -337,6 +337,11 @@ pub struct BuddyDevice {
     buddy_region: RegionAllocator,
     metadata_region: RegionAllocator,
     stats: AccessStats,
+    /// Shadow-state mirror (`--features audit`): independently tracks every
+    /// reservation and revalidates structural invariants after each
+    /// mutating operation, aborting at the mutation that diverges.
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::DeviceAuditor,
 }
 
 // The device owns all of its storage (plain `Vec`s and POD bookkeeping, no
@@ -372,7 +377,7 @@ impl BuddyDevice {
     pub fn with_codec(config: DeviceConfig, codec: CodecKind) -> Self {
         let buddy_capacity = config
             .buddy_capacity()
-            .expect("device_capacity x carve_out_factor overflows u64");
+            .expect("device_capacity x carve_out_factor overflows u64"); // lint-allow(no-unwrap): the overflow check is this constructor's documented panic contract
         let metadata_entries = config.device_capacity / 8; // worst case: 16x entries
         Self {
             codec,
@@ -389,7 +394,19 @@ impl BuddyDevice {
             buddy_region: RegionAllocator::new(buddy_capacity),
             metadata_region: RegionAllocator::new(metadata_entries),
             stats: AccessStats::default(),
+            #[cfg(feature = "audit")]
+            auditor: crate::audit::DeviceAuditor::new(),
         }
+    }
+
+    /// Revalidates the shadow mirror against all three region allocators.
+    #[cfg(feature = "audit")]
+    fn audit_check(&self) {
+        self.auditor.validate(
+            &self.device_region,
+            &self.buddy_region,
+            &self.metadata_region,
+        );
     }
 
     /// The codec this device compresses with.
@@ -468,7 +485,7 @@ impl BuddyDevice {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.alloc.as_ref().map(|a| (i as u32, a)))
+            .filter_map(|(i, s)| s.alloc.as_ref().map(|a| (i as u32, a))) // lint-allow(lossy-cast): slot indices are created as u32, so slots.len() never exceeds u32::MAX
     }
 
     /// Resolves a name to the most recently created live allocation.
@@ -552,7 +569,7 @@ impl BuddyDevice {
                 self.metadata_region.grow(grown);
                 self.metadata_region
                     .alloc(entries)
-                    .expect("grown metadata region hosts the request")
+                    .expect("grown metadata region hosts the request") // lint-allow(no-unwrap): the region was just grown past the request
             }
         };
         // A recycled metadata range may hold a dead allocation's states;
@@ -566,7 +583,7 @@ impl BuddyDevice {
                     generation: 0,
                     alloc: None,
                 });
-                (self.slots.len() - 1) as u32
+                (self.slots.len() - 1) as u32 // lint-allow(lossy-cast): 2^32 live slots would need a 32 GiB device of 8 B zero-page entries first
             }
         };
         let seq = self.alloc_seq;
@@ -582,10 +599,23 @@ impl BuddyDevice {
                 metadata_base,
             },
         });
-        Ok(AllocId {
-            slot,
-            generation: self.slots[slot as usize].generation,
-        })
+        let generation = self.slots[slot as usize].generation;
+        #[cfg(feature = "audit")]
+        {
+            self.auditor.record_alloc(
+                slot,
+                crate::audit::ShadowAlloc {
+                    generation,
+                    target,
+                    entries,
+                    device_base,
+                    buddy_base,
+                    metadata_base,
+                },
+            );
+            self.audit_check();
+        }
+        Ok(AllocId { slot, generation })
     }
 
     /// Releases an allocation: its device, buddy and metadata reservations
@@ -609,6 +639,11 @@ impl BuddyDevice {
         self.buddy_region
             .free(view.buddy_base, view.entries * view.buddy_stride());
         self.metadata_region.free(view.metadata_base, view.entries);
+        #[cfg(feature = "audit")]
+        {
+            self.auditor.record_free(id.slot, id.generation);
+            self.audit_check();
+        }
         Ok(())
     }
 
@@ -723,6 +758,11 @@ impl BuddyDevice {
         }
         self.scratch = scratch;
         self.stats.merge(&stats);
+        // Entry writes must never move reservations — the design's fixed
+        // buddy-offset invariant — so the mirror needs no update, only a
+        // revalidation.
+        #[cfg(feature = "audit")]
+        self.audit_check();
         Ok(())
     }
 
@@ -941,7 +981,7 @@ impl BuddyDevice {
         let alloc = self.slots[id.slot as usize]
             .alloc
             .as_mut()
-            .expect("validated live slot");
+            .expect("validated live slot"); // lint-allow(no-unwrap): slot liveness was validated at the top of retarget
         alloc.view.target = new_target;
         alloc.view.device_base = device_base;
         alloc.view.buddy_base = buddy_base;
@@ -961,6 +1001,21 @@ impl BuddyDevice {
 
         self.stats.retargets += 1;
         self.stats.moved_sectors += moved_sectors;
+        #[cfg(feature = "audit")]
+        {
+            self.auditor.record_retarget(
+                id.slot,
+                crate::audit::ShadowAlloc {
+                    generation: id.generation,
+                    target: new_target,
+                    entries,
+                    device_base,
+                    buddy_base,
+                    metadata_base: new_view.metadata_base,
+                },
+            );
+            self.audit_check();
+        }
         Ok(RetargetReport {
             old_target,
             new_target,
@@ -1077,7 +1132,7 @@ impl BuddyDevice {
     fn decode(&self, data: &[u8], out: &mut Entry) {
         self.codec
             .decompress_into(data, data.len() * 8, out)
-            .expect("stored streams always decode: write path produced them");
+            .expect("stored streams always decode: write path produced them"); // lint-allow(no-unwrap): the write path produced every stored stream
     }
 
     fn store_zero_page(&mut self, view: &AllocView, index: u64, data: &[u8]) {

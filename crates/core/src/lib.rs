@@ -59,6 +59,8 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod device;
 pub mod metadata;
 pub mod profile;

@@ -117,7 +117,7 @@ impl MetadataStore {
         } else {
             byte >> 4
         };
-        EntryState::decode(nibble).expect("stored nibble is always valid")
+        EntryState::decode(nibble).expect("stored nibble is always valid") // lint-allow(no-unwrap): set() stores only encoded nibbles, so decode cannot fail
     }
 
     /// Writes the state of entry `index`.
@@ -161,7 +161,7 @@ impl MetadataStore {
     ///
     /// Panics if the range extends past the tracked entries.
     pub fn clear_range(&mut self, start: u64, len: u64) {
-        let end = start.checked_add(len).expect("range end overflows");
+        let end = start.checked_add(len).expect("range end overflows"); // lint-allow(no-unwrap): the overflow panic is this method's documented contract
         assert!(
             end <= self.entries,
             "metadata range {start}+{len} out of range"

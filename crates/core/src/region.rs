@@ -72,6 +72,14 @@ impl RegionAllocator {
         self.free.iter().map(|r| r.len).max().unwrap_or(0)
     }
 
+    /// The free list as `(offset, len)` pairs, in offset order. Exposed for
+    /// the shadow-state auditor, which revalidates the canonical-free-list
+    /// invariants from the outside.
+    #[cfg(feature = "audit")]
+    pub fn free_runs(&self) -> Vec<(u64, u64)> {
+        self.free.iter().map(|r| (r.offset, r.len)).collect()
+    }
+
     /// External fragmentation in `[0, 1)`: the fraction of free space that
     /// is *not* reachable by one maximal allocation
     /// (`1 − largest_free / free_total`; `0` when nothing is free).

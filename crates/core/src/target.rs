@@ -61,7 +61,7 @@ impl TargetRatio {
     /// Device sectors reserved per entry (zero-page mode reserves a sub-
     /// sector 8 B granule and reports 0 whole sectors).
     pub fn device_sectors(self) -> u8 {
-        (self.device_bytes_per_entry() / SECTOR_BYTES as u32) as u8
+        (self.device_bytes_per_entry() / SECTOR_BYTES as u32) as u8 // lint-allow(lossy-cast): compile-time constants; the quotient is at most 4 sectors
     }
 
     /// Buddy bytes reserved per entry in the carve-out.

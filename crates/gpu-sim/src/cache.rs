@@ -132,7 +132,7 @@ impl SectoredCache {
             .enumerate()
             .min_by_key(|(_, s)| s.last_use)
             .map(|(i, _)| i)
-            .expect("set is full, victim exists");
+            .expect("set is full, victim exists"); // lint-allow(no-unwrap): the set was just checked to be full
         let victim = std::mem::replace(&mut set[victim_idx], new_slot);
         if victim.dirty_mask != 0 {
             Some(Eviction {

@@ -149,9 +149,14 @@ impl BuddyPool {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shards` is zero.
+    /// Panics if `config.shards` is zero or exceeds `u32::MAX` (shard
+    /// indices travel inside [`PoolAllocId`] as `u32`).
     pub fn new(config: PoolConfig) -> Self {
         assert!(config.shards > 0, "pool needs at least one shard");
+        assert!(
+            u32::try_from(config.shards).is_ok(),
+            "shard count must fit a u32 handle index"
+        );
         let shards = (0..config.shards)
             .map(|_| Mutex::new(BuddyDevice::with_codec(config.shard_config, config.codec)))
             .collect();
@@ -221,26 +226,29 @@ impl BuddyPool {
         if entries == 0 {
             return Err(DeviceError::EmptyAllocation);
         }
-        let seq = self.alloc_seq.fetch_add(1, Ordering::Relaxed);
+        let seq = self.alloc_seq.fetch_add(1, Ordering::Relaxed); // Relaxed: the sequence only feeds shard hashing with unique ids; no memory is published through it
         let home = (shard_hash(name, seq) % self.shards.len() as u64) as usize;
-        let mut home_error = None;
-        for probe in 0..self.shards.len() {
+        // The home shard is probed first and is the one whose error the
+        // pool reports when every shard is exhausted.
+        let home_error = match self.shard(home).alloc(name, entries, target) {
+            Ok(inner) => {
+                return Ok(PoolAllocId {
+                    shard: home as u32, // lint-allow(lossy-cast): shard count is validated to fit u32 in BuddyPool::new
+                    inner,
+                });
+            }
+            Err(e) => e,
+        };
+        for probe in 1..self.shards.len() {
             let index = (home + probe) % self.shards.len();
-            match self.shard(index).alloc(name, entries, target) {
-                Ok(inner) => {
-                    return Ok(PoolAllocId {
-                        shard: index as u32,
-                        inner,
-                    })
-                }
-                Err(e) => {
-                    if probe == 0 {
-                        home_error = Some(e);
-                    }
-                }
+            if let Ok(inner) = self.shard(index).alloc(name, entries, target) {
+                return Ok(PoolAllocId {
+                    shard: index as u32, // lint-allow(lossy-cast): shard count is validated to fit u32 in BuddyPool::new
+                    inner,
+                });
             }
         }
-        Err(home_error.expect("at least one shard probed"))
+        Err(home_error)
     }
 
     /// Releases an allocation ([`BuddyDevice::free`] semantics), returning

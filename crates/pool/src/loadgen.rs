@@ -183,20 +183,20 @@ fn write_palette(seed: u64, batch: usize) -> Vec<Entry> {
         match slot % 4 {
             0 => {} // zero entry
             1 => {
-                let word = (slot as u32).wrapping_mul(0x9E37_79B9);
+                let word = (slot as u32).wrapping_mul(0x9E37_79B9); // lint-allow(lossy-cast): intentional low-bit mixing for the synthetic palette
                 for c in entry.chunks_exact_mut(4) {
                     c.copy_from_slice(&word.to_le_bytes());
                 }
             }
             2 => {
                 for (j, c) in entry.chunks_exact_mut(4).enumerate() {
-                    let v = 1_000_000u32.wrapping_add((slot * 64 + j * 3) as u32);
+                    let v = 1_000_000u32.wrapping_add((slot * 64 + j * 3) as u32); // lint-allow(lossy-cast): intentional low-bit mixing for the synthetic palette
                     c.copy_from_slice(&v.to_le_bytes());
                 }
             }
             _ => {
                 for b in entry.iter_mut() {
-                    *b = (next() >> 33) as u8;
+                    *b = (next() >> 33) as u8; // lint-allow(lossy-cast): intentionally keeps 8 bits of the mixed stream
                 }
             }
         }
@@ -274,7 +274,7 @@ pub fn replay(
             .collect();
         workers
             .into_iter()
-            .map(|w| w.join().expect("loadgen client panicked"))
+            .map(|w| w.join().expect("loadgen client panicked")) // lint-allow(no-unwrap): a client panic must fail the whole harness run
             .collect()
     });
 
@@ -334,7 +334,7 @@ fn client_run(
     let mut cycle = 0u64;
 
     for op in 0..cfg.batches_per_client {
-        let access = trace.next().expect("trace generators are infinite");
+        let access = trace.next().expect("trace generators are infinite"); // lint-allow(no-unwrap): trace generators are infinite
         let start = access.entry.min(max_start);
         let timer = Instant::now();
         if access.write {

@@ -203,7 +203,7 @@ impl Iterator for ChurnTrace {
                 if self.draining {
                     // Backward pass: free the stacked activations in
                     // reverse (last-allocated, first-freed).
-                    let key = self.backward.pop().expect("draining stack is non-empty");
+                    let key = self.backward.pop().expect("draining stack is non-empty"); // lint-allow(no-unwrap): draining only starts with a non-empty backward stack
                     if self.backward.is_empty() {
                         self.draining = false;
                     }
@@ -235,7 +235,7 @@ impl Iterator for ChurnTrace {
                         .enumerate()
                         .min_by_key(|(_, &(death, key))| (death, key))
                         .map(|(i, _)| i)
-                        .expect("live target is positive");
+                        .expect("live target is positive"); // lint-allow(no-unwrap): live_target > 0 guarantees a retirement candidate
                     let (_, key) = self.live.swap_remove(idx);
                     ChurnOp::Free { key }
                 }

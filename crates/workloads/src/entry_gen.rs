@@ -191,7 +191,7 @@ impl MixtureProfile {
                 return class;
             }
         }
-        self.components.last().expect("non-empty mixture").1
+        self.components.last().expect("non-empty mixture").1 // lint-allow(no-unwrap): mixtures are constructed non-empty
     }
 
     /// Picks a component by stripe position: weights are interpreted as

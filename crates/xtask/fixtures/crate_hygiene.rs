@@ -1,0 +1,5 @@
+// expect-file(crate-hygiene)
+// This fixture deliberately lacks both crate-level `//!` documentation and
+// the `#![forbid(unsafe_code)]` attribute; the hygiene rule must flag it.
+
+fn main() {}

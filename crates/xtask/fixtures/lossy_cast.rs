@@ -1,0 +1,23 @@
+//! Known-bad corpus for the `lossy-cast` rule: narrowing `as` casts must be
+//! flagged, widening and same-width casts must not.
+#![forbid(unsafe_code)]
+
+fn bad(n: usize, m: u64) -> (u32, u8, i16) {
+    let a = n as u32; // expect(lossy-cast)
+    let b = (m >> 3) as u8; // expect(lossy-cast)
+    let c = m as i16; // expect(lossy-cast)
+    (a, b, c)
+}
+
+fn fine(n: u32, m: u8, k: usize) -> (u64, usize, f64) {
+    (u64::from(n), m as usize, k as f64)
+}
+
+fn required_replacement(n: usize) -> Result<u32, std::num::TryFromIntError> {
+    u32::try_from(n)
+}
+
+fn waived(nibble_index: usize) -> u16 {
+    // lint-allow(lossy-cast): nibble indices are bounded by 2 * entry_count < 2^16 here
+    nibble_index as u16
+}

@@ -1,0 +1,45 @@
+//! Known-bad corpus for the `no-unwrap` rule. Every `// expect(no-unwrap)`
+//! line must be flagged; the test module and the reasoned waiver must not
+//! be. This file is never compiled — it is scanned by `xtask lint
+//! --self-check` as the rule's mutation test.
+#![forbid(unsafe_code)]
+
+fn bad(opt: Option<u32>) -> u32 {
+    let a = opt.unwrap(); // expect(no-unwrap)
+    let b = opt.expect("present"); // expect(no-unwrap)
+    if a == 0 {
+        panic!("zero is not a value we accept"); // expect(no-unwrap)
+    }
+    a + b
+}
+
+fn prose_and_strings_are_not_code(s: &str) -> usize {
+    // Calling .unwrap() here would be bad, but this is a comment.
+    let t = "never .unwrap() in a string literal either";
+    s.len() + t.len()
+}
+
+fn waived(opt: Option<u32>) -> u32 {
+    // lint-allow(no-unwrap): fixture demonstrates that a reasoned waiver suppresses
+    opt.unwrap()
+}
+
+// A reasonless waiver must NOT suppress, and is a finding itself:
+// expect-file(waiver-without-reason)
+// lint-allow(no-unwrap)
+fn reasonless(opt: Option<u32>) -> u32 { opt.unwrap() } // expect(no-unwrap)
+
+// A waiver naming a rule the registry does not know is a finding too:
+// expect-file(unknown-waiver)
+// lint-allow(no-such-rule): typo'd rule ids must never silently waive anything
+fn untouched() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1u32).unwrap();
+        None::<u32>.expect("tests may assert freely");
+        panic!("even this");
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-bad corpus for the `wallclock-in-replay` rule: wallclock types in
+//! deterministic trace/replay code must be flagged; identifiers that merely
+//! contain the words must not.
+#![forbid(unsafe_code)]
+
+use std::time::SystemTime; // expect(wallclock-in-replay)
+
+fn bad_epoch() -> u64 {
+    let now = SystemTime::now(); // expect(wallclock-in-replay)
+    seed_from(now)
+}
+
+fn bad_signature(started: Instant) -> bool { // expect(wallclock-in-replay)
+    started.elapsed().as_nanos() > 0
+}
+
+fn fine(instants: usize, duration_ms: u64) -> u64 {
+    let per_instant = duration_ms / 7;
+    (instants as u64) * per_instant
+}
+
+fn waived_cache_warmup() -> u64 {
+    // lint-allow(wallclock-in-replay): one-shot warmup timing, never feeds the trace
+    let t = Instant::now();
+    drop(t);
+    0
+}

@@ -1,0 +1,432 @@
+//! The lint rule registry: every repo-specific invariant the driver
+//! enforces, with its severity and path scope.
+//!
+//! Rules are text-level scans over the scrubbed source model (comments and
+//! literal contents removed, unit-test modules excluded where a rule says
+//! so). Each rule documents *why* the pattern is forbidden here — these are
+//! invariants no off-the-shelf tool knows about, distilled from the bugs
+//! the equivalence suites in PRs 3–5 were built to catch.
+
+use crate::source::SourceFile;
+use std::fmt;
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Unwaived findings fail the run (CI gate).
+    Deny,
+    /// Reported but never fails the run — for incubating rules.
+    Warn,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Deny => write!(f, "deny"),
+            Severity::Warn => write!(f, "warn"),
+        }
+    }
+}
+
+/// One finding produced by a rule, before waiver resolution.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// A registered lint rule.
+pub struct Rule {
+    /// Stable id used in `lint-allow(<id>)` waivers and JSON output.
+    pub id: &'static str,
+    /// Gate behaviour of unwaived findings.
+    pub severity: Severity,
+    /// One-line description for `--help`-ish listings and docs.
+    pub summary: &'static str,
+    /// Path scope, over the root-relative path (forward slashes).
+    pub applies: fn(&str) -> bool,
+    /// The scan itself.
+    pub check: fn(&SourceFile, &mut Vec<RawFinding>),
+}
+
+/// Every rule the driver knows, in reporting order.
+pub fn registry() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "no-unwrap",
+            severity: Severity::Deny,
+            summary: "no unwrap()/expect()/panic! in non-test library code",
+            applies: |p| is_library_source(p),
+            check: check_no_unwrap,
+        },
+        Rule {
+            id: "lossy-cast",
+            severity: Severity::Deny,
+            summary: "no lossy `as` integer casts in core/pool hot paths (use try_from or a checked helper)",
+            applies: |p| p.starts_with("crates/core/src/") || p.starts_with("crates/pool/src/"),
+            check: check_lossy_cast,
+        },
+        Rule {
+            id: "nested-lock",
+            severity: Severity::Deny,
+            summary: "no shard-lock acquisition while another shard guard is held (deadlock risk)",
+            applies: |p| p.starts_with("crates/pool/src/"),
+            check: check_nested_lock,
+        },
+        Rule {
+            id: "relaxed-ordering",
+            severity: Severity::Deny,
+            summary: "every Ordering::Relaxed needs an adjacent `Relaxed: ...` justification comment",
+            applies: |p| is_library_source(p),
+            check: check_relaxed_ordering,
+        },
+        Rule {
+            id: "wallclock-in-replay",
+            severity: Severity::Deny,
+            summary: "no Instant/SystemTime inside deterministic trace/replay code (workloads)",
+            applies: |p| p.starts_with("crates/workloads/src/"),
+            check: check_wallclock,
+        },
+        Rule {
+            id: "crate-hygiene",
+            severity: Severity::Deny,
+            summary: "every crate root carries #![forbid(unsafe_code)] and crate-level docs",
+            applies: is_crate_root,
+            check: check_crate_hygiene,
+        },
+    ]
+}
+
+/// Library sources: crate `src/` trees (never `tests/`, `benches/` or
+/// `examples/`, which the walker does not visit anyway).
+fn is_library_source(path: &str) -> bool {
+    path.ends_with(".rs")
+}
+
+/// Crate roots whose attributes the hygiene rule inspects.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+        || (path.starts_with("crates/") && path.ends_with("/src/main.rs"))
+}
+
+fn check_no_unwrap(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (token, advice) in [
+            (".unwrap()", "return a Result or use a checked alternative"),
+            (
+                ".expect(",
+                "return a Result, or waive with the invariant that makes it unreachable",
+            ),
+            (
+                "panic!(",
+                "return an error; panics in library code abort whole shard threads",
+            ),
+        ] {
+            if line.code.contains(token) {
+                out.push(RawFinding {
+                    line: idx + 1,
+                    message: format!(
+                        "`{}` in non-test library code — {advice}",
+                        token.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn check_lossy_cast(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut search = 0usize;
+        while let Some(pos) = code[search..].find(" as ") {
+            let after = &code[search + pos + 4..];
+            let target: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if NARROW_INTS.contains(&target.as_str()) {
+                out.push(RawFinding {
+                    line: idx + 1,
+                    message: format!(
+                        "lossy `as {target}` cast in a hot path — use `{target}::try_from` \
+                         or a bounds-asserted helper, or waive with the range invariant"
+                    ),
+                });
+            }
+            search += pos + 4;
+        }
+    }
+}
+
+/// Tokens whose evaluation acquires a shard lock in `buddy-pool`.
+const LOCK_TOKENS: [&str; 3] = [".lock()", "self.shard(", "self.guard_of("];
+
+fn acquires_lock(code: &str) -> bool {
+    LOCK_TOKENS.iter().any(|t| code.contains(t))
+}
+
+/// True when a `let` binds the *guard* rather than a value computed
+/// through it: the lock call is the last call in the expression
+/// (`let g = self.shard(i);`, `let g = self.guard_of(id)?;`). When a
+/// further method is chained (`let r = self.shard(i).alloc(..);`) the
+/// guard is a temporary that dies at the end of the statement.
+fn binds_guard(code: &str) -> bool {
+    LOCK_TOKENS
+        .iter()
+        .filter_map(|t| code.rfind(t).map(|p| p + t.len()))
+        .max()
+        .is_some_and(|end| !code[end..].contains('.'))
+}
+
+fn check_nested_lock(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    // Scoped heuristic: a `let`-bound acquisition holds its guard until the
+    // enclosing block closes; any further acquisition while one is held is
+    // a nested-lock hazard (the shard mutexes have no global order except
+    // in `drain`, which must stay the only multi-lock path).
+    let mut depth: i64 = 0;
+    let mut held: Vec<i64> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim();
+        if acquires_lock(code) {
+            if !held.is_empty() {
+                out.push(RawFinding {
+                    line: idx + 1,
+                    message: "lock acquisition while a shard guard from an enclosing scope is \
+                              still held — nested shard locks have no global order and can \
+                              deadlock; restructure or waive with the ordering argument"
+                        .to_string(),
+                });
+            }
+            // Only `let`-bound guards are *held* past the statement; a
+            // temporary guard dies at the end of its own expression. A
+            // binding inside a single-line block (`{ let g = ...; ... }`)
+            // dies on its own line, so it is never pushed either.
+            if code.starts_with("let ") && !code.contains('}') && binds_guard(code) {
+                held.push(depth);
+            }
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    while held.last().is_some_and(|&d| d > depth) {
+                        held.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn check_relaxed_ordering(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("Ordering::Relaxed") && !file.has_adjacent_comment(idx + 1, "Relaxed")
+        {
+            out.push(RawFinding {
+                line: idx + 1,
+                message: "Ordering::Relaxed without a justification — add an adjacent comment \
+                          starting `Relaxed: ...` explaining why no ordering is required"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_wallclock(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in ["Instant", "SystemTime"] {
+            if contains_word(&line.code, token) {
+                out.push(RawFinding {
+                    line: idx + 1,
+                    message: format!(
+                        "`{token}` in deterministic trace/replay code — replay must be \
+                         reproducible from seeds alone; thread timing through the caller \
+                         or waive with why this cannot perturb a trace"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Word-boundary containment check (identifier characters delimit words).
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut search = 0usize;
+    while let Some(pos) = code[search..].find(word) {
+        let at = search + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        search = after;
+    }
+    false
+}
+
+fn check_crate_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let has_forbid = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !has_forbid {
+        out.push(RawFinding {
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]` — every crate in this \
+                      workspace is a forbid-unsafe crate"
+                .to_string(),
+        });
+    }
+    let has_docs = file
+        .lines
+        .iter()
+        .any(|l| l.raw.trim_start().starts_with("//!"));
+    if !has_docs {
+        out.push(RawFinding {
+            line: 1,
+            message: "crate root lacks crate-level `//!` documentation".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule_id: &str, text: &str) -> Vec<RawFinding> {
+        let file = SourceFile::parse(text);
+        let mut out = Vec::new();
+        let rules = registry();
+        let rule = rules
+            .iter()
+            .find(|r| r.id == rule_id)
+            .unwrap_or_else(|| panic!("rule {rule_id} registered"));
+        (rule.check)(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let rules = registry();
+        for (i, a) in rules.iter().enumerate() {
+            for b in &rules[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn unwrap_in_strings_comments_and_tests_is_ignored() {
+        let text = "let s = \"don't .unwrap() me\"; // .unwrap() here is prose\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(run("no-unwrap", text).is_empty());
+        assert_eq!(run("no-unwrap", "x.unwrap();").len(), 1);
+        assert_eq!(run("no-unwrap", "x.expect(\"reason\");").len(), 1);
+        assert_eq!(run("no-unwrap", "panic!(\"boom\");").len(), 1);
+        assert!(run("no-unwrap", "x.unwrap_or(0); x.unwrap_or_else(f);").is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_flag_narrowing_only() {
+        assert_eq!(run("lossy-cast", "let x = big as u32;").len(), 1);
+        assert_eq!(run("lossy-cast", "let x = (a + b) as u8;").len(), 1);
+        assert!(run("lossy-cast", "let x = small as u64;").is_empty());
+        assert!(run("lossy-cast", "let x = small as usize;").is_empty());
+        assert!(run("lossy-cast", "let x = small as f64;").is_empty());
+        // `u32::try_from` is the required replacement, and is not flagged.
+        assert!(run("lossy-cast", "let x = u32::try_from(big)?;").is_empty());
+    }
+
+    #[test]
+    fn nested_locks_are_flagged_sequential_locks_are_not() {
+        let nested = "fn f(&self) {\n    let a = self.shard(0);\n    let b = self.shard(1);\n}";
+        assert_eq!(run("nested-lock", nested).len(), 1);
+        let nested_temp =
+            "fn f(&self) {\n    let a = self.shard(0);\n    self.shard(1).stats();\n}";
+        assert_eq!(run("nested-lock", nested_temp).len(), 1);
+        let sequential =
+            "fn f(&self) {\n    {\n        let a = self.shard(0);\n    }\n    let b = self.shard(1);\n}";
+        assert!(run("nested-lock", sequential).is_empty());
+        let loop_body =
+            "fn f(&self) {\n    for i in 0..4 {\n        let g = self.shard(i);\n    }\n}";
+        assert!(run("nested-lock", loop_body).is_empty());
+        let temporaries =
+            "fn f(&self) {\n    self.shard(0).stats();\n    self.shard(1).stats();\n}";
+        assert!(run("nested-lock", temporaries).is_empty());
+        // Binding the *result* of a call through the guard leaves nothing
+        // held: the guard temporary dies at the end of the statement.
+        let result_bound =
+            "fn f(&self) {\n    let r = self.shard(0).alloc(n);\n    let g = self.shard(1);\n}";
+        assert!(run("nested-lock", result_bound).is_empty());
+        let guard_via_try =
+            "fn f(&self) {\n    let g = self.guard_of(id)?;\n    self.shard(0).stats();\n}";
+        assert_eq!(run("nested-lock", guard_via_try).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_needs_a_justification_comment() {
+        assert_eq!(
+            run("relaxed-ordering", "c.fetch_add(1, Ordering::Relaxed);").len(),
+            1
+        );
+        let justified =
+            "// Relaxed: counter only needs atomicity.\nc.fetch_add(1, Ordering::Relaxed);";
+        assert!(run("relaxed-ordering", justified).is_empty());
+        let same_line = "c.fetch_add(1, Ordering::Relaxed); // Relaxed: id uniqueness only";
+        assert!(run("relaxed-ordering", same_line).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flags_word_boundaries() {
+        assert_eq!(
+            run("wallclock-in-replay", "let t = Instant::now();").len(),
+            1
+        );
+        assert_eq!(
+            run("wallclock-in-replay", "use std::time::SystemTime;").len(),
+            1
+        );
+        assert!(run("wallclock-in-replay", "let instants = 3;").is_empty());
+        assert!(run("wallclock-in-replay", "use std::time::Duration;").is_empty());
+    }
+
+    #[test]
+    fn crate_hygiene_requires_docs_and_forbid() {
+        assert_eq!(run("crate-hygiene", "fn main() {}").len(), 2);
+        assert!(run(
+            "crate-hygiene",
+            "//! Docs.\n#![forbid(unsafe_code)]\nfn main() {}"
+        )
+        .is_empty());
+    }
+}
