@@ -1,0 +1,9 @@
+//! Per-tenant telemetry ledger: runs a scripted mixed-tenant scenario
+//! (steady traffic, a quota-breaching demoter, a cross-tenant intruder,
+//! an ownership transfer) and prints the service's telemetry snapshot.
+//! Writes `results/service_report.csv`.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::tenantfig::service_report(&cfg)
+}

@@ -1,0 +1,10 @@
+//! Multi-tenant tenancy sweep: calibrates the machine's service capacity,
+//! drives an open-loop overload sweep across the knee (queueing delay and
+//! shed load vs offered-rate ratio), and demonstrates quota enforcement
+//! against a noisy neighbour under both admission policies. Writes
+//! `results/tenancy.csv`. Pass `--quick` for a reduced sweep.
+
+fn main() -> std::io::Result<()> {
+    let cfg = buddy_bench::RunConfig::from_args();
+    buddy_bench::tenantfig::tenancy(&cfg)
+}

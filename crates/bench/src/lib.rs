@@ -19,6 +19,7 @@ pub mod performance;
 pub mod poolfig;
 pub mod report;
 pub mod tables;
+pub mod tenantfig;
 pub mod umfig;
 
 pub use report::RunConfig;
@@ -46,6 +47,8 @@ pub fn reproduce_all(cfg: &RunConfig) -> io::Result<()> {
     poolfig::pool_throughput(cfg)?;
     adaptfig::adaptive_retarget(cfg)?;
     churnfig::churn(cfg)?;
+    tenantfig::tenancy(cfg)?;
+    tenantfig::service_report(cfg)?;
     println!(
         "\nAll tables and figures regenerated into {:?}.",
         cfg.results_dir

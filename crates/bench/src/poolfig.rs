@@ -36,10 +36,17 @@ pub struct Cell {
     pub codec: CodecKind,
     /// Loadgen report for this (shards, clients) point.
     pub report: LoadReport,
+    /// End-of-replay pool fragmentation (`BuddyPool::fragmentation`).
+    pub fragmentation: f64,
+    /// End-of-replay largest contiguous free device region, in bytes.
+    pub largest_free_region: u64,
 }
 
 /// Runs one (codec, shards, clients) cell: builds a pool sized to the
-/// clients' footprint and replays the trace through it.
+/// clients' footprint and replays the trace through it. `churn_every` /
+/// `retarget_every` (0 = off) forward to [`LoadgenConfig`] so churn and
+/// migration activity show up in the measured columns.
+#[allow(clippy::too_many_arguments)] // sweep axes, called from one grid loop
 pub fn measure(
     codec: CodecKind,
     shards: usize,
@@ -47,6 +54,8 @@ pub fn measure(
     entries_per_client: u64,
     batches_per_client: u64,
     seed: u64,
+    churn_every: u64,
+    retarget_every: u64,
 ) -> Cell {
     let profile = by_name(TRACE_BENCH).expect("trace benchmark exists").access; // lint-allow(no-unwrap): the trace benchmark is compiled into the suite
                                                                                 // Size shards to the replay footprint (with 2× headroom) instead of a
@@ -72,19 +81,35 @@ pub fn measure(
         entries_per_client,
         target,
         seed,
-        retarget_every: 0,
-        churn_every: 0,
+        retarget_every,
+        churn_every,
     };
     let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client"); // lint-allow(no-unwrap): the pool is sized with 2x headroom for every client
-    Cell { codec, report }
+    Cell {
+        codec,
+        report,
+        fragmentation: pool.fragmentation(),
+        largest_free_region: pool.largest_free_region(),
+    }
 }
 
-/// The shard × client grid of one sweep.
-fn grid(quick: bool) -> Vec<(usize, usize)> {
+/// The (shards, clients, churn_every, retarget_every) grid of one sweep.
+/// The final cell of each grid enables churn + retargeting so the
+/// `churn_cycles` / `retargets` / `fragmentation` columns exercise nonzero
+/// values in every run.
+fn grid(quick: bool) -> Vec<(usize, usize, u64, u64)> {
     if quick {
-        vec![(1, 1), (2, 2), (4, 4)]
+        vec![(1, 1, 0, 0), (2, 2, 0, 0), (4, 4, 0, 0), (2, 2, 8, 4)]
     } else {
-        vec![(1, 1), (1, 4), (2, 2), (4, 1), (4, 4), (8, 8)]
+        vec![
+            (1, 1, 0, 0),
+            (1, 4, 0, 0),
+            (2, 2, 0, 0),
+            (4, 1, 0, 0),
+            (4, 4, 0, 0),
+            (8, 8, 0, 0),
+            (4, 4, 8, 4),
+        ]
     }
 }
 
@@ -112,13 +137,17 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
         "p95_us",
         "p99_us",
         "buddy_access_frac",
+        "churn_cycles",
+        "retargets",
+        "fragmentation",
+        "largest_free_mb",
         "scaling_vs_1s1c",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut headline_scaling = None;
     for &codec in &codecs {
         let mut baseline = None;
-        for &(shards, clients) in &grid(cfg.quick) {
+        for &(shards, clients, churn_every, retarget_every) in &grid(cfg.quick) {
             let batches_per_client = (total_entries / (clients as u64 * BATCH as u64)).max(1);
             let cell = measure(
                 codec,
@@ -127,11 +156,13 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
                 entries_per_client,
                 batches_per_client,
                 cfg.seed,
+                churn_every,
+                retarget_every,
             );
             let r = &cell.report;
             let baseline_eps = *baseline.get_or_insert(r.entries_per_sec);
             let scaling = r.entries_per_sec / baseline_eps;
-            if codec == cfg.codec && shards >= 4 && clients >= 4 {
+            if codec == cfg.codec && shards >= 4 && clients >= 4 && churn_every == 0 {
                 headline_scaling = Some(scaling);
             }
             rows.push(vec![
@@ -146,6 +177,10 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
                 f3(r.latency.p95_us),
                 f3(r.latency.p99_us),
                 pct(r.stats.buddy_access_fraction()),
+                r.churn_cycles.to_string(),
+                r.stats.retargets.to_string(),
+                f3(cell.fragmentation),
+                f3(cell.largest_free_region as f64 / (1 << 20) as f64),
                 f3(scaling),
             ]);
         }
@@ -182,13 +217,26 @@ mod tests {
 
     #[test]
     fn measure_cell_is_consistent() {
-        let cell = measure(CodecKind::Bpc, 2, 2, 256, 16, 11);
+        let cell = measure(CodecKind::Bpc, 2, 2, 256, 16, 11, 0, 0);
         let r = &cell.report;
         assert_eq!(r.shards, 2);
         assert_eq!(r.clients, 2);
         assert_eq!(r.entries_processed, 2 * 16 * BATCH as u64);
         assert_eq!(r.stats.total_accesses(), r.entries_processed);
         assert!(r.entries_per_sec > 0.0);
+        assert_eq!(r.churn_cycles, 0);
+        assert!((0.0..=1.0).contains(&cell.fragmentation));
+        assert!(cell.largest_free_region > 0, "pool has 2x headroom free");
+    }
+
+    #[test]
+    fn churn_and_retarget_activity_reaches_the_report() {
+        // The grid's churn cell must produce nonzero churn/retarget columns;
+        // this is the plumbing the CSV relies on.
+        let cell = measure(CodecKind::Bpc, 2, 2, 256, 16, 11, 8, 4);
+        let r = &cell.report;
+        assert!(r.churn_cycles > 0, "churn_every=8 over 16 batches cycles");
+        assert!(r.stats.retargets > 0, "retarget_every=4 migrates");
     }
 
     #[test]
@@ -204,11 +252,12 @@ mod tests {
         pool_throughput(&cfg).unwrap();
         let csv = std::fs::read_to_string(dir.join("pool_throughput.csv")).unwrap();
         let mut lines = csv.lines();
-        assert!(lines
-            .next()
-            .unwrap()
-            .starts_with("codec,shards,clients,entries"));
-        // Quick grid: one row per (1,1), (2,2), (4,4) for the default codec.
-        assert_eq!(lines.count(), 3);
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("codec,shards,clients,entries"));
+        for col in ["churn_cycles", "retargets", "fragmentation"] {
+            assert!(header.contains(col), "header is missing {col}");
+        }
+        // Quick grid: (1,1), (2,2), (4,4) plus the churn cell, default codec.
+        assert_eq!(lines.count(), 4);
     }
 }

@@ -99,6 +99,22 @@ impl fmt::Display for DeviceError {
     }
 }
 
+impl DeviceError {
+    /// Whether this error reports *capacity exhaustion* (device or buddy
+    /// memory) rather than a caller mistake (bad handle, bad index, bad
+    /// request shape).
+    ///
+    /// The distinction matters to admission control: a capacity error is
+    /// eligible for demotion to a lower target ratio or for shedding, while
+    /// a validation error must surface to the caller unchanged.
+    pub fn is_capacity(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::OutOfDeviceMemory { .. } | DeviceError::OutOfBuddyMemory { .. }
+        )
+    }
+}
+
 impl Error for DeviceError {}
 
 /// Handle to one compressed allocation.
@@ -748,6 +764,26 @@ impl BuddyDevice {
         start: u64,
         entries: &[Entry],
     ) -> Result<(), DeviceError> {
+        self.write_entries_collect(id, start, entries).map(|_| ())
+    }
+
+    /// [`write_entries`](Self::write_entries), additionally returning the
+    /// traffic this batch generated (the same delta that is merged into the
+    /// device-wide [`stats`](Self::stats)).
+    ///
+    /// The multi-tenant service layer uses the returned delta for per-tenant
+    /// accounting: the batch already computes it locally, so attribution
+    /// costs nothing extra on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`write_entries`](Self::write_entries).
+    pub fn write_entries_collect(
+        &mut self,
+        id: AllocId,
+        start: u64,
+        entries: &[Entry],
+    ) -> Result<AccessStats, DeviceError> {
         let view = self.view(id)?;
         Self::check_range(&view, start, entries.len() as u64)?;
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -763,7 +799,7 @@ impl BuddyDevice {
         // revalidation.
         #[cfg(feature = "audit")]
         self.audit_check();
-        Ok(())
+        Ok(stats)
     }
 
     /// Compresses and stores one entry; the caller records traffic.
@@ -840,6 +876,23 @@ impl BuddyDevice {
         start: u64,
         out: &mut [Entry],
     ) -> Result<(), DeviceError> {
+        self.read_entries_collect(id, start, out).map(|_| ())
+    }
+
+    /// [`read_entries`](Self::read_entries), additionally returning the
+    /// traffic this batch generated (the same delta that is merged into the
+    /// device-wide [`stats`](Self::stats)). See
+    /// [`write_entries_collect`](Self::write_entries_collect).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`read_entries`](Self::read_entries).
+    pub fn read_entries_collect(
+        &mut self,
+        id: AllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<AccessStats, DeviceError> {
         let view = self.view(id)?;
         Self::check_range(&view, start, out.len() as u64)?;
         let mut stats = AccessStats::default();
@@ -848,7 +901,7 @@ impl BuddyDevice {
             Self::record_read(&mut stats, view.target, state);
         }
         self.stats.merge(&stats);
-        Ok(())
+        Ok(stats)
     }
 
     /// Loads and decompresses one entry into `out`; the caller records

@@ -119,6 +119,13 @@ pub struct ShardOccupancy {
     pub logical_bytes: u64,
     /// Effective device compression ratio (1.0 when empty).
     pub effective_ratio: f64,
+    /// Free device bytes on this shard.
+    pub device_free: u64,
+    /// Largest contiguous free device region on this shard, in bytes.
+    pub largest_free_region: u64,
+    /// Device free-space fragmentation of this shard in `[0, 1]`:
+    /// `1 − largest_free_region / device_free` (0.0 when nothing is free).
+    pub fragmentation: f64,
     /// Traffic counters accumulated by this shard.
     pub stats: AccessStats,
 }
@@ -133,6 +140,7 @@ pub struct BuddyPool {
     config: PoolConfig,
     /// Monotonic allocation sequence number, folded into the shard hash so
     /// repeated allocations under one name still spread across shards.
+    // lint-allow(raw-atomic-metric): allocation sequence for shard routing, not a metric
     alloc_seq: AtomicU64,
 }
 
@@ -163,7 +171,7 @@ impl BuddyPool {
         Self {
             shards,
             config,
-            alloc_seq: AtomicU64::new(0),
+            alloc_seq: AtomicU64::new(0), // lint-allow(raw-atomic-metric): shard-routing sequence, not a metric
         }
     }
 
@@ -295,6 +303,26 @@ impl BuddyPool {
         self.guard_of(id)?.write_entries(id.inner, start, entries)
     }
 
+    /// [`write_entries`](Self::write_entries), additionally returning the
+    /// traffic this batch generated
+    /// ([`BuddyDevice::write_entries_collect`] semantics). The delta is
+    /// computed inside the shard's critical section, so it is exact even
+    /// under concurrency — the basis for per-tenant attribution in the
+    /// service layer.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::write_entries`].
+    pub fn write_entries_collect(
+        &self,
+        id: PoolAllocId,
+        start: u64,
+        entries: &[Entry],
+    ) -> Result<AccessStats, DeviceError> {
+        self.guard_of(id)?
+            .write_entries_collect(id.inner, start, entries)
+    }
+
     /// Reads one entry ([`BuddyDevice::read_entry`] semantics).
     ///
     /// # Errors
@@ -317,6 +345,24 @@ impl BuddyPool {
         out: &mut [Entry],
     ) -> Result<(), DeviceError> {
         self.guard_of(id)?.read_entries(id.inner, start, out)
+    }
+
+    /// [`read_entries`](Self::read_entries), additionally returning the
+    /// traffic this batch generated
+    /// ([`BuddyDevice::read_entries_collect`] semantics); see
+    /// [`write_entries_collect`](Self::write_entries_collect).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::read_entries`].
+    pub fn read_entries_collect(
+        &self,
+        id: PoolAllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<AccessStats, DeviceError> {
+        self.guard_of(id)?
+            .read_entries_collect(id.inner, start, out)
     }
 
     /// Per-entry state without touching traffic counters.
@@ -420,6 +466,9 @@ impl BuddyPool {
                     buddy_used: guard.buddy_used(),
                     logical_bytes: guard.logical_bytes(),
                     effective_ratio: guard.effective_ratio(),
+                    device_free: guard.device_free(),
+                    largest_free_region: guard.largest_free_region(),
+                    fragmentation: guard.fragmentation(),
                     stats: guard.stats(),
                 }
             })
@@ -445,6 +494,41 @@ impl BuddyPool {
         (0..self.shards.len())
             .map(|i| self.shard(i).buddy_used())
             .sum()
+    }
+
+    /// Free device bytes across all shards.
+    pub fn device_free(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).device_free())
+            .sum()
+    }
+
+    /// Largest contiguous free device region on any shard, in bytes.
+    ///
+    /// This is the largest single allocation the pool could host without
+    /// coalescing — allocations never span shards, so the pool-level figure
+    /// is the per-shard maximum, not a sum.
+    pub fn largest_free_region(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).largest_free_region())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pool-wide device free-space fragmentation in `[0, 1]`:
+    /// `1 − largest_free_region / device_free` (0.0 when nothing is free).
+    ///
+    /// Mirrors [`BuddyDevice::fragmentation`] but over the pool: free bytes
+    /// sum across shards while the largest placeable region does not, so a
+    /// pool whose free space is spread evenly over many shards reports
+    /// *higher* fragmentation than any single shard — which is exactly the
+    /// placement reality a large request faces.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.device_free();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_region() as f64 / free as f64
     }
 
     /// Pool-wide effective compression ratio (logical bytes / device bytes

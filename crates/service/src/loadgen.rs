@@ -1,0 +1,522 @@
+//! Open-loop multi-tenant load harness.
+//!
+//! The pool's own loadgen (`buddy_pool::loadgen`) is **closed-loop**: each
+//! client issues its next batch as soon as the previous one finishes, so
+//! under overload the *offered* rate silently collapses to the achieved
+//! rate and latency looks fine — the classic coordinated-omission trap.
+//! This harness is **open-loop**: each tenant's arrivals follow a
+//! deterministic Poisson schedule ([`workloads::ArrivalSchedule`]) that
+//! does not care how the service is doing. Overload therefore shows up
+//! where a capacity planner needs it:
+//!
+//! * **queueing delay** — measured from the *scheduled* arrival time, not
+//!   the dequeue time, so producer lateness and queue residence both
+//!   count;
+//! * **shed load** — each tenant's queue is a bounded
+//!   [`sync_channel`]; when the consumer
+//!   cannot keep up the producer's `try_send` fails and the op is counted
+//!   as shed instead of silently stretching the schedule.
+//!
+//! Only the *schedule* is deterministic (seeded); the measured delays are
+//! wall-clock and machine-dependent, which is the point — the `tenancy`
+//! figure normalizes by sweeping offered rate as a multiple of measured
+//! capacity.
+
+use crate::{AdmissionPolicy, BuddyService, ServiceAllocId, ServiceError};
+use buddy_pool::loadgen::{percentile_us, LatencyPercentiles};
+use buddy_pool::{Entry, PoolConfig, TargetRatio, ENTRY_BYTES};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+use workloads::{ArrivalSchedule, EntryClass};
+
+/// One tenant's traffic plan.
+#[derive(Debug, Clone)]
+pub struct TenantPlan {
+    /// Tenant name (must be unique within the run).
+    pub name: String,
+    /// Quota in compressed device bytes (`u64::MAX` for unlimited).
+    pub quota_bytes: u64,
+    /// Admission policy on quota breach.
+    pub policy: AdmissionPolicy,
+    /// Offered arrival rate, operations per second.
+    pub rate_per_sec: f64,
+    /// Arrivals to schedule (the run ends when every tenant's schedule is
+    /// exhausted and its queue drained).
+    pub ops: u64,
+    /// Entries per allocation.
+    pub entries_per_alloc: u64,
+    /// Target compression ratio requested for every allocation.
+    pub target: TargetRatio,
+    /// Live allocations the tenant builds up before switching to writes;
+    /// beyond it, every `working_set`-th op frees the oldest allocation
+    /// and re-allocates (steady-state churn).
+    pub working_set: usize,
+}
+
+impl TenantPlan {
+    /// A plan with `ops` arrivals at `rate_per_sec`, default shape: 64
+    /// entries per allocation at R2, a working set of 8 allocations,
+    /// unlimited quota, reject policy.
+    pub fn new(name: &str, rate_per_sec: f64, ops: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            quota_bytes: u64::MAX,
+            policy: AdmissionPolicy::Reject,
+            rate_per_sec,
+            ops,
+            entries_per_alloc: 64,
+            target: TargetRatio::R2,
+            working_set: 8,
+        }
+    }
+}
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Pool the service fronts.
+    pub pool: PoolConfig,
+    /// One plan per tenant.
+    pub tenants: Vec<TenantPlan>,
+    /// Bound of each tenant's arrival queue; a full queue sheds.
+    pub queue_depth: usize,
+    /// Entries written per write op.
+    pub batch_entries: usize,
+    /// Base seed for schedules and entry contents.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            pool: PoolConfig::default(),
+            tenants: Vec::new(),
+            queue_depth: 64,
+            batch_entries: 16,
+            seed: 0x0B0D_D1E5,
+        }
+    }
+}
+
+/// Per-tenant outcome of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Arrivals the schedule offered.
+    pub offered: u64,
+    /// Operations that completed (including ones that failed admission —
+    /// a rejection is an answered request).
+    pub completed: u64,
+    /// Arrivals dropped because the tenant's queue was full.
+    pub shed: u64,
+    /// Allocation attempts denied by quota or capacity.
+    pub rejected: u64,
+    /// Allocations admitted below the requested target.
+    pub demoted: u64,
+    /// Uncompressed bytes across all granted allocations (cumulative).
+    pub granted_logical_bytes: u64,
+    /// Compressed device bytes reserved across all granted allocations
+    /// (cumulative, at the granted — possibly demoted — target).
+    pub granted_device_bytes: u64,
+    /// Queueing delay (scheduled arrival → dequeue), percentiles.
+    pub queue_delay: LatencyPercentiles,
+    /// Service time (dequeue → completion), percentiles.
+    pub service_time: LatencyPercentiles,
+    /// Completed operations per second over the tenant's active window.
+    pub achieved_per_sec: f64,
+}
+
+impl TenantReport {
+    /// Fraction of offered arrivals that were shed.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
+
+    /// Effective compression ratio across everything the tenant was
+    /// granted (uncompressed bytes over reserved device bytes; demotions
+    /// push it up). 1.0 when nothing was granted.
+    pub fn effective_ratio(&self) -> f64 {
+        if self.granted_device_bytes == 0 {
+            return 1.0;
+        }
+        self.granted_logical_bytes as f64 / self.granted_device_bytes as f64
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Per-tenant results, in plan order.
+    pub tenants: Vec<TenantReport>,
+    /// Wall-clock span of the whole run.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// Total offered arrivals across tenants.
+    pub fn offered(&self) -> u64 {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
+
+    /// Total completed operations across tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total shed arrivals across tenants.
+    pub fn shed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.shed).sum()
+    }
+
+    /// Completed operations per second across the whole run.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+}
+
+/// What one producer thread hands its consumer: the op's scheduled
+/// arrival offset from the run start, in nanoseconds.
+type ScheduledNs = u64;
+
+/// Paces one tenant's arrival schedule against the wall clock, pushing
+/// scheduled offsets into the bounded queue. Returns (offered, shed).
+fn produce(
+    plan: &TenantPlan,
+    tenant_index: u64,
+    seed: u64,
+    start: Instant,
+    tx: &SyncSender<ScheduledNs>,
+) -> (u64, u64) {
+    let mut offered = 0u64;
+    let mut shed = 0u64;
+    let schedule = ArrivalSchedule::per_tenant(plan.rate_per_sec, seed, tenant_index);
+    for sched_ns in schedule.take(plan.ops as usize) {
+        let deadline = start + Duration::from_nanos(sched_ns);
+        // Sleep toward the deadline; spin the tail so sub-millisecond
+        // inter-arrival gaps do not collapse into timer granularity.
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let remaining = deadline - now;
+            if remaining > Duration::from_micros(500) {
+                std::thread::sleep(remaining - Duration::from_micros(200));
+            } else {
+                // Yield, don't spin: a hot producer on a small machine
+                // would starve its own consumer off the core.
+                std::thread::yield_now();
+            }
+        }
+        offered += 1;
+        match tx.try_send(sched_ns) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => shed += 1,
+            // The consumer is gone (panicked); stop offering.
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    (offered, shed)
+}
+
+/// Drains one tenant's queue against the service: builds up the working
+/// set, then alternates writes with periodic churn. Returns the raw
+/// latency samples and op counts.
+#[derive(Default)]
+struct ConsumerOutcome {
+    completed: u64,
+    rejected: u64,
+    demoted: u64,
+    granted_logical_bytes: u64,
+    granted_device_bytes: u64,
+    queue_delay_nanos: Vec<u64>,
+    service_nanos: Vec<u64>,
+    active: Duration,
+}
+
+fn consume(
+    service: &BuddyService,
+    plan: &TenantPlan,
+    seed: u64,
+    start: Instant,
+    rx: &Receiver<ScheduledNs>,
+) -> ConsumerOutcome {
+    let tenant = match service.register_tenant(&plan.name, plan.quota_bytes, plan.policy) {
+        Ok(t) => t,
+        Err(_) => return ConsumerOutcome::default(),
+    };
+    let batch = plan.batch(seed);
+    let mut live: Vec<ServiceAllocId> = Vec::with_capacity(plan.working_set);
+    let mut outcome = ConsumerOutcome::default();
+    outcome.queue_delay_nanos.reserve(plan.ops as usize);
+    outcome.service_nanos.reserve(plan.ops as usize);
+    let consumer_start = Instant::now();
+    let mut seq = 0u64;
+    while let Ok(sched_ns) = rx.recv() {
+        let dequeued = Instant::now();
+        let deadline = start + Duration::from_nanos(sched_ns);
+        outcome
+            .queue_delay_nanos
+            .push(dequeued.saturating_duration_since(deadline).as_nanos() as u64);
+        // Steady-state churn: once warm, recycle the oldest allocation
+        // every `working_set`-th op so admission stays exercised.
+        let churn = !live.is_empty()
+            && live.len() >= plan.working_set
+            && seq % plan.working_set as u64 == 0;
+        if churn {
+            let oldest = live.remove(0);
+            let _ = service.free(tenant, oldest);
+        }
+        if live.len() < plan.working_set {
+            match service.alloc(tenant, &plan.name, plan.entries_per_alloc, plan.target) {
+                Ok(grant) => {
+                    if grant.demoted {
+                        outcome.demoted += 1;
+                    }
+                    outcome.granted_logical_bytes += plan.entries_per_alloc * ENTRY_BYTES as u64;
+                    outcome.granted_device_bytes +=
+                        plan.entries_per_alloc * grant.target.device_bytes_per_entry() as u64;
+                    live.push(grant.id);
+                }
+                Err(ServiceError::QuotaExceeded { .. }) | Err(ServiceError::Device(_)) => {
+                    outcome.rejected += 1;
+                }
+                Err(_) => {}
+            }
+        } else {
+            let idx = (seq % live.len() as u64) as usize;
+            let span = plan.entries_per_alloc.saturating_sub(batch.len() as u64) + 1;
+            let begin = (seq * batch.len() as u64) % span;
+            let _ = service.write_entries(tenant, live[idx], begin, &batch);
+        }
+        outcome
+            .service_nanos
+            .push(dequeued.elapsed().as_nanos() as u64);
+        outcome.completed += 1;
+        seq += 1;
+    }
+    for id in live {
+        let _ = service.free(tenant, id);
+    }
+    outcome.active = consumer_start.elapsed();
+    outcome
+}
+
+impl TenantPlan {
+    /// The tenant's write palette: a deterministic mixed-compressibility
+    /// batch (zero / noisy / ramp / random round-robin) so codec work is
+    /// realistic without per-op generation cost.
+    fn batch(&self, seed: u64) -> Vec<Entry> {
+        let classes = [
+            EntryClass::Zero,
+            EntryClass::Noisy { noise_bits: 8 },
+            EntryClass::Ramp { stride_bits: 4 },
+            EntryClass::Random,
+        ];
+        (0..self.entries_per_alloc.min(64))
+            .map(|i| classes[(i % classes.len() as u64) as usize].generate(seed ^ i))
+            .collect()
+    }
+}
+
+/// Runs one open-loop experiment: a fresh service, one producer and one
+/// consumer thread per tenant, bounded queues in between.
+pub fn run(config: &OpenLoopConfig) -> OpenLoopReport {
+    let service = BuddyService::new(config.pool);
+    run_against(&service, config)
+}
+
+/// As [`run`], but against a caller-provided service — lets a figure
+/// pre-load background tenants (e.g. a noisy neighbour) before opening
+/// the loop. Tenants named in `config` must not already be registered.
+pub fn run_against(service: &BuddyService, config: &OpenLoopConfig) -> OpenLoopReport {
+    let run_start = Instant::now();
+    let mut reports = Vec::with_capacity(config.tenants.len());
+    std::thread::scope(|scope| {
+        let mut lanes = Vec::with_capacity(config.tenants.len());
+        for (index, plan) in config.tenants.iter().enumerate() {
+            let (tx, rx) = sync_channel::<ScheduledNs>(config.queue_depth.max(1));
+            let seed = config.seed;
+            let producer = scope.spawn({
+                let plan = plan.clone();
+                move || produce(&plan, index as u64, seed, run_start, &tx)
+            });
+            let consumer = scope.spawn({
+                let plan = plan.clone();
+                let service = &*service;
+                move || consume(service, &plan, seed ^ index as u64, run_start, &rx)
+            });
+            lanes.push((plan, producer, consumer));
+        }
+        for (plan, producer, consumer) in lanes {
+            let (offered, shed) = producer.join().unwrap_or((0, 0));
+            let outcome = consumer.join().unwrap_or_default();
+            reports.push(tenant_report(plan, offered, shed, outcome));
+        }
+    });
+    OpenLoopReport {
+        tenants: reports,
+        elapsed: run_start.elapsed(),
+    }
+}
+
+fn tenant_report(
+    plan: &TenantPlan,
+    offered: u64,
+    shed: u64,
+    outcome: ConsumerOutcome,
+) -> TenantReport {
+    let mut queue = outcome.queue_delay_nanos;
+    queue.sort_unstable();
+    let mut service_t = outcome.service_nanos;
+    service_t.sort_unstable();
+    let secs = outcome.active.as_secs_f64();
+    TenantReport {
+        name: plan.name.clone(),
+        offered,
+        completed: outcome.completed,
+        shed,
+        rejected: outcome.rejected,
+        demoted: outcome.demoted,
+        granted_logical_bytes: outcome.granted_logical_bytes,
+        granted_device_bytes: outcome.granted_device_bytes,
+        queue_delay: LatencyPercentiles {
+            p50_us: percentile_us(&queue, 0.50),
+            p95_us: percentile_us(&queue, 0.95),
+            p99_us: percentile_us(&queue, 0.99),
+        },
+        service_time: LatencyPercentiles {
+            p50_us: percentile_us(&service_t, 0.50),
+            p95_us: percentile_us(&service_t, 0.95),
+            p99_us: percentile_us(&service_t, 0.99),
+        },
+        achieved_per_sec: if secs > 0.0 {
+            outcome.completed as f64 / secs
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buddy_pool::{CodecKind, DeviceConfig};
+
+    fn small_pool() -> PoolConfig {
+        PoolConfig {
+            shards: 2,
+            shard_config: DeviceConfig {
+                device_capacity: 4 << 20,
+                carve_out_factor: 3,
+            },
+            codec: CodecKind::Bpc,
+        }
+    }
+
+    #[test]
+    fn underload_mostly_completes_and_conserves_arrivals() {
+        // Gentle offered rate (sub-millisecond service times, 500 µs
+        // gaps): virtually everything should complete. Scheduler noise on
+        // a loaded single-core runner can still shed a little, so the
+        // hard assertions are conservation and a bounded shed fraction,
+        // not exact zeros.
+        let config = OpenLoopConfig {
+            pool: small_pool(),
+            tenants: vec![
+                TenantPlan::new("a", 2_000.0, 100),
+                TenantPlan::new("b", 2_000.0, 100),
+            ],
+            ..OpenLoopConfig::default()
+        };
+        let report = run(&config);
+        assert_eq!(report.offered(), 200);
+        assert_eq!(report.completed() + report.shed(), 200);
+        for t in &report.tenants {
+            assert_eq!(t.offered, 100);
+            assert_eq!(t.completed + t.shed, 100);
+            assert!(
+                t.shed_fraction() < 0.25,
+                "underloaded tenant shed too much: {t:?}"
+            );
+            assert_eq!(t.rejected, 0);
+            assert!(t.queue_delay.p99_us >= t.queue_delay.p50_us);
+            assert!(t.achieved_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn quota_pressure_is_visible_in_the_report() {
+        let mut plan = TenantPlan::new("pinched", 200_000.0, 300);
+        // Quota fits only half the working set at the requested target.
+        plan.quota_bytes = 4 * plan.entries_per_alloc * plan.target.device_bytes_per_entry() as u64;
+        let config = OpenLoopConfig {
+            pool: small_pool(),
+            tenants: vec![plan],
+            ..OpenLoopConfig::default()
+        };
+        let report = run(&config);
+        let t = &report.tenants[0];
+        assert_eq!(t.completed + t.shed, t.offered);
+        assert!(
+            t.rejected > 0,
+            "quota-pinched tenant must see rejections, got {t:?}"
+        );
+    }
+
+    #[test]
+    fn demote_policy_converts_rejections_into_demotions() {
+        let mut plan = TenantPlan::new("flex", 200_000.0, 300);
+        plan.policy = AdmissionPolicy::Demote;
+        // Quota fits three allocations at the asked R2 plus one more only
+        // at R4 — the fourth admission must demote rather than reject.
+        plan.quota_bytes = plan.entries_per_alloc
+            * (3 * TargetRatio::R2.device_bytes_per_entry() as u64
+                + TargetRatio::R4.device_bytes_per_entry() as u64);
+        let config = OpenLoopConfig {
+            pool: small_pool(),
+            tenants: vec![plan],
+            ..OpenLoopConfig::default()
+        };
+        let report = run(&config);
+        let t = &report.tenants[0];
+        assert!(
+            t.demoted > 0,
+            "demote policy must admit below target, got {t:?}"
+        );
+    }
+
+    #[test]
+    fn shed_fraction_arithmetic() {
+        let r = TenantReport {
+            name: "x".into(),
+            offered: 100,
+            completed: 75,
+            shed: 25,
+            rejected: 0,
+            demoted: 0,
+            granted_logical_bytes: 256,
+            granted_device_bytes: 128,
+            queue_delay: LatencyPercentiles {
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+            },
+            service_time: LatencyPercentiles {
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+            },
+            achieved_per_sec: 0.0,
+        };
+        assert!((r.shed_fraction() - 0.25).abs() < 1e-12);
+    }
+}

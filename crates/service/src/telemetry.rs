@@ -1,0 +1,320 @@
+//! Lock-free per-tenant telemetry: atomic counters and gauges behind a
+//! registry with a consistent-enough `snapshot()` → rows API.
+//!
+//! This module is the **only** place in the service/pool layers allowed to
+//! own raw atomics (enforced by the `raw-atomic-metric` xtask lint): every
+//! metric goes through [`Counter`] / [`Gauge`], which centralize the
+//! memory-ordering argument, and every consumer goes through
+//! [`TelemetryRegistry::snapshot`], so there is exactly one reset/snapshot
+//! contract to keep honest.
+//!
+//! Hot paths never take a lock: the service holds an
+//! `Arc<TenantTelemetry>` per tenant and bumps its atomics directly. The
+//! registry's internal mutex guards only tenant *registration* and
+//! snapshot iteration — both cold.
+//!
+//! Counter values race their readers by design: a snapshot taken while
+//! writers are active may split one logical update (e.g. observe an alloc
+//! count without its bytes). Totals are exact once writers are quiescent,
+//! the same contract as [`BuddyPool::stats`](buddy_pool::BuddyPool::stats).
+
+use buddy_core::AccessStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        // Relaxed: pure event count — nothing is published through it and
+        // snapshots tolerate staleness (module contract above).
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // Relaxed: monotonic stat, staleness is acceptable to readers.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins instantaneous value (bytes in use, live allocations).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: u64) {
+        // Relaxed: the gauge is a freestanding sample; no reader infers
+        // other memory state from it.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // Relaxed: instantaneous sample, staleness is acceptable.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The full metric surface of one tenant. All fields are updated lock-free
+/// by the service hot paths and read by [`TelemetryRegistry::snapshot`].
+#[derive(Debug, Default)]
+pub struct TenantTelemetry {
+    /// Successful allocations admitted (demoted ones included).
+    pub allocs: Counter,
+    /// Successful frees.
+    pub frees: Counter,
+    /// Admission rejections (quota or capacity, after any demotion search).
+    pub rejections: Counter,
+    /// Admissions granted at a lower target than requested.
+    pub demotions: Counter,
+    /// Ownership transfers (counted on both sides).
+    pub transfers: Counter,
+    /// Operations denied because the handle belongs to another tenant.
+    pub cross_tenant_denials: Counter,
+
+    /// Mirror of [`AccessStats::reads_device_only`].
+    pub reads_device_only: Counter,
+    /// Mirror of [`AccessStats::reads_with_buddy`].
+    pub reads_with_buddy: Counter,
+    /// Mirror of [`AccessStats::writes_device_only`].
+    pub writes_device_only: Counter,
+    /// Mirror of [`AccessStats::writes_with_buddy`].
+    pub writes_with_buddy: Counter,
+    /// Mirror of [`AccessStats::device_sectors`].
+    pub device_sectors: Counter,
+    /// Mirror of [`AccessStats::buddy_sectors`].
+    pub buddy_sectors: Counter,
+    /// Mirror of [`AccessStats::retargets`].
+    pub retargets: Counter,
+    /// Mirror of [`AccessStats::moved_sectors`].
+    pub moved_sectors: Counter,
+
+    /// Compressed device bytes currently charged against the quota.
+    pub used_bytes: Gauge,
+    /// The tenant's quota in compressed device bytes.
+    pub quota_bytes: Gauge,
+    /// Uncompressed bytes represented by the tenant's live allocations.
+    pub logical_bytes: Gauge,
+    /// Live allocations.
+    pub allocations: Gauge,
+}
+
+impl TenantTelemetry {
+    /// Folds a per-batch [`AccessStats`] delta (from the pool's
+    /// `*_collect` paths) into the mirror counters.
+    pub fn record_stats(&self, delta: &AccessStats) {
+        self.reads_device_only.add(delta.reads_device_only);
+        self.reads_with_buddy.add(delta.reads_with_buddy);
+        self.writes_device_only.add(delta.writes_device_only);
+        self.writes_with_buddy.add(delta.writes_with_buddy);
+        self.device_sectors.add(delta.device_sectors);
+        self.buddy_sectors.add(delta.buddy_sectors);
+        self.retargets.add(delta.retargets);
+        self.moved_sectors.add(delta.moved_sectors);
+    }
+
+    /// The mirror counters as an [`AccessStats`] value.
+    pub fn stats(&self) -> AccessStats {
+        AccessStats {
+            reads_device_only: self.reads_device_only.get(),
+            reads_with_buddy: self.reads_with_buddy.get(),
+            writes_device_only: self.writes_device_only.get(),
+            writes_with_buddy: self.writes_with_buddy.get(),
+            device_sectors: self.device_sectors.get(),
+            buddy_sectors: self.buddy_sectors.get(),
+            retargets: self.retargets.get(),
+            moved_sectors: self.moved_sectors.get(),
+        }
+    }
+}
+
+/// One row of a telemetry snapshot: everything the `service-report` bin
+/// prints about a tenant.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Tenant name.
+    pub name: String,
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Admission rejections.
+    pub rejections: u64,
+    /// Demoted admissions.
+    pub demotions: u64,
+    /// Ownership transfers.
+    pub transfers: u64,
+    /// Cross-tenant denials.
+    pub cross_tenant_denials: u64,
+    /// Compressed device bytes charged.
+    pub used_bytes: u64,
+    /// Quota in compressed device bytes.
+    pub quota_bytes: u64,
+    /// Quota headroom (`quota − used`, saturating).
+    pub quota_headroom: u64,
+    /// Uncompressed bytes represented.
+    pub logical_bytes: u64,
+    /// Live allocations.
+    pub allocations: u64,
+    /// Traffic counters.
+    pub stats: AccessStats,
+}
+
+impl TenantRow {
+    /// Effective compression ratio of the tenant's live footprint
+    /// (`logical / used`; 1.0 when nothing is charged).
+    pub fn effective_ratio(&self) -> f64 {
+        if self.used_bytes == 0 {
+            return 1.0;
+        }
+        self.logical_bytes as f64 / self.used_bytes as f64
+    }
+}
+
+/// Registry of per-tenant telemetry. Registration and snapshots lock; the
+/// returned [`TenantTelemetry`] handles are updated lock-free.
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    tenants: Mutex<Vec<(String, Arc<TenantTelemetry>)>>,
+}
+
+impl TelemetryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the tenant list, recovering from poisoning (telemetry is
+    /// plain data; a panicked registrant leaves it structurally valid).
+    fn list(&self) -> std::sync::MutexGuard<'_, Vec<(String, Arc<TenantTelemetry>)>> {
+        match self.tenants.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a tenant and returns its metric handle.
+    pub fn register(&self, name: &str) -> Arc<TenantTelemetry> {
+        let telemetry = Arc::new(TenantTelemetry::default());
+        self.list().push((name.to_string(), Arc::clone(&telemetry)));
+        telemetry
+    }
+
+    /// Registered tenant count.
+    pub fn len(&self) -> usize {
+        self.list().len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.list().is_empty()
+    }
+
+    /// One row per tenant, in registration order.
+    pub fn snapshot(&self) -> Vec<TenantRow> {
+        self.list()
+            .iter()
+            .map(|(name, t)| {
+                let used = t.used_bytes.get();
+                let quota = t.quota_bytes.get();
+                TenantRow {
+                    name: name.clone(),
+                    allocs: t.allocs.get(),
+                    frees: t.frees.get(),
+                    rejections: t.rejections.get(),
+                    demotions: t.demotions.get(),
+                    transfers: t.transfers.get(),
+                    cross_tenant_denials: t.cross_tenant_denials.get(),
+                    used_bytes: used,
+                    quota_bytes: quota,
+                    quota_headroom: quota.saturating_sub(used),
+                    logical_bytes: t.logical_bytes.get(),
+                    allocations: t.allocations.get(),
+                    stats: t.stats(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn record_stats_round_trips() {
+        let t = TenantTelemetry::default();
+        let delta = AccessStats {
+            reads_device_only: 1,
+            reads_with_buddy: 2,
+            writes_device_only: 3,
+            writes_with_buddy: 4,
+            device_sectors: 5,
+            buddy_sectors: 6,
+            retargets: 7,
+            moved_sectors: 8,
+        };
+        t.record_stats(&delta);
+        t.record_stats(&delta);
+        let mut twice = AccessStats::default();
+        twice.merge(&delta);
+        twice.merge(&delta);
+        assert_eq!(t.stats(), twice);
+    }
+
+    #[test]
+    fn snapshot_reports_headroom_and_ratio() {
+        let registry = TelemetryRegistry::new();
+        let t = registry.register("tenant-a");
+        t.quota_bytes.set(1000);
+        t.used_bytes.set(250);
+        t.logical_bytes.set(500);
+        let rows = registry.snapshot();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "tenant-a");
+        assert_eq!(rows[0].quota_headroom, 750);
+        assert!((rows[0].effective_ratio() - 2.0).abs() < 1e-9);
+        // Over-quota states saturate instead of wrapping.
+        t.used_bytes.set(2000);
+        assert_eq!(registry.snapshot()[0].quota_headroom, 0);
+    }
+
+    #[test]
+    fn updates_from_many_threads_all_land() {
+        let registry = TelemetryRegistry::new();
+        let t = registry.register("hot");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        t.allocs.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.snapshot()[0].allocs, 40_000);
+    }
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod churn;
 pub mod drift;
 pub mod entry_gen;
@@ -48,6 +49,7 @@ pub mod spec;
 pub mod suite;
 pub mod trace;
 
+pub use arrival::ArrivalSchedule;
 pub use churn::{ChurnConfig, ChurnOp, ChurnTrace, Lifetime};
 pub use drift::{drift_allocations, DRIFT_PHASES};
 pub use entry_gen::{EntryClass, MixtureProfile};

@@ -96,6 +96,17 @@ pub fn registry() -> Vec<Rule> {
             applies: is_crate_root,
             check: check_crate_hygiene,
         },
+        Rule {
+            id: "raw-atomic-metric",
+            severity: Severity::Deny,
+            summary: "no ad-hoc atomic counters in service/pool library code — metrics live in \
+                      service::telemetry",
+            applies: |p| {
+                (p.starts_with("crates/service/src/") && p != "crates/service/src/telemetry.rs")
+                    || p.starts_with("crates/pool/src/")
+            },
+            check: check_raw_atomic_metric,
+        },
     ]
 }
 
@@ -295,6 +306,61 @@ fn contains_word(code: &str, word: &str) -> bool {
     false
 }
 
+/// Atomic integer types whose ad-hoc declaration in service/pool library
+/// code the `raw-atomic-metric` rule rejects.
+const RAW_ATOMICS: [&str; 4] = ["AtomicU64", "AtomicU32", "AtomicUsize", "AtomicI64"];
+
+/// True when `code` *declares* (`field: AtomicU64`) or *constructs*
+/// (`AtomicU64::new(...)`) a raw atomic of type `ty`. Imports
+/// (`use ...::AtomicU64`) and references (`&AtomicU64`) deliberately do not
+/// match: borrowing or naming a counter is fine, owning a new one is what
+/// fragments the metric surface.
+fn declares_or_constructs(code: &str, ty: &str) -> bool {
+    if code.contains(&format!("{ty}::new(")) {
+        return true;
+    }
+    let needle = format!(": {ty}");
+    let mut search = 0usize;
+    while let Some(pos) = code[search..].find(&needle) {
+        let after = search + pos + needle.len();
+        let boundary = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        search = after;
+    }
+    false
+}
+
+fn check_raw_atomic_metric(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    // Scattered per-module atomics are how a telemetry surface decays: each
+    // one invents its own reset/snapshot story and the `service-report`
+    // rows silently go stale. All service/pool metrics must go through
+    // `service::telemetry`'s `Counter`/`Gauge` (which own the memory-order
+    // and snapshot contracts); an atomic that is *not* a metric (e.g. an id
+    // source) is waived with that argument.
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for ty in RAW_ATOMICS {
+            if declares_or_constructs(&line.code, ty) {
+                out.push(RawFinding {
+                    line: idx + 1,
+                    message: format!(
+                        "ad-hoc `{ty}` in service/pool library code — route metrics through \
+                         `service::telemetry` (`Counter`/`Gauge`), or waive with why this \
+                         atomic is not a metric"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 fn check_crate_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
     let has_forbid = file
         .lines
@@ -418,6 +484,48 @@ mod tests {
         );
         assert!(run("wallclock-in-replay", "let instants = 3;").is_empty());
         assert!(run("wallclock-in-replay", "use std::time::Duration;").is_empty());
+    }
+
+    #[test]
+    fn raw_atomic_flags_declarations_and_constructions_only() {
+        assert_eq!(run("raw-atomic-metric", "hits: AtomicU64,").len(), 1);
+        assert_eq!(
+            run("raw-atomic-metric", "let c = AtomicU64::new(0);").len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "raw-atomic-metric",
+                "static N: AtomicUsize = AtomicUsize::new(0);"
+            )
+            .len(),
+            1
+        );
+        // Imports, references, and unrelated identifiers are not ownership.
+        assert!(run(
+            "raw-atomic-metric",
+            "use std::sync::atomic::{AtomicU64, Ordering};"
+        )
+        .is_empty());
+        assert!(run("raw-atomic-metric", "fn observe(c: &AtomicU64) -> u64 {").is_empty());
+        assert!(run("raw-atomic-metric", "hits: AtomicU64Ext,").is_empty());
+        // Test modules may use whatever bookkeeping they like.
+        let in_test = "#[cfg(test)]\nmod tests { static N: AtomicU64 = AtomicU64::new(0); }";
+        assert!(run("raw-atomic-metric", in_test).is_empty());
+    }
+
+    #[test]
+    fn raw_atomic_scope_exempts_the_telemetry_module() {
+        let rules = registry();
+        let rule = rules
+            .iter()
+            .find(|r| r.id == "raw-atomic-metric")
+            .expect("rule registered");
+        assert!((rule.applies)("crates/service/src/lib.rs"));
+        assert!((rule.applies)("crates/service/src/loadgen.rs"));
+        assert!((rule.applies)("crates/pool/src/lib.rs"));
+        assert!(!(rule.applies)("crates/service/src/telemetry.rs"));
+        assert!(!(rule.applies)("crates/core/src/device.rs"));
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! 5. [`unified_memory`] — the UM oversubscription model (Figure 12),
 //! 6. [`dl_model`] — the DL training case study (Figure 13),
 //! 7. [`buddy_pool`] — a sharded, thread-safe pool of `BuddyDevice`s with a
-//!    concurrent trace-replay load harness (multi-tenant scaling).
+//!    concurrent trace-replay load harness (multi-tenant scaling),
+//! 8. [`buddy_service`] — the multi-tenant service layer over the pool:
+//!    per-tenant quotas, admission control (reject or demote down the
+//!    target-ratio ladder), ownership-checked generational handles,
+//!    lock-free telemetry, and an open-loop overload harness.
 //!
 //! The glue items here ([`profile_benchmark`], [`BenchmarkLayout`],
 //! [`benchmark_requests`], [`run_performance_sim`]) connect a workload to
@@ -43,6 +47,7 @@
 pub use bpc;
 pub use buddy_core;
 pub use buddy_pool;
+pub use buddy_service;
 pub use dl_model;
 pub use gpu_sim;
 pub use unified_memory;

@@ -1,10 +1,11 @@
 //! Coverage for the `examples/` directory.
 //!
-//! All six examples are compiled as part of `cargo test` / `cargo build
+//! All seven examples are compiled as part of `cargo test` / `cargo build
 //! --examples` (compilation is the coverage for the two long-running
-//! sweeps); `quickstart`, `pool_replay`, `adaptive_retarget` and
-//! `churn_lifecycle` are additionally *executed* here — all are
-//! test-scale configurations that finish in well under a second.
+//! sweeps); `quickstart`, `pool_replay`, `adaptive_retarget`,
+//! `churn_lifecycle` and `tenant_service` are additionally *executed*
+//! here — all are test-scale configurations that finish in well under a
+//! second.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -151,6 +152,47 @@ fn churn_lifecycle_example_reclaims_and_reports() {
     assert!(
         stdout.contains("succeeded after churn"),
         "missing coalescing line:\n{stdout}"
+    );
+}
+
+#[test]
+fn tenant_service_example_enforces_and_accounts() {
+    let bin = example_bin("tenant_service");
+    assert!(
+        bin.exists(),
+        "{} not found — examples should be built alongside tests",
+        bin.display()
+    );
+    let output = Command::new(&bin).output().expect("tenant_service spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "tenant_service failed ({}):\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // The example walks quota admission → demotion → rejection →
+    // cross-tenant denial → transfer + stale handle → ledger; spot-check
+    // each stage.
+    assert!(
+        stdout.contains("job-3: demoted to R4"),
+        "missing demotion line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("job-4: rejected"),
+        "missing rejection line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("cross-tenant free denied"),
+        "missing denial line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("transfer accepted after retargeting the model down"),
+        "missing transfer line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("demotions 1 denials 1"),
+        "missing ledger accounting:\n{stdout}"
     );
 }
 
