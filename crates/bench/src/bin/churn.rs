@@ -1,6 +1,7 @@
 //! Steady-state allocation-churn sweep: effective ratio, fragmentation
 //! and alloc-failure rate per lifetime distribution (DESIGN.md §9).
-//! Pass --quick for a reduced smoke run.
+//! Pass `--quick` for a reduced smoke run and `--metrics-out <base>` for
+//! `<base>.prom` / `<base>.csv` metric artifacts.
 
 fn main() -> std::io::Result<()> {
     let cfg = buddy_bench::RunConfig::from_args();

@@ -1,7 +1,11 @@
 //! Pool throughput sweep: shard count × client count × codec over one
 //! workload trace, reporting aggregate entries/s, logical GB/s and
-//! per-batch latency percentiles. Pass `--quick` for a reduced grid and
-//! `--codec <name>` to choose the headline codec.
+//! per-batch latency percentiles. Pass `--quick` for a reduced grid,
+//! `--codec <name>` to choose the headline codec, and
+//! `--metrics-out <base>` to emit a Prometheus snapshot (`<base>.prom`)
+//! plus the time-series sampler's CSV (`<base>.csv`). Also truncate-writes
+//! `results/obs_breakdown.csv` with the per-cell span-time attribution
+//! (all-zero unless built with `--features obs-trace`).
 
 fn main() -> std::io::Result<()> {
     let cfg = buddy_bench::RunConfig::from_args();

@@ -2,7 +2,9 @@
 //! drives an open-loop overload sweep across the knee (queueing delay and
 //! shed load vs offered-rate ratio), and demonstrates quota enforcement
 //! against a noisy neighbour under both admission policies. Writes
-//! `results/tenancy.csv`. Pass `--quick` for a reduced sweep.
+//! `results/tenancy.csv`. Pass `--quick` for a reduced sweep and
+//! `--metrics-out <base>` for `<base>.prom` / `<base>.csv` metric
+//! artifacts. Appends its span-time row to `results/obs_breakdown.csv`.
 
 fn main() -> std::io::Result<()> {
     let cfg = buddy_bench::RunConfig::from_args();

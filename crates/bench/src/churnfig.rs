@@ -20,6 +20,7 @@
 //! the device to zero bytes used with zero fragmentation (leak freedom —
 //! the same property `churn_equivalence.rs` proves exhaustively).
 
+use crate::obsfig::MetricsEmitter;
 use crate::report::{f3, pct, print_table, write_csv, RunConfig};
 use buddy_compression::bpc::ENTRY_BYTES;
 use buddy_compression::buddy_core::{BuddyDevice, DeviceConfig, DeviceError, TargetRatio};
@@ -248,10 +249,30 @@ pub fn churn(cfg: &RunConfig) -> io::Result<()> {
         "alloc_failures",
         "failure_rate",
     ];
+    let emitter = MetricsEmitter::start(cfg);
+    let attempts_counter = emitter.registry().counter(
+        "churn_alloc_attempts_total",
+        "allocation attempts across all lifetime distributions",
+    );
+    let failures_counter = emitter.registry().counter(
+        "churn_alloc_failures_total",
+        "allocation rejections across all lifetime distributions",
+    );
+    let frag_gauge = emitter.registry().gauge(
+        "churn_fragmentation_ppm",
+        "last sampled free-space fragmentation, parts per million",
+    );
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut finals: Vec<ChurnRow> = Vec::new();
     for (label, lifetime) in distributions(live_target(cfg.quick)) {
         let sampled = run_distribution(label, lifetime, cfg);
+        if let Some(last) = sampled.last() {
+            // Attempt/failure counts are cumulative within a distribution,
+            // so the last sample carries the distribution's totals.
+            attempts_counter.add(last.alloc_attempts);
+            failures_counter.add(last.alloc_failures);
+            frag_gauge.set((last.fragmentation * 1e6) as u64);
+        }
         for row in &sampled {
             rows.push(vec![
                 row.lifetime.to_string(),
@@ -289,6 +310,9 @@ pub fn churn(cfg: &RunConfig) -> io::Result<()> {
     println!("  Every run ends with a drain check: freeing the survivors returns the");
     println!("  device to 0 bytes used with fully coalesced free space (leak freedom).");
     write_csv(&cfg.results_dir, &cfg.tagged("churn"), &header, &rows)?;
+    if let Some((prom, csv)) = emitter.finish()? {
+        println!("  metrics -> {prom:?} and {csv:?}");
+    }
     Ok(())
 }
 

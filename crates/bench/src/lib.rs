@@ -15,6 +15,7 @@ pub mod adaptfig;
 pub mod capacity;
 pub mod churnfig;
 pub mod dlfig;
+pub mod obsfig;
 pub mod performance;
 pub mod poolfig;
 pub mod report;

@@ -15,9 +15,11 @@
 //! speedup comes from, so the summary prints the detected parallelism next
 //! to the measured scaling factor.
 
+use crate::obsfig::{breakdown_row, write_breakdown, MetricsEmitter};
 use crate::report::{f3, pct, print_table, write_csv, RunConfig};
 use buddy_compression::bpc::CodecKind;
 use buddy_compression::buddy_core::{DeviceConfig, TargetRatio};
+use buddy_compression::buddy_obs::trace;
 use buddy_compression::buddy_pool::loadgen::{replay, LoadReport, LoadgenConfig};
 use buddy_compression::buddy_pool::{BuddyPool, PoolConfig};
 use buddy_compression::workloads::by_name;
@@ -136,6 +138,8 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
         "p50_us",
         "p95_us",
         "p99_us",
+        "p999_us",
+        "max_us",
         "buddy_access_frac",
         "churn_cycles",
         "retargets",
@@ -143,12 +147,22 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
         "largest_free_mb",
         "scaling_vs_1s1c",
     ];
+    let emitter = MetricsEmitter::start(cfg);
+    let entries_counter = emitter
+        .registry()
+        .counter("pool_entries_total", "entries moved across all sweep cells");
+    let latency_metric = emitter.registry().histogram(
+        "pool_batch_latency_ns",
+        "per-batch replay latency across all sweep cells",
+    );
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut breakdown: Vec<Vec<String>> = Vec::new();
     let mut headline_scaling = None;
     for &codec in &codecs {
         let mut baseline = None;
         for &(shards, clients, churn_every, retarget_every) in &grid(cfg.quick) {
             let batches_per_client = (total_entries / (clients as u64 * BATCH as u64)).max(1);
+            let span_before = trace::totals();
             let cell = measure(
                 codec,
                 shards,
@@ -159,7 +173,17 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
                 churn_every,
                 retarget_every,
             );
+            let span_delta = trace::totals().since(&span_before);
+            breakdown.push(breakdown_row(
+                "pool_throughput",
+                &codec.to_string(),
+                shards,
+                clients,
+                &span_delta,
+            ));
             let r = &cell.report;
+            entries_counter.add(r.entries_processed);
+            latency_metric.absorb(&r.latency_hist);
             let baseline_eps = *baseline.get_or_insert(r.entries_per_sec);
             let scaling = r.entries_per_sec / baseline_eps;
             if codec == cfg.codec && shards >= 4 && clients >= 4 && churn_every == 0 {
@@ -176,6 +200,8 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
                 f3(r.latency.p50_us),
                 f3(r.latency.p95_us),
                 f3(r.latency.p99_us),
+                f3(r.latency.p999_us),
+                f3(r.latency.max_us),
                 pct(r.stats.buddy_access_fraction()),
                 r.churn_cycles.to_string(),
                 r.stats.retargets.to_string(),
@@ -208,6 +234,22 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
         &header,
         &rows,
     )?;
+    // Truncate-write: pool-throughput runs first in reproduce-all, so each
+    // run starts the shared breakdown artifact fresh; later harnesses
+    // append. With obs-trace off the rows are structurally identical but
+    // all-zero (trace_enabled=false) — the artifact shape is stable.
+    let breakdown_path = write_breakdown(cfg, &breakdown)?;
+    if trace::is_enabled() {
+        println!("  span breakdown (lock wait / codec / IO per cell) -> {breakdown_path:?}");
+    } else {
+        println!(
+            "  span breakdown written with zeros ({breakdown_path:?}); rebuild with \
+             --features obs-trace for real attribution"
+        );
+    }
+    if let Some((prom, csv)) = emitter.finish()? {
+        println!("  metrics -> {prom:?} and {csv:?}");
+    }
     Ok(())
 }
 

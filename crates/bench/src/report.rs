@@ -18,6 +18,11 @@ pub struct RunConfig {
     /// Compression algorithm the capacity figures characterize with
     /// (`--codec <name>`; BPC by default, matching the paper).
     pub codec: CodecKind,
+    /// Base path for metric artifacts (`--metrics-out <path>`): the
+    /// instrumented harnesses (`pool-throughput`, `tenancy`, `churn`)
+    /// write a Prometheus text snapshot to `<path>.prom` and the
+    /// time-series sampler's CSV to `<path>.csv`. `None` disables both.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -27,17 +32,19 @@ impl Default for RunConfig {
             results_dir: PathBuf::from("results"),
             seed: 0xB0DD7,
             codec: CodecKind::Bpc,
+            metrics_out: None,
         }
     }
 }
 
 impl RunConfig {
     /// Builds the configuration from process arguments (`--quick`,
-    /// `--codec <name>`).
+    /// `--codec <name>`, `--metrics-out <path>`).
     ///
     /// Exits with status 2 and the list of registered codecs on stderr if
-    /// `--codec` names an unknown algorithm or is missing its value — a
-    /// usage error, not a harness bug, so no backtrace.
+    /// `--codec` names an unknown algorithm, or if either option is
+    /// missing its value — a usage error, not a harness bug, so no
+    /// backtrace.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
@@ -60,6 +67,16 @@ impl RunConfig {
                 }
             }
         };
+        let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+            None => None,
+            Some(i) => match args.get(i + 1) {
+                Some(path) => Some(PathBuf::from(path)),
+                None => usage_error(
+                    "--metrics-out needs a value: the base path for the .prom/.csv artifacts"
+                        .to_string(),
+                ),
+            },
+        };
         if codec != CodecKind::Bpc {
             println!(
                 "note: --codec {codec} applies to the capacity harnesses (fig03, \
@@ -71,6 +88,7 @@ impl RunConfig {
         Self {
             quick,
             codec,
+            metrics_out,
             ..Self::default()
         }
     }
@@ -114,6 +132,35 @@ pub fn write_csv<C: Display>(
     let mut out = String::new();
     out.push_str(&header.join(","));
     out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Appends rows to `results/<name>.csv`, creating it (with `header`) when
+/// it does not exist yet. If the existing file's first line does not match
+/// `header` — a stale artifact from an older format — the file is rewritten
+/// from scratch rather than corrupted by appending mismatched columns.
+///
+/// This is how several harnesses share one artifact (`obs_breakdown.csv`):
+/// the first writer of a `reproduce-all` run truncates, later ones append.
+pub fn append_csv<C: Display>(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<C>],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let header_line = header.join(",");
+    let existing = fs::read_to_string(&path)
+        .ok()
+        .filter(|text| text.lines().next() == Some(header_line.as_str()));
+    let mut out = existing.unwrap_or_else(|| format!("{header_line}\n"));
     for row in rows {
         let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
         out.push_str(&cells.join(","));
@@ -201,6 +248,21 @@ mod tests {
         let path = write_csv(&dir, "t", &["name", "value"], &rows).unwrap();
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "name,value\na,1\n");
+    }
+
+    #[test]
+    fn append_csv_creates_then_appends_then_resets_on_header_change() {
+        let dir = std::env::temp_dir().join("buddy-bench-append-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let row = |s: &str| vec![vec![s.to_string(), "1".to_string()]];
+        append_csv(&dir, "t", &["name", "value"], &row("a")).unwrap();
+        let path = append_csv(&dir, "t", &["name", "value"], &row("b")).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "name,value\na,1\nb,1\n");
+        // A header change means the old artifact is stale: start over.
+        append_csv(&dir, "t", &["name", "count"], &row("c")).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "name,count\nc,1\n");
     }
 
     #[test]

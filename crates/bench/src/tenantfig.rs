@@ -21,7 +21,9 @@
 //!
 //! [`buddy_service`]: buddy_compression::buddy_service
 
+use crate::obsfig::{append_breakdown, breakdown_row, MetricsEmitter};
 use crate::report::{f3, pct, print_table, write_csv, RunConfig};
+use buddy_compression::buddy_obs::trace;
 use buddy_compression::buddy_service::loadgen::{
     run, OpenLoopConfig, OpenLoopReport, TenantPlan, TenantReport,
 };
@@ -142,6 +144,23 @@ fn noisy_plan(ops: u64, policy: AdmissionPolicy) -> TenantPlan {
 /// Runs the full tenancy sweep and writes `results/tenancy.csv` (the
 /// `tenancy` binary; also part of `reproduce-all`).
 pub fn tenancy(cfg: &RunConfig) -> io::Result<()> {
+    let emitter = MetricsEmitter::start(cfg);
+    let offered_counter = emitter.registry().counter(
+        "tenancy_offered_total",
+        "arrivals offered across all phases",
+    );
+    let completed_counter = emitter.registry().counter(
+        "tenancy_completed_total",
+        "arrivals completed across all phases",
+    );
+    let shed_counter = emitter
+        .registry()
+        .counter("tenancy_shed_total", "arrivals shed across all phases");
+    let capacity_gauge = emitter.registry().gauge(
+        "tenancy_capacity_ops_per_sec",
+        "calibrated single-tenant service capacity",
+    );
+    let span_before = trace::totals();
     let mut rows: Vec<Row> = Vec::new();
 
     // Phase 1: capacity calibration.
@@ -280,6 +299,30 @@ pub fn tenancy(cfg: &RunConfig) -> io::Result<()> {
 
     let path = write_csv(&cfg.results_dir, &cfg.tagged("tenancy"), &header, &table)?;
     println!("  wrote {path:?}");
+
+    // One breakdown row for the whole sweep (appended after
+    // pool-throughput's truncate-write in a reproduce-all run): the sweep
+    // multiplexes phases over the same 2-shard pool, so per-phase span
+    // deltas would mostly re-measure the timer floor. queue_wait is the
+    // column this source uniquely exercises.
+    capacity_gauge.set(capacity as u64);
+    for row in &rows {
+        offered_counter.add(row.report.offered);
+        completed_counter.add(row.report.completed);
+        shed_counter.add(row.report.shed);
+    }
+    let span_delta = trace::totals().since(&span_before);
+    let breakdown = vec![breakdown_row(
+        "tenancy",
+        &cfg.codec.to_string(),
+        2,
+        2,
+        &span_delta,
+    )];
+    append_breakdown(cfg, &breakdown)?;
+    if let Some((prom, csv)) = emitter.finish()? {
+        println!("  metrics -> {prom:?} and {csv:?}");
+    }
     Ok(())
 }
 

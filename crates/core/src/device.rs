@@ -14,6 +14,7 @@ use crate::metadata::{EntryState, Gbbr, MetadataStore};
 use crate::region::RegionAllocator;
 use crate::target::TargetRatio;
 use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
+use buddy_obs::{trace, SpanKind};
 use std::error::Error;
 use std::fmt;
 
@@ -561,6 +562,8 @@ impl BuddyDevice {
         entries
             .checked_mul(ENTRY_BYTES as u64)
             .ok_or(DeviceError::RequestOverflow)?;
+        // Placement + slot bookkeeping; drops on every exit path.
+        let _span = trace::span(SpanKind::RegionAlloc);
         let device_base =
             self.device_region
                 .alloc(device_need)
@@ -813,7 +816,9 @@ impl BuddyDevice {
         let state = if entry.iter().all(|&b| b == 0) {
             EntryState::Zero
         } else {
+            let compress_span = trace::span(SpanKind::CodecCompress);
             self.codec.compress_into(entry, scratch);
+            drop(compress_span);
             match view.target {
                 TargetRatio::ZeroPage16 => {
                     if scratch.bytes() <= 8 {
@@ -1008,6 +1013,8 @@ impl BuddyDevice {
                 buddy_bytes_delta: 0,
             });
         }
+        // The free same-target no-op above records no migration span.
+        let _span = trace::span(SpanKind::RetargetMigrate);
         let old_device = entries * old_target.device_bytes_per_entry() as u64;
         let old_buddy = entries * old_target.buddy_bytes_per_entry() as u64;
         let new_device = entries
@@ -1091,6 +1098,7 @@ impl BuddyDevice {
         (old_device, old_buddy): (u64, u64),
         (new_device, new_buddy): (u64, u64),
     ) -> Result<(u64, u64), DeviceError> {
+        let _span = trace::span(SpanKind::RegionAlloc);
         if let Some(device_base) = self.device_region.alloc(new_device) {
             if let Some(buddy_base) = self.buddy_region.alloc(new_buddy) {
                 self.device_region.free(view.device_base, old_device);
@@ -1183,6 +1191,7 @@ impl BuddyDevice {
     /// Decodes a stored stream through the owning codec. Trailing padding
     /// from sector alignment is ignored by every decoder.
     fn decode(&self, data: &[u8], out: &mut Entry) {
+        let _span = trace::span(SpanKind::CodecDecompress);
         self.codec
             .decompress_into(data, data.len() * 8, out)
             .expect("stored streams always decode: write path produced them"); // lint-allow(no-unwrap): the write path produced every stored stream
@@ -1195,6 +1204,7 @@ impl BuddyDevice {
     }
 
     fn store_zero_page_overflow(&mut self, view: &AllocView, index: u64, entry: &Entry) {
+        let _span = trace::span(SpanKind::BuddyIo);
         let off = view.buddy_offset(index) as usize;
         self.buddy[off..off + ENTRY_BYTES].copy_from_slice(entry);
     }
@@ -1202,6 +1212,7 @@ impl BuddyDevice {
     /// Stores `sectors` sectors of `data`, the first `device_sectors` in
     /// device memory and the remainder in the entry's buddy slot.
     fn store_sectors(&mut self, view: &AllocView, index: u64, data: &[u8], sectors: u8) {
+        let _span = trace::span(SpanKind::BuddyIo);
         let device_sectors = view.target.device_sectors().min(sectors);
         let split = device_sectors as usize * SECTOR_BYTES;
         let device_off = view.device_offset(index) as usize;
@@ -1216,6 +1227,7 @@ impl BuddyDevice {
     /// Gathers an entry's sectors into `out` (device-resident first, then
     /// any buddy overflow). `out` must be exactly `sectors × 32` bytes.
     fn load_sectors(&self, view: &AllocView, index: u64, sectors: u8, out: &mut [u8]) {
+        let _span = trace::span(SpanKind::BuddyIo);
         let device_sectors = view.target.device_sectors().min(sectors);
         let split = device_sectors as usize * SECTOR_BYTES;
         let total = sectors as usize * SECTOR_BYTES;

@@ -1,0 +1,391 @@
+//! Metric primitives and a registry with a Prometheus-text renderer and
+//! a deterministic-interval time-series sampler.
+//!
+//! [`Counter`] and [`Gauge`] are the same lock-free primitives
+//! `buddy-service`'s telemetry module used to own (it now re-exports
+//! them from here); [`Histogram`] completes the set.
+//! A [`MetricsRegistry`] names them: registration and rendering lock a
+//! mutex, updates through the returned `Arc` handles never do.
+//!
+//! Snapshot semantics are the workspace-wide statistical contract: a
+//! render or sample taken while writers are active may split one logical
+//! update; totals are exact once writers are quiescent.
+//!
+//! The sampler ([`sample_every`]) snapshots every registered metric on a
+//! fixed tick grid (`tick × interval` from the sampler's start, not
+//! "interval after the previous sample finished"), so two runs of the
+//! same workload produce rows at the same nominal offsets regardless of
+//! how long each snapshot took. Ticks are the deterministic axis; the
+//! sampled *values* are as wall-clock as the run they observe.
+
+use crate::hist::Histogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        // Relaxed: pure event count — nothing is published through it and
+        // snapshots tolerate staleness (module contract above).
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // Relaxed: monotonic stat, staleness is acceptable to readers.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins instantaneous value (bytes in use, live
+/// allocations).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: u64) {
+        // Relaxed: the gauge is a freestanding sample; no reader infers
+        // other memory state from it.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // Relaxed: instantaneous sample, staleness is acceptable.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registered metric.
+#[derive(Debug, Clone)]
+enum Registered {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone)]
+struct MetricEntry {
+    name: String,
+    help: String,
+    metric: Registered,
+}
+
+/// Quantiles a histogram is rendered and sampled at.
+const QUANTILES: [(f64, &str); 4] = [
+    (0.5, "0.5"),
+    (0.95, "0.95"),
+    (0.99, "0.99"),
+    (0.999, "0.999"),
+];
+
+/// A named collection of metrics. Registration and rendering lock;
+/// updates through the returned handles are lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the entry list, recovering from poisoning (entries are plain
+    /// data; a panicked registrant leaves the list structurally valid).
+    fn entries(&self) -> std::sync::MutexGuard<'_, Vec<MetricEntry>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn push(&self, name: &str, help: &str, metric: Registered) {
+        self.entries().push(MetricEntry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric,
+        });
+    }
+
+    /// Registers a counter and returns its update handle.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::default());
+        self.push(name, help, Registered::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a gauge and returns its update handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::default());
+        self.push(name, help, Registered::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers a histogram and returns its update handle.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(name, help, Registered::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Registered metric count.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    /// Histograms render as summaries (quantile series plus `_sum` and
+    /// `_count`), since the log buckets are an implementation detail.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries().iter() {
+            let name = &entry.name;
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            match &entry.metric {
+                Registered::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Registered::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Registered::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    for (q, label) in QUANTILES {
+                        let _ =
+                            writeln!(out, "{name}{{quantile=\"{label}\"}} {}", snap.value_at(q));
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum());
+                    let _ = writeln!(out, "{name}_count {}", snap.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattens every metric to `(series name, value)` pairs — one pair
+    /// per counter/gauge, `count`/`sum`/quantile series per histogram.
+    pub fn sample(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for entry in self.entries().iter() {
+            let name = &entry.name;
+            match &entry.metric {
+                Registered::Counter(c) => out.push((name.clone(), c.get() as f64)),
+                Registered::Gauge(g) => out.push((name.clone(), g.get() as f64)),
+                Registered::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push((format!("{name}_count"), snap.count() as f64));
+                    out.push((format!("{name}_sum"), snap.sum() as f64));
+                    for (q, label) in QUANTILES {
+                        out.push((format!("{name}_q{label}"), snap.value_at(q) as f64));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One sampled value: the metric's series name at one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePoint {
+    /// 1-based tick index (nominal time = `tick × interval`).
+    pub tick: u64,
+    /// Series name (see [`MetricsRegistry::sample`]).
+    pub metric: String,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// The sampler's output: every registered metric at every tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// The tick interval the sampler ran on.
+    pub interval: Duration,
+    /// All sampled points, tick-major.
+    pub rows: Vec<SamplePoint>,
+}
+
+impl TimeSeries {
+    /// Renders `tick,elapsed_ms,metric,value` CSV. `elapsed_ms` is the
+    /// *nominal* tick offset (`tick × interval`), so the axis is
+    /// deterministic across runs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("tick,elapsed_ms,metric,value\n");
+        let interval_ms = self.interval.as_secs_f64() * 1e3;
+        for p in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{},{}",
+                p.tick,
+                p.tick as f64 * interval_ms,
+                p.metric,
+                p.value
+            );
+        }
+        out
+    }
+}
+
+/// Handle of a running sampler thread.
+#[derive(Debug)]
+pub struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<TimeSeries>,
+}
+
+impl SamplerHandle {
+    /// Stops the sampler and returns everything it collected. A final
+    /// sample is taken at stop time, so even runs shorter than one
+    /// interval produce at least one tick of data.
+    pub fn stop(self) -> TimeSeries {
+        // Relaxed: a one-way shutdown flag; the join below is the
+        // synchronization point for the collected rows.
+        self.stop.store(true, Ordering::Relaxed);
+        // A panicked sampler yields an empty series rather than poisoning
+        // the harness shutdown path.
+        self.thread.join().unwrap_or_default()
+    }
+}
+
+/// Spawns a background thread sampling `registry` every `interval`
+/// (clamped to ≥ 1 ms) on the deterministic tick grid described in the
+/// module docs. Stop it with [`SamplerHandle::stop`].
+pub fn sample_every(registry: Arc<MetricsRegistry>, interval: Duration) -> SamplerHandle {
+    let interval = interval.max(Duration::from_millis(1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_seen = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        let started = Instant::now();
+        let mut rows = Vec::new();
+        let mut tick = 0u64;
+        // Relaxed: one-way flag; sampled data is handed over via join.
+        while !stop_seen.load(Ordering::Relaxed) {
+            tick += 1;
+            let deadline = interval.saturating_mul(u32::try_from(tick).unwrap_or(u32::MAX));
+            loop {
+                let elapsed = started.elapsed();
+                if elapsed >= deadline {
+                    break;
+                }
+                // Relaxed: one-way flag, as above.
+                if stop_seen.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Short chunks keep `stop()` responsive without busy-spin.
+                std::thread::sleep((deadline - elapsed).min(Duration::from_millis(5)));
+            }
+            // Relaxed: one-way flag, as above.
+            if stop_seen.load(Ordering::Relaxed) {
+                break;
+            }
+            for (metric, value) in registry.sample() {
+                rows.push(SamplePoint {
+                    tick,
+                    metric,
+                    value,
+                });
+            }
+        }
+        // Final sample at stop time so short runs still produce data.
+        for (metric, value) in registry.sample() {
+            rows.push(SamplePoint {
+                tick,
+                metric,
+                value,
+            });
+        }
+        TimeSeries { interval, rows }
+    });
+    SamplerHandle { stop, thread }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("ops_total", "operations issued");
+        let g = r.gauge("used_bytes", "bytes in use");
+        let h = r.histogram("latency_ns", "operation latency");
+        c.add(3);
+        g.set(512);
+        h.record(1000);
+        h.record(2000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE ops_total counter"));
+        assert!(text.contains("ops_total 3"));
+        assert!(text.contains("# TYPE used_bytes gauge"));
+        assert!(text.contains("used_bytes 512"));
+        assert!(text.contains("# TYPE latency_ns summary"));
+        assert!(text.contains("latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("latency_ns_sum 3000"));
+        assert!(text.contains("latency_ns_count 2"));
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn sample_flattens_histograms() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("t", "test");
+        h.record(5);
+        let names: Vec<String> = r.sample().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"t_count".to_string()));
+        assert!(names.contains(&"t_sum".to_string()));
+        assert!(names.contains(&"t_q0.99".to_string()));
+    }
+
+    #[test]
+    fn sampler_produces_at_least_one_tick_and_a_csv() {
+        let r = Arc::new(MetricsRegistry::new());
+        let c = r.counter("ticks_seen", "test counter");
+        c.add(7);
+        let handle = sample_every(Arc::clone(&r), Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        let series = handle.stop();
+        assert!(!series.rows.is_empty(), "sampler collected nothing");
+        assert!(series.rows.iter().any(|p| p.metric == "ticks_seen"));
+        let csv = series.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("tick,elapsed_ms,metric,value"));
+        assert!(lines.next().is_some(), "no data rows");
+        assert!(csv.contains("ticks_seen"));
+    }
+
+    #[test]
+    fn stopping_immediately_still_samples_once() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.counter("x", "test");
+        let handle = sample_every(Arc::clone(&r), Duration::from_secs(3600));
+        let series = handle.stop();
+        assert!(
+            series.rows.iter().any(|p| p.metric == "x"),
+            "final stop-time sample missing"
+        );
+    }
+}

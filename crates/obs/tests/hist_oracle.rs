@@ -1,0 +1,111 @@
+//! Pins the log-bucketed histogram against an exact sorted-vec oracle.
+//!
+//! The documented contract (`buddy_obs::hist`): a percentile estimate is
+//! **never below** the exact nearest-rank order statistic and at most
+//! **12.5 % above** it, for samples below the saturation threshold.
+//! Merging snapshots is associative and commutative, and merging is
+//! indistinguishable from recording every sample into one histogram.
+
+use buddy_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile of an ascending-sorted sample.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// Samples below the saturation threshold, where the relative bound holds.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..buddy_obs::hist::SATURATION_VALUE, 0..max_len)
+}
+
+const QS: [f64; 7] = [0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentiles_match_the_sorted_vec_oracle(
+        raw in proptest::collection::vec(0u64..buddy_obs::hist::SATURATION_VALUE, 1..400),
+    ) {
+        let snap = snapshot_of(&raw);
+        let mut sorted = raw.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            let exact = nearest_rank(&sorted, q);
+            let est = snap.value_at(q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            prop_assert!(
+                est as f64 <= exact as f64 * 1.125,
+                "q={q}: estimate {est} above the 12.5% bound for exact {exact}"
+            );
+        }
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap(), "max must be exact");
+        prop_assert_eq!(snap.count(), raw.len() as u64);
+        prop_assert_eq!(snap.sum(), raw.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_is_commutative_associative_and_lossless(
+        a in samples(150),
+        b in samples(150),
+        c in samples(150),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // Commutative: a ∪ b == b ∪ a.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Lossless: merging thread-local snapshots is the same as having
+        // recorded everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn merged_percentiles_still_satisfy_the_oracle_bound(
+        a in samples(200),
+        b in samples(200),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut sorted: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        sorted.sort_unstable();
+        for q in QS {
+            let exact = nearest_rank(&sorted, q);
+            let est = merged.value_at(q);
+            prop_assert!(est >= exact, "q={q}: merged estimate {est} below exact {exact}");
+            prop_assert!(
+                est as f64 <= exact as f64 * 1.125,
+                "q={q}: merged estimate {est} above bound for exact {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Tracer behaviour with `obs-trace` enabled: span nesting/ordering
+//! invariants, ring wraparound (drop-oldest, never block), and Chrome
+//! trace-event JSON validity — checked with a hand-rolled JSON parser,
+//! no serde.
+//!
+//! Each test uses span kinds no other test in this file touches: the
+//! tracer state is process-global and the test harness runs tests
+//! concurrently, so kind-exclusivity is what keeps assertions isolated.
+#![cfg(feature = "obs-trace")]
+
+use buddy_obs::trace::{
+    export_chrome_trace, is_enabled, record_span, ring_capacity, span, span_with_arg, totals,
+};
+use buddy_obs::SpanKind;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// A minimal JSON model + recursive-descent parser (tests only).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value();
+        p.ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+        v
+    }
+
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).expect("unexpected end of JSON")
+    }
+
+    fn eat(&mut self, b: u8) {
+        assert_eq!(
+            self.peek(),
+            b,
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn eat_str(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.eat(b);
+        }
+    }
+
+    fn value(&mut self) -> Json {
+        self.ws();
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => {
+                self.eat_str("true");
+                Json::Bool(true)
+            }
+            b'f' => {
+                self.eat_str("false");
+                Json::Bool(false)
+            }
+            b'n' => {
+                self.eat_str("null");
+                Json::Null
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            self.ws();
+            let key = self.string();
+            self.ws();
+            self.eat(b':');
+            let val = self.value();
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(fields);
+                }
+                other => panic!("expected ',' or '}}', got {:?}", other as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            self.ws();
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("expected ',' or ']', got {:?}", other as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            let b = self.peek();
+            self.pos += 1;
+            match b {
+                b'"' => return out,
+                b'\\' => {
+                    let esc = self.peek();
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        other => panic!("unsupported escape \\{}", other as char),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8 number");
+        Json::Num(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number {text:?}")),
+        )
+    }
+}
+
+/// Parses an export and returns the validated traceEvents array, checking
+/// every event against the Chrome trace-event format requirements.
+fn validated_events(json: &str) -> Vec<Json> {
+    let doc = Parser::parse(json);
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let known: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+    for ev in &events {
+        let name = ev.get("name").expect("event.name").as_str();
+        assert!(known.contains(&name), "unknown span name {name:?}");
+        assert_eq!(ev.get("ph").expect("event.ph").as_str(), "X");
+        assert!(ev.get("ts").expect("event.ts").as_num() >= 0.0);
+        assert!(ev.get("dur").expect("event.dur").as_num() >= 0.0);
+        assert_eq!(ev.get("pid").expect("event.pid").as_num(), 1.0);
+        assert!(ev.get("tid").expect("event.tid").as_num() >= 1.0);
+        ev.get("args").expect("event.args");
+    }
+    events
+}
+
+fn events_of(events: &[Json], kind: SpanKind) -> Vec<&Json> {
+    events
+        .iter()
+        .filter(|e| e.get("name").is_some_and(|n| n.as_str() == kind.name()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The actual tracer tests.
+// ---------------------------------------------------------------------
+
+#[test]
+fn enabled_mode_reports_itself() {
+    assert!(is_enabled());
+    assert!(ring_capacity() > 0);
+}
+
+/// Kinds used: `RetargetMigrate` (outer), `CodecCompress` (inner),
+/// `ShardLockWait` (arg carrier).
+#[test]
+fn nested_spans_order_and_contain_correctly() {
+    let before = totals();
+    {
+        let _outer = span(SpanKind::RetargetMigrate);
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _inner = span(SpanKind::CodecCompress);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _tagged = span_with_arg(SpanKind::ShardLockWait, 42);
+    }
+    let delta = totals().since(&before);
+    assert_eq!(delta.of(SpanKind::RetargetMigrate).count, 1);
+    assert_eq!(delta.of(SpanKind::CodecCompress).count, 1);
+    assert_eq!(delta.of(SpanKind::ShardLockWait).count, 1);
+    // Containment: the outer span's time includes the inner span's.
+    assert!(
+        delta.of(SpanKind::RetargetMigrate).total_ns >= delta.of(SpanKind::CodecCompress).total_ns,
+        "outer span must cover the nested span"
+    );
+
+    let events = validated_events(&export_chrome_trace());
+    let outer = events_of(&events, SpanKind::RetargetMigrate);
+    let inner = events_of(&events, SpanKind::CodecCompress);
+    assert_eq!(outer.len(), 1, "exactly this test records retarget spans");
+    assert_eq!(inner.len(), 1);
+    let (o, i) = (outer[0], inner[0]);
+    let (o_ts, o_dur) = (
+        o.get("ts").unwrap().as_num(),
+        o.get("dur").unwrap().as_num(),
+    );
+    let (i_ts, i_dur) = (
+        i.get("ts").unwrap().as_num(),
+        i.get("dur").unwrap().as_num(),
+    );
+    // Nesting invariant: the inner span starts after and ends before the
+    // outer one (tolerance for the 3-decimal µs rounding of the export).
+    assert!(
+        i_ts >= o_ts - 0.001,
+        "inner starts after outer: {i_ts} vs {o_ts}"
+    );
+    assert!(
+        i_ts + i_dur <= o_ts + o_dur + 0.001,
+        "inner ends before outer"
+    );
+    // Same thread, and the inner (completed first) is exported in
+    // completion order relative to the outer.
+    assert_eq!(
+        o.get("tid").unwrap().as_num(),
+        i.get("tid").unwrap().as_num()
+    );
+    // The argument round-trips into the exported event.
+    let tagged = events_of(&events, SpanKind::ShardLockWait);
+    assert_eq!(tagged.len(), 1);
+    assert_eq!(
+        tagged[0]
+            .get("args")
+            .unwrap()
+            .get("arg")
+            .expect("args.arg")
+            .as_num(),
+        42.0
+    );
+}
+
+/// Kind used: `BuddyIo`, exclusively.
+#[test]
+fn ring_wraparound_drops_oldest_and_keeps_totals_exact() {
+    let cap = ring_capacity();
+    let extra = 100;
+    let before = totals();
+    for i in 0..cap + extra {
+        // Distinct durations (in µs steps so the 3-decimal export is
+        // lossless) let the export reveal *which* events survived.
+        record_span(SpanKind::BuddyIo, Duration::from_micros(i as u64));
+    }
+    // Totals never lose events to wraparound.
+    let delta = totals().since(&before);
+    assert_eq!(delta.of(SpanKind::BuddyIo).count, (cap + extra) as u64);
+
+    let events = validated_events(&export_chrome_trace());
+    let mine = events_of(&events, SpanKind::BuddyIo);
+    assert_eq!(
+        mine.len(),
+        cap,
+        "the ring holds exactly its capacity after wrapping"
+    );
+    let mut durs: Vec<u64> = mine
+        .iter()
+        .map(|e| e.get("dur").unwrap().as_num().round() as u64)
+        .collect();
+    durs.sort_unstable();
+    let expected: Vec<u64> = (extra as u64..(cap + extra) as u64).collect();
+    assert_eq!(durs, expected, "exactly the oldest {extra} events dropped");
+}
+
+/// Kind used: `QueueWait`, exclusively.
+#[test]
+fn record_span_backdates_and_export_is_valid_json() {
+    let before = totals();
+    record_span(SpanKind::QueueWait, Duration::from_micros(1500));
+    let delta = totals().since(&before);
+    assert_eq!(delta.of(SpanKind::QueueWait).count, 1);
+    assert_eq!(delta.of(SpanKind::QueueWait).total_ns, 1_500_000);
+
+    let events = validated_events(&export_chrome_trace());
+    let mine = events_of(&events, SpanKind::QueueWait);
+    assert_eq!(mine.len(), 1);
+    let dur = mine[0].get("dur").unwrap().as_num();
+    assert!((dur - 1500.0).abs() < 0.01, "dur {dur} != 1500us");
+}
+
+/// Kind used: `RegionAlloc`, exclusively (on spawned threads).
+#[test]
+fn spans_from_many_threads_land_on_distinct_tids() {
+    let before = totals();
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let _s = span(SpanKind::RegionAlloc);
+                std::thread::sleep(Duration::from_micros(100));
+            });
+        }
+    });
+    let delta = totals().since(&before);
+    assert_eq!(delta.of(SpanKind::RegionAlloc).count, 3);
+    let events = validated_events(&export_chrome_trace());
+    let mine = events_of(&events, SpanKind::RegionAlloc);
+    assert_eq!(mine.len(), 3);
+    let mut tids: Vec<u64> = mine
+        .iter()
+        .map(|e| e.get("tid").unwrap().as_num() as u64)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 3, "each thread gets its own ring/tid");
+}
+
+#[test]
+fn json_checker_rejects_malformed_documents() {
+    // The checker itself must have teeth, or the validity test is vacuous.
+    for bad in [
+        "",
+        "{",
+        "{\"traceEvents\":}",
+        "{\"traceEvents\":[{]}",
+        "{\"traceEvents\":[1,]}",
+        "nope",
+    ] {
+        let caught = std::panic::catch_unwind(|| Parser::parse(bad)).is_err();
+        assert!(caught, "parser accepted malformed input {bad:?}");
+    }
+    // And it accepts a well-formed document.
+    let ok = Parser::parse("{\"traceEvents\":[{\"name\":\"x\",\"ts\":1.5}], \"n\":null}");
+    assert!(matches!(ok.get("traceEvents"), Some(Json::Arr(_))));
+}

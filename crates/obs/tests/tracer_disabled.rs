@@ -1,0 +1,39 @@
+//! With the `obs-trace` feature off, the tracer must compile down to
+//! inert no-ops: zero totals, an empty export, and a guard type with no
+//! destructor side effects. These tests pin that contract so hot-path
+//! call sites can stay unconditional.
+#![cfg(not(feature = "obs-trace"))]
+
+use buddy_obs::trace::{
+    export_chrome_trace, is_enabled, record_span, ring_capacity, span, span_with_arg, timed, totals,
+};
+use buddy_obs::SpanKind;
+use std::time::Duration;
+
+#[test]
+fn disabled_mode_reports_itself() {
+    assert!(!is_enabled());
+    assert_eq!(ring_capacity(), 0);
+}
+
+#[test]
+fn spans_are_inert_and_totals_stay_zero() {
+    {
+        let _g = span(SpanKind::CodecCompress);
+        let _h = span_with_arg(SpanKind::ShardLockWait, 7);
+        record_span(SpanKind::BuddyIo, Duration::from_millis(5));
+    }
+    let v = timed(SpanKind::QueueWait, || 21 * 2);
+    assert_eq!(v, 42, "timed still runs the closure");
+    let t = totals();
+    for kind in SpanKind::ALL {
+        assert_eq!(t.of(kind).count, 0);
+        assert_eq!(t.of(kind).total_ns, 0);
+    }
+}
+
+#[test]
+fn export_is_the_empty_trace_document() {
+    let _g = span(SpanKind::RetargetMigrate);
+    assert_eq!(export_chrome_trace(), "{\"traceEvents\":[]}");
+}

@@ -61,6 +61,7 @@ pub use buddy_core::{
 };
 
 use buddy_core::AllocId;
+use buddy_obs::{trace, SpanKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -195,10 +196,16 @@ impl BuddyPool {
     /// mid-batch (plain `Vec` storage, no unsafe invariants), so the state
     /// behind a poison is still usable.
     fn shard(&self, index: usize) -> MutexGuard<'_, BuddyDevice> {
-        match self.shards[index].lock() {
+        // The span covers only the wait: it is dropped the moment the
+        // guard exists, so `shard_lock_wait` measures contention, not the
+        // critical section.
+        let wait = trace::span_with_arg(SpanKind::ShardLockWait, index as u64);
+        let guard = match self.shards[index].lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        drop(wait);
+        guard
     }
 
     /// Resolves a handle to its shard, rejecting handles from a differently

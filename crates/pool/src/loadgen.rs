@@ -13,7 +13,12 @@
 //! per **entry-batch** (one batched `write_entries`/`read_entries` call),
 //! not per entry: single-entry timings at ~100 ns are dominated by timer
 //! and scheduling noise, while a batch is a large enough unit of work for
-//! wall-clock percentiles (p50/p95/p99) to be meaningful.
+//! wall-clock percentiles (p50/p95/p99/p99.9) to be meaningful. Each client
+//! records into its own fixed-size [`buddy_obs::Histogram`] (no per-sample
+//! allocation, no end-of-run sort) and the snapshots are merged, so the
+//! replay's memory cost no longer grows with `batches_per_client`;
+//! percentile error is bounded by the histogram's documented 12.5 %
+//! bucket width.
 //!
 //! With [`LoadgenConfig::retarget_every`] set, each client additionally
 //! runs the adaptive re-targeting sweep between batches (window → policy →
@@ -50,6 +55,7 @@ use crate::{
     AccessStats, AdaptConfig, BuddyPool, DeviceError, Entry, PoolAllocId, RetargetPolicy,
     TargetRatio, ENTRY_BYTES,
 };
+use buddy_obs::{Histogram, HistogramSnapshot};
 use std::time::{Duration, Instant};
 use workloads::entry_gen::splitmix64;
 use workloads::{AccessProfile, TraceGenerator};
@@ -118,6 +124,25 @@ pub struct LatencyPercentiles {
     pub p95_us: f64,
     /// 99th-percentile batch latency.
     pub p99_us: f64,
+    /// 99.9th-percentile batch latency.
+    pub p999_us: f64,
+    /// Largest single batch latency (exact, not bucketed).
+    pub max_us: f64,
+}
+
+impl LatencyPercentiles {
+    /// Reads the standard percentile set out of a histogram snapshot.
+    /// Every estimate obeys the histogram's one-sided ≤ 12.5 % bound; the
+    /// max is exact.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        Self {
+            p50_us: snap.percentile_us(0.50),
+            p95_us: snap.percentile_us(0.95),
+            p99_us: snap.percentile_us(0.99),
+            p999_us: snap.percentile_us(0.999),
+            max_us: snap.max() as f64 / 1_000.0,
+        }
+    }
 }
 
 /// Result of one replay run.
@@ -139,6 +164,10 @@ pub struct LoadReport {
     pub logical_gb_per_sec: f64,
     /// Per-batch latency percentiles across all clients.
     pub latency: LatencyPercentiles,
+    /// The merged per-batch latency distribution the percentiles were read
+    /// from — harnesses can [`merge`](HistogramSnapshot::merge) it across
+    /// runs or absorb it into a `buddy_obs` metrics registry.
+    pub latency_hist: HistogramSnapshot,
     /// Alloc/free churn cycles the clients performed
     /// ([`LoadgenConfig::churn_every`]; `0` when churn is disabled).
     pub churn_cycles: u64,
@@ -147,16 +176,27 @@ pub struct LoadReport {
     pub stats: AccessStats,
 }
 
-/// Nearest-rank percentile of an **ascending-sorted** sample of
-/// nanosecond latencies, returned in microseconds. Returns 0 for an empty
-/// sample.
+/// Linearly interpolated percentile (quantile type 7, the R/NumPy
+/// default) of an **ascending-sorted** sample of nanosecond latencies,
+/// returned in microseconds. Returns 0 for an empty sample.
+///
+/// The previous nearest-rank rule biased small-sample upper percentiles
+/// low: with 32 samples per client, `ceil(0.99 × 32) = 32` made "p99" the
+/// plain maximum of rank 32 out of 32 — every tail percentile collapsed
+/// onto the same order statistic. Interpolating on `q · (n − 1)` keeps
+/// distinct quantiles distinct down to the smallest samples.
 pub fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
     if sorted_nanos.is_empty() {
         return 0.0;
     }
     let q = q.clamp(0.0, 1.0);
-    let rank = ((q * sorted_nanos.len() as f64).ceil() as usize).clamp(1, sorted_nanos.len());
-    sorted_nanos[rank - 1] as f64 / 1_000.0
+    let pos = q * (sorted_nanos.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(sorted_nanos.len() - 1);
+    let frac = pos - lo as f64;
+    let nanos =
+        sorted_nanos[lo] as f64 + frac * (sorted_nanos[hi] as f64 - sorted_nanos[lo] as f64);
+    nanos / 1_000.0
 }
 
 /// The write palette: a ring of entries spanning the compressibility
@@ -263,7 +303,7 @@ pub fn replay(
     let before = pool.drain();
     let started = Instant::now();
 
-    let per_client: Vec<Result<Vec<u64>, DeviceError>> = std::thread::scope(|scope| {
+    let per_client: Vec<Result<HistogramSnapshot, DeviceError>> = std::thread::scope(|scope| {
         let workers: Vec<_> = handles
             .iter()
             .enumerate()
@@ -281,11 +321,10 @@ pub fn replay(
     let elapsed = started.elapsed();
     let after = pool.drain();
 
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut latency_hist = HistogramSnapshot::default();
     for result in per_client {
-        latencies.extend(result?);
+        latency_hist.merge(&result?);
     }
-    latencies.sort_unstable();
 
     let batches = cfg.clients as u64 * cfg.batches_per_client;
     let entries_processed = batches * cfg.batch_entries as u64;
@@ -304,30 +343,27 @@ pub fn replay(
         elapsed,
         entries_per_sec: entries_processed as f64 / secs,
         logical_gb_per_sec: (entries_processed * ENTRY_BYTES as u64) as f64 / secs / 1e9,
-        latency: LatencyPercentiles {
-            p50_us: percentile_us(&latencies, 0.50),
-            p95_us: percentile_us(&latencies, 0.95),
-            p99_us: percentile_us(&latencies, 0.99),
-        },
+        latency: LatencyPercentiles::from_snapshot(&latency_hist),
+        latency_hist,
         churn_cycles,
         stats: stats_delta(&before, &after),
     })
 }
 
 /// One client thread: walks its deterministic trace, issuing one batched
-/// op per access and timing each batch.
+/// op per access and timing each batch into a thread-local histogram.
 fn client_run(
     pool: &BuddyPool,
     mut handle: PoolAllocId,
     profile: AccessProfile,
     cfg: &LoadgenConfig,
     client: u64,
-) -> Result<Vec<u64>, DeviceError> {
+) -> Result<HistogramSnapshot, DeviceError> {
     let palette = write_palette(cfg.seed.wrapping_add(client), cfg.batch_entries);
     let ring = palette.len() - cfg.batch_entries;
     let mut trace = TraceGenerator::per_client(profile, cfg.entries_per_client, cfg.seed, client);
     let mut read_buf = vec![[0u8; ENTRY_BYTES]; cfg.batch_entries];
-    let mut latencies = Vec::with_capacity(cfg.batches_per_client as usize);
+    let latencies = Histogram::new();
     let max_start = cfg.entries_per_client - cfg.batch_entries as u64;
     let policy = RetargetPolicy::new(AdaptConfig::default());
     let mut current_target = cfg.target;
@@ -344,7 +380,7 @@ fn client_run(
             pool.read_entries(handle, start, &mut read_buf)?;
             std::hint::black_box(&read_buf);
         }
-        latencies.push(timer.elapsed().as_nanos() as u64);
+        latencies.record_duration(timer.elapsed());
 
         // Between batches: the optional re-targeting sweep. Outside the
         // latency sample (migration is a background maintenance cost, not
@@ -375,7 +411,7 @@ fn client_run(
             current_target = cfg.target;
         }
     }
-    Ok(latencies)
+    Ok(latencies.snapshot())
 }
 
 /// Field-wise difference of two monotonically increasing counter sets.
@@ -432,6 +468,9 @@ mod tests {
         assert!(report.logical_gb_per_sec > 0.0);
         assert!(report.latency.p50_us <= report.latency.p95_us);
         assert!(report.latency.p95_us <= report.latency.p99_us);
+        assert!(report.latency.p99_us <= report.latency.p999_us);
+        assert!(report.latency.p999_us <= report.latency.max_us);
+        assert!(report.latency.max_us > 0.0);
     }
 
     #[test]
@@ -479,15 +518,30 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_nearest_rank() {
+    fn percentiles_interpolate_between_order_statistics() {
         let sample: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        assert_eq!(percentile_us(&sample, 0.50), 50.0);
-        assert_eq!(percentile_us(&sample, 0.95), 95.0);
-        assert_eq!(percentile_us(&sample, 0.99), 99.0);
+        // Type-7: position q·(n−1) into the sorted sample, interpolated.
+        assert_eq!(percentile_us(&sample, 0.50), 50.5);
+        assert!((percentile_us(&sample, 0.95) - 95.05).abs() < 1e-9);
+        assert!((percentile_us(&sample, 0.99) - 99.01).abs() < 1e-9);
         assert_eq!(percentile_us(&sample, 1.0), 100.0);
         assert_eq!(percentile_us(&sample, 0.0), 1.0);
         assert_eq!(percentile_us(&[], 0.5), 0.0);
         assert_eq!(percentile_us(&[5000], 0.99), 5.0);
+    }
+
+    #[test]
+    fn small_sample_tail_percentiles_no_longer_collapse() {
+        // Regression for the nearest-rank bias: with 32 samples,
+        // ceil(0.99·32) = 32 made p99 the plain maximum, identical to p100
+        // and far from distinct from p95. Interpolation keeps the tail
+        // quantiles strictly ordered on a strictly increasing sample.
+        let sample: Vec<u64> = (1..=32).map(|i| i * 1000).collect();
+        let p95 = percentile_us(&sample, 0.95);
+        let p99 = percentile_us(&sample, 0.99);
+        let p100 = percentile_us(&sample, 1.0);
+        assert!(p95 < p99, "p95 {p95} must stay below p99 {p99}");
+        assert!(p99 < p100, "p99 {p99} must stay below the max {p100}");
     }
 
     #[test]

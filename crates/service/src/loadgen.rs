@@ -23,7 +23,8 @@
 //! capacity.
 
 use crate::{AdmissionPolicy, BuddyService, ServiceAllocId, ServiceError};
-use buddy_pool::loadgen::{percentile_us, LatencyPercentiles};
+use buddy_obs::{trace, Histogram, SpanKind};
+use buddy_pool::loadgen::LatencyPercentiles;
 use buddy_pool::{Entry, PoolConfig, TargetRatio, ENTRY_BYTES};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
@@ -228,8 +229,9 @@ fn produce(
 }
 
 /// Drains one tenant's queue against the service: builds up the working
-/// set, then alternates writes with periodic churn. Returns the raw
-/// latency samples and op counts.
+/// set, then alternates writes with periodic churn. Returns the latency
+/// histograms and op counts — fixed-size [`Histogram`]s, so the harness's
+/// memory cost no longer scales with `ops`.
 #[derive(Default)]
 struct ConsumerOutcome {
     completed: u64,
@@ -237,8 +239,8 @@ struct ConsumerOutcome {
     demoted: u64,
     granted_logical_bytes: u64,
     granted_device_bytes: u64,
-    queue_delay_nanos: Vec<u64>,
-    service_nanos: Vec<u64>,
+    queue_delay: Histogram,
+    service_time: Histogram,
     active: Duration,
 }
 
@@ -256,16 +258,14 @@ fn consume(
     let batch = plan.batch(seed);
     let mut live: Vec<ServiceAllocId> = Vec::with_capacity(plan.working_set);
     let mut outcome = ConsumerOutcome::default();
-    outcome.queue_delay_nanos.reserve(plan.ops as usize);
-    outcome.service_nanos.reserve(plan.ops as usize);
     let consumer_start = Instant::now();
     let mut seq = 0u64;
     while let Ok(sched_ns) = rx.recv() {
         let dequeued = Instant::now();
         let deadline = start + Duration::from_nanos(sched_ns);
-        outcome
-            .queue_delay_nanos
-            .push(dequeued.saturating_duration_since(deadline).as_nanos() as u64);
+        let wait = dequeued.saturating_duration_since(deadline);
+        trace::record_span(SpanKind::QueueWait, wait);
+        outcome.queue_delay.record_duration(wait);
         // Steady-state churn: once warm, recycle the oldest allocation
         // every `working_set`-th op so admission stays exercised.
         let churn = !live.is_empty()
@@ -297,9 +297,7 @@ fn consume(
             let begin = (seq * batch.len() as u64) % span;
             let _ = service.write_entries(tenant, live[idx], begin, &batch);
         }
-        outcome
-            .service_nanos
-            .push(dequeued.elapsed().as_nanos() as u64);
+        outcome.service_time.record_duration(dequeued.elapsed());
         outcome.completed += 1;
         seq += 1;
     }
@@ -374,10 +372,6 @@ fn tenant_report(
     shed: u64,
     outcome: ConsumerOutcome,
 ) -> TenantReport {
-    let mut queue = outcome.queue_delay_nanos;
-    queue.sort_unstable();
-    let mut service_t = outcome.service_nanos;
-    service_t.sort_unstable();
     let secs = outcome.active.as_secs_f64();
     TenantReport {
         name: plan.name.clone(),
@@ -388,16 +382,8 @@ fn tenant_report(
         demoted: outcome.demoted,
         granted_logical_bytes: outcome.granted_logical_bytes,
         granted_device_bytes: outcome.granted_device_bytes,
-        queue_delay: LatencyPercentiles {
-            p50_us: percentile_us(&queue, 0.50),
-            p95_us: percentile_us(&queue, 0.95),
-            p99_us: percentile_us(&queue, 0.99),
-        },
-        service_time: LatencyPercentiles {
-            p50_us: percentile_us(&service_t, 0.50),
-            p95_us: percentile_us(&service_t, 0.95),
-            p99_us: percentile_us(&service_t, 0.99),
-        },
+        queue_delay: LatencyPercentiles::from_snapshot(&outcome.queue_delay.snapshot()),
+        service_time: LatencyPercentiles::from_snapshot(&outcome.service_time.snapshot()),
         achieved_per_sec: if secs > 0.0 {
             outcome.completed as f64 / secs
         } else {
@@ -505,16 +491,8 @@ mod tests {
             demoted: 0,
             granted_logical_bytes: 256,
             granted_device_bytes: 128,
-            queue_delay: LatencyPercentiles {
-                p50_us: 0.0,
-                p95_us: 0.0,
-                p99_us: 0.0,
-            },
-            service_time: LatencyPercentiles {
-                p50_us: 0.0,
-                p95_us: 0.0,
-                p99_us: 0.0,
-            },
+            queue_delay: LatencyPercentiles::default(),
+            service_time: LatencyPercentiles::default(),
             achieved_per_sec: 0.0,
         };
         assert!((r.shed_fraction() - 0.25).abs() < 1e-12);

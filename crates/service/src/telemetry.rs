@@ -1,12 +1,12 @@
-//! Lock-free per-tenant telemetry: atomic counters and gauges behind a
-//! registry with a consistent-enough `snapshot()` → rows API.
+//! Per-tenant telemetry: [`Counter`] / [`Gauge`] handles behind a registry
+//! with a consistent-enough `snapshot()` → rows API.
 //!
-//! This module is the **only** place in the service/pool layers allowed to
-//! own raw atomics (enforced by the `raw-atomic-metric` xtask lint): every
-//! metric goes through [`Counter`] / [`Gauge`], which centralize the
-//! memory-ordering argument, and every consumer goes through
-//! [`TelemetryRegistry::snapshot`], so there is exactly one reset/snapshot
-//! contract to keep honest.
+//! The metric primitives themselves live in [`buddy_obs::metrics`] — the
+//! **only** crate allowed to own raw atomics for metrics (enforced by the
+//! `raw-atomic-metric` xtask lint), so there is exactly one place that
+//! centralizes the memory-ordering argument. This module re-exports them
+//! and layers the tenant dimension on top: which counters exist per
+//! tenant, and how they roll up into [`TenantRow`]s.
 //!
 //! Hot paths never take a lock: the service holds an
 //! `Arc<TenantTelemetry>` per tenant and bumps its atomics directly. The
@@ -18,52 +18,10 @@
 //! count without its bytes). Totals are exact once writers are quiescent,
 //! the same contract as [`BuddyPool::stats`](buddy_pool::BuddyPool::stats).
 
+pub use buddy_obs::{Counter, Gauge};
+
 use buddy_core::AccessStats;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-
-/// A monotonically increasing event counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Increments by one.
-    pub fn incr(&self) {
-        self.add(1);
-    }
-
-    /// Increments by `n`.
-    pub fn add(&self, n: u64) {
-        // Relaxed: pure event count — nothing is published through it and
-        // snapshots tolerate staleness (module contract above).
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        // Relaxed: monotonic stat, staleness is acceptable to readers.
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A last-writer-wins instantaneous value (bytes in use, live allocations).
-#[derive(Debug, Default)]
-pub struct Gauge(AtomicU64);
-
-impl Gauge {
-    /// Sets the gauge to an absolute value.
-    pub fn set(&self, v: u64) {
-        // Relaxed: the gauge is a freestanding sample; no reader infers
-        // other memory state from it.
-        self.0.store(v, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        // Relaxed: instantaneous sample, staleness is acceptable.
-        self.0.load(Ordering::Relaxed)
-    }
-}
 
 /// The full metric surface of one tenant. All fields are updated lock-free
 /// by the service hot paths and read by [`TelemetryRegistry::snapshot`].

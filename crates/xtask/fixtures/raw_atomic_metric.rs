@@ -1,6 +1,7 @@
 //! Known-bad corpus for the `raw-atomic-metric` rule: owning a raw atomic
-//! (field declaration or construction) outside the telemetry registry must
-//! be flagged; imports, references and test-module bookkeeping must not.
+//! (field declaration or construction) outside the `buddy_obs` metric
+//! primitives must be flagged; imports, references and test-module
+//! bookkeeping must not.
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicU64, AtomicUsize};

@@ -99,12 +99,9 @@ pub fn registry() -> Vec<Rule> {
         Rule {
             id: "raw-atomic-metric",
             severity: Severity::Deny,
-            summary: "no ad-hoc atomic counters in service/pool library code — metrics live in \
-                      service::telemetry",
-            applies: |p| {
-                (p.starts_with("crates/service/src/") && p != "crates/service/src/telemetry.rs")
-                    || p.starts_with("crates/pool/src/")
-            },
+            summary: "no ad-hoc atomic counters in library code — metric primitives live in \
+                      buddy_obs",
+            applies: |p| is_library_source(p) && !p.starts_with("crates/obs/src/"),
             check: check_raw_atomic_metric,
         },
     ]
@@ -337,11 +334,12 @@ fn declares_or_constructs(code: &str, ty: &str) -> bool {
 
 fn check_raw_atomic_metric(file: &SourceFile, out: &mut Vec<RawFinding>) {
     // Scattered per-module atomics are how a telemetry surface decays: each
-    // one invents its own reset/snapshot story and the `service-report`
-    // rows silently go stale. All service/pool metrics must go through
-    // `service::telemetry`'s `Counter`/`Gauge` (which own the memory-order
-    // and snapshot contracts); an atomic that is *not* a metric (e.g. an id
-    // source) is waived with that argument.
+    // one invents its own reset/snapshot story and the report rows silently
+    // go stale. All metrics must go through `buddy_obs`'s `Counter` /
+    // `Gauge` / `Histogram` (the one crate that owns the memory-order and
+    // snapshot contracts — `crates/obs/src/` is exempt from this rule); an
+    // atomic that is *not* a metric (e.g. an id source) is waived with that
+    // argument.
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test {
             continue;
@@ -351,9 +349,9 @@ fn check_raw_atomic_metric(file: &SourceFile, out: &mut Vec<RawFinding>) {
                 out.push(RawFinding {
                     line: idx + 1,
                     message: format!(
-                        "ad-hoc `{ty}` in service/pool library code — route metrics through \
-                         `service::telemetry` (`Counter`/`Gauge`), or waive with why this \
-                         atomic is not a metric"
+                        "ad-hoc `{ty}` in library code — route metrics through `buddy_obs` \
+                         (`Counter`/`Gauge`/`Histogram`), or waive with why this atomic is \
+                         not a metric"
                     ),
                 });
             }
@@ -515,17 +513,25 @@ mod tests {
     }
 
     #[test]
-    fn raw_atomic_scope_exempts_the_telemetry_module() {
+    fn raw_atomic_scope_exempts_only_the_obs_crate() {
         let rules = registry();
         let rule = rules
             .iter()
             .find(|r| r.id == "raw-atomic-metric")
             .expect("rule registered");
+        // Everything is in scope now that the primitives live in buddy_obs —
+        // including service::telemetry (which re-exports, no longer owns,
+        // the atomics) and the core crate.
         assert!((rule.applies)("crates/service/src/lib.rs"));
+        assert!((rule.applies)("crates/service/src/telemetry.rs"));
         assert!((rule.applies)("crates/service/src/loadgen.rs"));
         assert!((rule.applies)("crates/pool/src/lib.rs"));
-        assert!(!(rule.applies)("crates/service/src/telemetry.rs"));
-        assert!(!(rule.applies)("crates/core/src/device.rs"));
+        assert!((rule.applies)("crates/core/src/device.rs"));
+        assert!((rule.applies)("src/lib.rs"));
+        // The one home raw metric atomics are allowed: the obs crate itself.
+        assert!(!(rule.applies)("crates/obs/src/hist.rs"));
+        assert!(!(rule.applies)("crates/obs/src/metrics.rs"));
+        assert!(!(rule.applies)("crates/obs/src/trace.rs"));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! 8. [`buddy_service`] — the multi-tenant service layer over the pool:
 //!    per-tenant quotas, admission control (reject or demote down the
 //!    target-ratio ladder), ownership-checked generational handles,
-//!    lock-free telemetry, and an open-loop overload harness.
+//!    lock-free telemetry, and an open-loop overload harness,
+//! 9. [`buddy_obs`] — the observability layer: lock-free latency
+//!    histograms, the feature-gated (`obs-trace`) span tracer with
+//!    Chrome-trace export, and the metrics registry with
+//!    Prometheus-text rendering and time-series sampling.
 //!
 //! The glue items here ([`profile_benchmark`], [`BenchmarkLayout`],
 //! [`benchmark_requests`], [`run_performance_sim`]) connect a workload to
@@ -46,6 +50,7 @@
 
 pub use bpc;
 pub use buddy_core;
+pub use buddy_obs;
 pub use buddy_pool;
 pub use buddy_service;
 pub use dl_model;
