@@ -35,6 +35,8 @@ fn replay_once(shards: usize, clients: usize) {
         seed: 0xB0DD7,
         retarget_every: 0,
         churn_every: 0,
+        read_pct: None,
+        locked_reads: false,
     };
     let report = replay(&pool, AccessProfile::streaming_dl(), &cfg).expect("pool fits clients");
     criterion::black_box(report.entries_per_sec);

@@ -29,13 +29,14 @@ pub const BREAKDOWN_NAME: &str = "obs_breakdown";
 
 /// Columns of `obs_breakdown.csv`: one row per measured sweep cell, span
 /// time in milliseconds summed over every thread that ran in the cell.
-pub const BREAKDOWN_HEADER: [&str; 12] = [
+pub const BREAKDOWN_HEADER: [&str; 13] = [
     "source",
     "codec",
     "shards",
     "clients",
     "trace_enabled",
     "shard_lock_wait_ms",
+    "epoch_publish_ms",
     "codec_compress_ms",
     "codec_decompress_ms",
     "buddy_io_ms",
@@ -61,6 +62,7 @@ pub fn breakdown_row(
         clients.to_string(),
         trace::is_enabled().to_string(),
         ms(SpanKind::ShardLockWait),
+        ms(SpanKind::EpochPublish),
         ms(SpanKind::CodecCompress),
         ms(SpanKind::CodecDecompress),
         ms(SpanKind::BuddyIo),

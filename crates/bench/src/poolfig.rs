@@ -10,6 +10,13 @@
 //! plus the scaling factor against the 1-shard/1-client cell of the same
 //! codec.
 //!
+//! The sweep carries two kinds of cells. *Trace-mix* cells replay the
+//! profile's own read/write decisions; *read-heavy* cells force a 95/5
+//! read mix and run **twice** — once on the lock-free epoch-snapshot read
+//! path and once on the explicitly-locked mutex baseline
+//! (`read_entries_collect_locked`) — so the snapshot path's speedup is a
+//! CSV column, not a claim.
+//!
 //! Wall-clock scaling depends on the machine: with `P` hardware threads,
 //! the `min(shards, clients, P)` parallel compression streams are where the
 //! speedup comes from, so the summary prints the detected parallelism next
@@ -32,6 +39,56 @@ const TRACE_BENCH: &str = "356.sp";
 /// Entries per batched operation.
 const BATCH: usize = 64;
 
+/// Read percentage of the read-heavy cells: the serving regime the
+/// epoch-snapshot redesign targets (reads dominate, writes trickle).
+const READ_HEAVY_PCT: u8 = 95;
+
+/// One point of the sweep grid: the structural axes, the churn/retarget
+/// activity knobs, and the read-mix/read-path configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec {
+    /// Shard count of the pool under test.
+    pub shards: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Churn period in batches (`0` = off), forwarded to [`LoadgenConfig`].
+    pub churn_every: u64,
+    /// Re-targeting period in batches (`0` = off), forwarded likewise.
+    pub retarget_every: u64,
+    /// `None` replays the trace's own read/write mix; `Some(p)` forces a
+    /// deterministic `p`% read mix.
+    pub read_pct: Option<u8>,
+    /// Serve reads through the explicitly-locked mutex baseline instead of
+    /// the epoch-snapshot path (the before/after comparison axis).
+    pub locked_reads: bool,
+}
+
+impl CellSpec {
+    /// A trace-mix cell on the snapshot path.
+    const fn trace_mix(shards: usize, clients: usize, churn: u64, retarget: u64) -> Self {
+        Self {
+            shards,
+            clients,
+            churn_every: churn,
+            retarget_every: retarget,
+            read_pct: None,
+            locked_reads: false,
+        }
+    }
+
+    /// A 95/5 read-heavy cell on the chosen read path.
+    const fn read_heavy(shards: usize, clients: usize, locked: bool) -> Self {
+        Self {
+            shards,
+            clients,
+            churn_every: 0,
+            retarget_every: 0,
+            read_pct: Some(READ_HEAVY_PCT),
+            locked_reads: locked,
+        }
+    }
+}
+
 /// One measured cell of the sweep.
 pub struct Cell {
     /// Codec under test.
@@ -44,32 +101,27 @@ pub struct Cell {
     pub largest_free_region: u64,
 }
 
-/// Runs one (codec, shards, clients) cell: builds a pool sized to the
-/// clients' footprint and replays the trace through it. `churn_every` /
-/// `retarget_every` (0 = off) forward to [`LoadgenConfig`] so churn and
-/// migration activity show up in the measured columns.
-#[allow(clippy::too_many_arguments)] // sweep axes, called from one grid loop
+/// Runs one cell of the sweep: builds a pool sized to the clients'
+/// footprint and replays the trace through it with the spec's mix and
+/// read path.
 pub fn measure(
     codec: CodecKind,
-    shards: usize,
-    clients: usize,
+    spec: CellSpec,
     entries_per_client: u64,
     batches_per_client: u64,
     seed: u64,
-    churn_every: u64,
-    retarget_every: u64,
 ) -> Cell {
     let profile = by_name(TRACE_BENCH).expect("trace benchmark exists").access; // lint-allow(no-unwrap): the trace benchmark is compiled into the suite
                                                                                 // Size shards to the replay footprint (with 2× headroom) instead of a
                                                                                 // flat multi-MB capacity: the backing arrays are zero-initialized, and
                                                                                 // across a 24-cell sweep a fixed large capacity would spend more time
                                                                                 // in memset than in compression.
-    let clients_per_shard = clients.div_ceil(shards) as u64;
+    let clients_per_shard = spec.clients.div_ceil(spec.shards) as u64;
     let target = TargetRatio::R2;
     let device_need =
         clients_per_shard * entries_per_client * target.device_bytes_per_entry() as u64;
     let pool = BuddyPool::new(PoolConfig {
-        shards,
+        shards: spec.shards,
         shard_config: DeviceConfig {
             device_capacity: (device_need * 2).max(1 << 20),
             carve_out_factor: 3,
@@ -77,14 +129,16 @@ pub fn measure(
         codec,
     });
     let cfg = LoadgenConfig {
-        clients,
+        clients: spec.clients,
         batches_per_client,
         batch_entries: BATCH,
         entries_per_client,
         target,
         seed,
-        retarget_every,
-        churn_every,
+        retarget_every: spec.retarget_every,
+        churn_every: spec.churn_every,
+        read_pct: spec.read_pct,
+        locked_reads: spec.locked_reads,
     };
     let report = replay(&pool, profile, &cfg).expect("sized pool hosts every client"); // lint-allow(no-unwrap): the pool is sized with 2x headroom for every client
     Cell {
@@ -95,22 +149,35 @@ pub fn measure(
     }
 }
 
-/// The (shards, clients, churn_every, retarget_every) grid of one sweep.
-/// The final cell of each grid enables churn + retargeting so the
-/// `churn_cycles` / `retargets` / `fragmentation` columns exercise nonzero
-/// values in every run.
-fn grid(quick: bool) -> Vec<(usize, usize, u64, u64)> {
+/// The sweep grid: trace-mix scaling cells, one churn + retarget cell, then
+/// the read-heavy snapshot-vs-locked pairs. Each pair shares its shard and
+/// client counts so the two rows differ only in which read path served the
+/// 95% reads.
+fn grid(quick: bool) -> Vec<CellSpec> {
     if quick {
-        vec![(1, 1, 0, 0), (2, 2, 0, 0), (4, 4, 0, 0), (2, 2, 8, 4)]
+        vec![
+            CellSpec::trace_mix(1, 1, 0, 0),
+            CellSpec::trace_mix(2, 2, 0, 0),
+            CellSpec::trace_mix(4, 4, 0, 0),
+            CellSpec::trace_mix(2, 2, 8, 4),
+            CellSpec::read_heavy(4, 4, false),
+            CellSpec::read_heavy(4, 4, true),
+        ]
     } else {
         vec![
-            (1, 1, 0, 0),
-            (1, 4, 0, 0),
-            (2, 2, 0, 0),
-            (4, 1, 0, 0),
-            (4, 4, 0, 0),
-            (8, 8, 0, 0),
-            (4, 4, 8, 4),
+            CellSpec::trace_mix(1, 1, 0, 0),
+            CellSpec::trace_mix(1, 4, 0, 0),
+            CellSpec::trace_mix(2, 2, 0, 0),
+            CellSpec::trace_mix(4, 1, 0, 0),
+            CellSpec::trace_mix(4, 4, 0, 0),
+            CellSpec::trace_mix(8, 8, 0, 0),
+            CellSpec::trace_mix(4, 4, 8, 4),
+            CellSpec::read_heavy(4, 4, false),
+            CellSpec::read_heavy(4, 4, true),
+            CellSpec::read_heavy(4, 16, false),
+            CellSpec::read_heavy(4, 16, true),
+            CellSpec::read_heavy(4, 64, false),
+            CellSpec::read_heavy(4, 64, true),
         ]
     }
 }
@@ -131,7 +198,10 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
         "codec",
         "shards",
         "clients",
+        "read_pct",
+        "read_path",
         "entries",
+        "errored_batches",
         "elapsed_ms",
         "entries_per_s",
         "logical_gb_per_s",
@@ -158,42 +228,82 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut breakdown: Vec<Vec<String>> = Vec::new();
     let mut headline_scaling = None;
+    // (shards, clients) -> (snapshot entries/s, locked entries/s) for the
+    // default codec's read-heavy pairs.
+    let mut read_pairs: Vec<(usize, usize, Option<f64>, Option<f64>)> = Vec::new();
     for &codec in &codecs {
         let mut baseline = None;
-        for &(shards, clients, churn_every, retarget_every) in &grid(cfg.quick) {
-            let batches_per_client = (total_entries / (clients as u64 * BATCH as u64)).max(1);
+        for &spec in &grid(cfg.quick) {
+            let batches_per_client = (total_entries / (spec.clients as u64 * BATCH as u64)).max(1);
             let span_before = trace::totals();
             let cell = measure(
                 codec,
-                shards,
-                clients,
+                spec,
                 entries_per_client,
                 batches_per_client,
                 cfg.seed,
-                churn_every,
-                retarget_every,
             );
             let span_delta = trace::totals().since(&span_before);
             breakdown.push(breakdown_row(
                 "pool_throughput",
                 &codec.to_string(),
-                shards,
-                clients,
+                spec.shards,
+                spec.clients,
                 &span_delta,
             ));
             let r = &cell.report;
+            // Only churn can legitimately error a batch (a freed-and-
+            // reallocated handle racing a client); every other cell must
+            // complete every batch or the throughput columns lie.
+            if spec.churn_every == 0 {
+                assert_eq!(
+                    r.errored_batches, 0,
+                    "non-churn cell {spec:?} dropped batches"
+                );
+            }
             entries_counter.add(r.entries_processed);
             latency_metric.absorb(&r.latency_hist);
             let baseline_eps = *baseline.get_or_insert(r.entries_per_sec);
             let scaling = r.entries_per_sec / baseline_eps;
-            if codec == cfg.codec && shards >= 4 && clients >= 4 && churn_every == 0 {
+            if codec == cfg.codec
+                && spec.shards >= 4
+                && spec.clients >= 4
+                && spec.churn_every == 0
+                && spec.read_pct.is_none()
+            {
                 headline_scaling = Some(scaling);
+            }
+            if codec == cfg.codec && spec.read_pct.is_some() {
+                let entry = read_pairs
+                    .iter_mut()
+                    .find(|(s, c, _, _)| *s == spec.shards && *c == spec.clients);
+                let entry = match entry {
+                    Some(e) => e,
+                    None => {
+                        read_pairs.push((spec.shards, spec.clients, None, None));
+                        read_pairs.last_mut().expect("just pushed") // lint-allow(no-unwrap): just pushed
+                    }
+                };
+                if spec.locked_reads {
+                    entry.3 = Some(r.entries_per_sec);
+                } else {
+                    entry.2 = Some(r.entries_per_sec);
+                }
             }
             rows.push(vec![
                 codec.to_string(),
-                shards.to_string(),
-                clients.to_string(),
+                spec.shards.to_string(),
+                spec.clients.to_string(),
+                spec.read_pct
+                    .map_or_else(|| "trace".to_string(), |p| p.to_string()),
+                if spec.locked_reads {
+                    "locked"
+                } else {
+                    "snapshot"
+                }
+                .to_string(),
                 r.entries_processed.to_string(),
+                r.errored_batches.to_string(),
                 format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
                 format!("{:.0}", r.entries_per_sec),
                 f3(r.logical_gb_per_sec),
@@ -228,6 +338,16 @@ pub fn pool_throughput(cfg: &RunConfig) -> io::Result<()> {
         println!("  Parallel speedup tracks min(shards, clients, hardware threads); on a");
         println!("  single-core host the sweep still validates the concurrent data path.");
     }
+    for (shards, clients, snapshot, locked) in &read_pairs {
+        if let (Some(snap), Some(lock)) = (snapshot, locked) {
+            println!(
+                "  {} read-heavy ({READ_HEAVY_PCT}/5) {shards} shards x {clients} clients: \
+                 snapshot {snap:.0} entries/s vs locked {lock:.0} entries/s ({:.2}x)",
+                cfg.codec,
+                snap / lock
+            );
+        }
+    }
     write_csv(
         &cfg.results_dir,
         &cfg.tagged("pool_throughput"),
@@ -259,7 +379,7 @@ mod tests {
 
     #[test]
     fn measure_cell_is_consistent() {
-        let cell = measure(CodecKind::Bpc, 2, 2, 256, 16, 11, 0, 0);
+        let cell = measure(CodecKind::Bpc, CellSpec::trace_mix(2, 2, 0, 0), 256, 16, 11);
         let r = &cell.report;
         assert_eq!(r.shards, 2);
         assert_eq!(r.clients, 2);
@@ -267,6 +387,7 @@ mod tests {
         assert_eq!(r.stats.total_accesses(), r.entries_processed);
         assert!(r.entries_per_sec > 0.0);
         assert_eq!(r.churn_cycles, 0);
+        assert_eq!(r.errored_batches, 0);
         assert!((0.0..=1.0).contains(&cell.fragmentation));
         assert!(cell.largest_free_region > 0, "pool has 2x headroom free");
     }
@@ -275,10 +396,46 @@ mod tests {
     fn churn_and_retarget_activity_reaches_the_report() {
         // The grid's churn cell must produce nonzero churn/retarget columns;
         // this is the plumbing the CSV relies on.
-        let cell = measure(CodecKind::Bpc, 2, 2, 256, 16, 11, 8, 4);
+        let cell = measure(CodecKind::Bpc, CellSpec::trace_mix(2, 2, 8, 4), 256, 16, 11);
         let r = &cell.report;
         assert!(r.churn_cycles > 0, "churn_every=8 over 16 batches cycles");
         assert!(r.stats.retargets > 0, "retarget_every=4 migrates");
+    }
+
+    #[test]
+    fn read_heavy_pair_does_identical_work_on_both_paths() {
+        // The snapshot and locked rows of a read-heavy pair must replay
+        // the same deterministic operation stream — same traffic, zero
+        // errors — or the speedup column compares different work.
+        let snap = measure(
+            CodecKind::Bpc,
+            CellSpec::read_heavy(2, 2, false),
+            256,
+            16,
+            11,
+        );
+        let lock = measure(
+            CodecKind::Bpc,
+            CellSpec::read_heavy(2, 2, true),
+            256,
+            16,
+            11,
+        );
+        assert_eq!(
+            snap.report.stats.total_accesses(),
+            lock.report.stats.total_accesses()
+        );
+        assert_eq!(snap.report.entries_processed, lock.report.entries_processed);
+        assert_eq!(snap.report.errored_batches, 0);
+        assert_eq!(lock.report.errored_batches, 0);
+        // 95% reads: reads dominate writes in the merged stats.
+        let s = &snap.report.stats;
+        let reads = s.reads_device_only + s.reads_with_buddy;
+        let writes = s.writes_device_only + s.writes_with_buddy;
+        assert!(
+            reads > writes,
+            "read-heavy mix: {reads} reads vs {writes} writes"
+        );
     }
 
     #[test]
@@ -295,11 +452,28 @@ mod tests {
         let csv = std::fs::read_to_string(dir.join("pool_throughput.csv")).unwrap();
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
-        assert!(header.starts_with("codec,shards,clients,entries"));
-        for col in ["churn_cycles", "retargets", "fragmentation"] {
+        assert!(header.starts_with("codec,shards,clients,read_pct,read_path"));
+        for col in [
+            "errored_batches",
+            "churn_cycles",
+            "retargets",
+            "fragmentation",
+        ] {
             assert!(header.contains(col), "header is missing {col}");
         }
-        // Quick grid: (1,1), (2,2), (4,4) plus the churn cell, default codec.
-        assert_eq!(lines.count(), 4);
+        // Quick grid: (1,1), (2,2), (4,4), the churn cell, and the
+        // read-heavy snapshot/locked pair, default codec.
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.iter().filter(|r| r.contains(",95,")).count(), 2);
+        assert_eq!(rows.iter().filter(|r| r.contains(",locked,")).count(), 1);
+        // Non-churn rows completed every batch.
+        for row in &rows {
+            let errored = row.split(',').nth(6).unwrap();
+            let churn = row.split(',').nth(16).unwrap();
+            if churn == "0" {
+                assert_eq!(errored, "0", "non-churn row dropped batches: {row}");
+            }
+        }
     }
 }

@@ -271,9 +271,12 @@ impl DeviceAuditor {
         self.next_generation.insert(slot, next);
     }
 
-    /// Mirrors a successful `retarget`: the old device/buddy reservations
-    /// are swapped for the new ones; the metadata range and the generation
-    /// are unchanged (migration is not a free).
+    /// Mirrors a successful `retarget`: the old device/buddy/metadata
+    /// reservations are swapped for the new ones; the entry count and the
+    /// generation are unchanged (migration is not a free). The metadata
+    /// range moves because retarget re-encodes into a *fresh* metadata
+    /// region — an old-epoch reader must never pair new-layout nibbles
+    /// with old-layout bytes.
     pub fn record_retarget(&mut self, slot: u32, updated: ShadowAlloc) {
         let Some(old) = self.live.get(&slot).copied() else {
             // lint-allow(no-unwrap): the auditor's whole job is to abort on divergence
@@ -284,15 +287,17 @@ impl DeviceAuditor {
             "slot {slot}: retarget must not change the handle generation"
         );
         assert_eq!(
-            (old.entries, old.metadata_base),
-            (updated.entries, updated.metadata_base),
-            "slot {slot}: retarget must keep the entry count and metadata range"
+            old.entries, updated.entries,
+            "slot {slot}: retarget must keep the entry count"
         );
         self.device.release(old.device_base, old.device_len());
         self.buddy.release(old.buddy_base, old.buddy_len());
+        self.metadata.release(old.metadata_base, old.entries);
         self.device
             .reserve(updated.device_base, updated.device_len());
         self.buddy.reserve(updated.buddy_base, updated.buddy_len());
+        self.metadata
+            .reserve(updated.metadata_base, updated.entries);
         self.live.insert(slot, updated);
     }
 

@@ -10,13 +10,15 @@
 //! which `tests/no_movement.rs` verifies.
 
 use crate::adapt::StateWindow;
-use crate::metadata::{EntryState, Gbbr, MetadataStore};
+use crate::metadata::{EntryState, Gbbr};
 use crate::region::RegionAllocator;
+use crate::shared::{self, AllocView, RawSlot, SharedState};
 use crate::target::TargetRatio;
-use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
+use bpc::{CodecKind, CompressedBuf, Entry, ENTRY_BYTES};
 use buddy_obs::{trace, SpanKind};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// An entry's storage fingerprint: its `(offset, length)` byte range in
 /// device memory and in the buddy carve-out.
@@ -129,8 +131,8 @@ impl Error for DeviceError {}
 /// stale generation within any physically reachable churn volume).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AllocId {
-    slot: u32,
-    generation: u64,
+    pub(crate) slot: u32,
+    pub(crate) generation: u64,
 }
 
 /// Traffic counters for one device (sector granularity, matching the HBM2
@@ -195,6 +197,34 @@ impl AccessStats {
             + self.writes_device_only
             + self.writes_with_buddy
     }
+
+    /// The counters in a fixed field order, for the shared atomic mirror.
+    pub(crate) fn to_array(self) -> [u64; 8] {
+        [
+            self.reads_device_only,
+            self.reads_with_buddy,
+            self.writes_device_only,
+            self.writes_with_buddy,
+            self.device_sectors,
+            self.buddy_sectors,
+            self.retargets,
+            self.moved_sectors,
+        ]
+    }
+
+    /// Inverse of [`to_array`](Self::to_array).
+    pub(crate) fn from_array(a: [u64; 8]) -> Self {
+        Self {
+            reads_device_only: a[0],
+            reads_with_buddy: a[1],
+            writes_device_only: a[2],
+            writes_with_buddy: a[3],
+            device_sectors: a[4],
+            buddy_sectors: a[5],
+            retargets: a[6],
+            moved_sectors: a[7],
+        }
+    }
 }
 
 /// Outcome of one online re-targeting migration
@@ -235,41 +265,6 @@ struct Allocation {
 struct Slot {
     generation: u64,
     alloc: Option<Allocation>,
-}
-
-/// The `Copy`-able addressing facts of one allocation.
-///
-/// The access paths copy this small struct instead of cloning the whole
-/// [`Allocation`] (which would clone its `String` name on *every* entry
-/// read/write — the hot-path allocation this split removes).
-#[derive(Debug, Clone, Copy)]
-struct AllocView {
-    target: TargetRatio,
-    entries: u64,
-    /// Byte offset of this allocation's region in device memory.
-    device_base: u64,
-    /// Byte offset of this allocation's slots in the buddy carve-out.
-    buddy_base: u64,
-    /// Index of this allocation's first entry in the global metadata array.
-    metadata_base: u64,
-}
-
-impl AllocView {
-    fn device_stride(&self) -> u64 {
-        self.target.device_bytes_per_entry() as u64
-    }
-
-    fn buddy_stride(&self) -> u64 {
-        self.target.buddy_bytes_per_entry() as u64
-    }
-
-    fn device_offset(&self, index: u64) -> u64 {
-        self.device_base + index * self.device_stride()
-    }
-
-    fn buddy_offset(&self, index: u64) -> u64 {
-        self.buddy_base + index * self.buddy_stride()
-    }
 }
 
 /// Configuration of a Buddy-Compression device.
@@ -330,16 +325,18 @@ impl Default for DeviceConfig {
 /// assert_eq!(out, [entry, entry]);
 /// # Ok::<(), buddy_core::DeviceError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BuddyDevice {
-    codec: CodecKind,
     /// Reusable compression scratch: the write paths encode into this, so
     /// steady-state entry writes perform no heap allocation.
     scratch: CompressedBuf,
     config: DeviceConfig,
-    device: Vec<u8>,
-    buddy: Vec<u8>,
-    metadata: MetadataStore,
+    /// The epoch-published half: storage bytes, metadata nibbles and the
+    /// per-slot addressing seqlocks, shared with every [`DeviceHandle`].
+    /// The `&mut self` paths and the lock-free handle paths run the same
+    /// engine against this state, so the two are equivalent by
+    /// construction.
+    shared: Arc<SharedState>,
     gbbr: Gbbr,
     /// Allocation slot map; freed slots are recycled through `free_slots`
     /// with their generation bumped, so stale [`AllocId`]s stay dead.
@@ -353,7 +350,6 @@ pub struct BuddyDevice {
     device_region: RegionAllocator,
     buddy_region: RegionAllocator,
     metadata_region: RegionAllocator,
-    stats: AccessStats,
     /// Shadow-state mirror (`--features audit`): independently tracks every
     /// reservation and revalidates structural invariants after each
     /// mutating operation, aborting at the mutation that diverges.
@@ -361,14 +357,35 @@ pub struct BuddyDevice {
     auditor: crate::audit::DeviceAuditor,
 }
 
-// The device owns all of its storage (plain `Vec`s and POD bookkeeping, no
-// interior mutability or shared handles), so it can be moved into worker
-// threads or wrapped in a `Mutex` — the `buddy-pool` crate shards exactly
-// this way. Checked at compile time so a future field cannot silently cost
-// the pool its thread-safety.
+/// A lock-free entry-I/O handle onto one device's published state.
+///
+/// Cloned from [`BuddyDevice::handle`] and freely shareable across
+/// threads, a handle performs entry reads and writes, state scans and
+/// traffic accounting against the device's epoch-published allocation
+/// table **without ever taking the device's (or, in a pool, the shard's)
+/// lock**. Structural operations — `alloc`/`free`/`retarget` — still
+/// require `&mut BuddyDevice` and publish a new epoch; a handle racing
+/// such an operation observes the old epoch in full, the new epoch in
+/// full, or [`DeviceError::BadAllocation`] for a freed slot — never a
+/// blend (the per-slot seqlock forces a retry instead).
+///
+/// Entry *writes* through a handle serialize per allocation on the slot's
+/// write lock; writes to different allocations proceed in parallel.
+#[derive(Debug, Clone)]
+pub struct DeviceHandle {
+    shared: Arc<SharedState>,
+}
+
+// The device owns its mutable bookkeeping (plain `Vec`s and POD fields)
+// and shares the published half through `Arc<SharedState>` (atomics +
+// per-slot seqlocks), so both it and its handles can move across worker
+// threads — the `buddy-pool` crate shards exactly this way. Checked at
+// compile time so a future field cannot silently cost the pool its
+// thread-safety.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<BuddyDevice>();
+    assert_send_sync::<DeviceHandle>();
     assert_send_sync::<AccessStats>();
     assert_send_sync::<DeviceError>();
     assert_send_sync::<AllocId>();
@@ -397,12 +414,14 @@ impl BuddyDevice {
             .expect("device_capacity x carve_out_factor overflows u64"); // lint-allow(no-unwrap): the overflow check is this constructor's documented panic contract
         let metadata_entries = config.device_capacity / 8; // worst case: 16x entries
         Self {
-            codec,
             scratch: CompressedBuf::with_capacity(ENTRY_BYTES + ENTRY_BYTES / 4),
             config,
-            device: vec![0u8; config.device_capacity as usize],
-            buddy: vec![0u8; buddy_capacity as usize],
-            metadata: MetadataStore::new(metadata_entries),
+            shared: Arc::new(SharedState::new(
+                codec,
+                config.device_capacity,
+                buddy_capacity,
+                metadata_entries,
+            )),
             gbbr: Gbbr(0),
             slots: Vec::new(),
             free_slots: Vec::new(),
@@ -410,10 +429,25 @@ impl BuddyDevice {
             device_region: RegionAllocator::new(config.device_capacity),
             buddy_region: RegionAllocator::new(buddy_capacity),
             metadata_region: RegionAllocator::new(metadata_entries),
-            stats: AccessStats::default(),
             #[cfg(feature = "audit")]
             auditor: crate::audit::DeviceAuditor::new(),
         }
+    }
+
+    /// A lock-free [`DeviceHandle`] onto this device's published state.
+    /// Handles stay valid for the device's lifetime (operations on
+    /// allocations freed later return [`DeviceError::BadAllocation`]).
+    pub fn handle(&self) -> DeviceHandle {
+        DeviceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until every [`DeviceHandle`] operation that was in flight
+    /// when this call started has completed — the quiescence barrier the
+    /// pool's `drain()` extends over lock-free snapshot readers.
+    pub fn quiesce_handles(&self) {
+        self.shared.wait_quiescent();
     }
 
     /// Revalidates the shadow mirror against all three region allocators.
@@ -428,7 +462,7 @@ impl BuddyDevice {
 
     /// The codec this device compresses with.
     pub fn codec(&self) -> CodecKind {
-        self.codec
+        self.shared.codec()
     }
 
     /// The device configuration.
@@ -520,12 +554,12 @@ impl BuddyDevice {
     ///
     /// [`reset_stats`]: Self::reset_stats
     pub fn stats(&self) -> AccessStats {
-        self.stats
+        self.shared.stats.snapshot()
     }
 
     /// Clears the traffic counters.
     pub fn reset_stats(&mut self) {
-        self.stats = AccessStats::default();
+        self.shared.stats.reset();
     }
 
     /// Allocates `entries` 128 B memory-entries with the given target ratio.
@@ -578,22 +612,10 @@ impl BuddyDevice {
                 available: self.buddy_region.largest_free(),
             });
         };
-        let metadata_base = match self.metadata_region.alloc(entries) {
-            Some(base) => base,
-            None => {
-                // Grow the metadata region (functional model only; the 0.4%
-                // overhead accounting is reported separately).
-                let grown = (self.metadata_region.capacity() + entries).next_power_of_two();
-                self.metadata.grow(grown);
-                self.metadata_region.grow(grown);
-                self.metadata_region
-                    .alloc(entries)
-                    .expect("grown metadata region hosts the request") // lint-allow(no-unwrap): the region was just grown past the request
-            }
-        };
+        let metadata_base = self.alloc_metadata(entries);
         // A recycled metadata range may hold a dead allocation's states;
         // fresh entries must read as zero.
-        self.metadata.clear_range(metadata_base, entries);
+        self.shared.metadata.clear_range(metadata_base, entries);
 
         let slot = match self.free_slots.pop() {
             Some(slot) => slot,
@@ -607,18 +629,24 @@ impl BuddyDevice {
         };
         let seq = self.alloc_seq;
         self.alloc_seq += 1;
+        let view = AllocView {
+            target,
+            entries,
+            device_base,
+            buddy_base,
+            metadata_base,
+        };
         self.slots[slot as usize].alloc = Some(Allocation {
             name: name.to_owned(),
             seq,
-            view: AllocView {
-                target,
-                entries,
-                device_base,
-                buddy_base,
-                metadata_base,
-            },
+            view,
         });
         let generation = self.slots[slot as usize].generation;
+        // Publish the new epoch: from here on lock-free handles resolve
+        // this id against the freshly-cleared regions.
+        self.shared.slots.ensure(slot);
+        self.shared
+            .publish(slot, RawSlot::from_view(generation, &view));
         #[cfg(feature = "audit")]
         {
             self.auditor.record_alloc(
@@ -652,7 +680,14 @@ impl BuddyDevice {
         let slot = &mut self.slots[id.slot as usize];
         slot.alloc = None;
         slot.generation = slot.generation.wrapping_add(1);
+        let new_generation = slot.generation;
         self.free_slots.push(id.slot);
+        // Publish the tombstone epoch *before* the regions return to the
+        // free lists: a lock-free reader that raced this free either fails
+        // its final sequence check (and retries into `BadAllocation`) or
+        // started after the publication and never resolves the id — so
+        // reused bytes can never reach a caller under the stale handle.
+        self.shared.publish(id.slot, RawSlot::dead(new_generation));
         self.device_region
             .free(view.device_base, view.entries * view.device_stride());
         self.buddy_region
@@ -664,6 +699,26 @@ impl BuddyDevice {
             self.audit_check();
         }
         Ok(())
+    }
+
+    /// Places `entries` metadata entries, growing the metadata region (and
+    /// publishing the matching nibble chunks) when the current capacity
+    /// cannot host them. Growth is additive — published chunks never move,
+    /// so concurrent snapshot readers are unaffected.
+    fn alloc_metadata(&mut self, entries: u64) -> u64 {
+        match self.metadata_region.alloc(entries) {
+            Some(base) => base,
+            None => {
+                // Grow the metadata region (functional model only; the 0.4%
+                // overhead accounting is reported separately).
+                let grown = (self.metadata_region.capacity() + entries).next_power_of_two();
+                self.shared.metadata.ensure(grown);
+                self.metadata_region.grow(grown);
+                self.metadata_region
+                    .alloc(entries)
+                    .expect("grown metadata region hosts the request") // lint-allow(no-unwrap): the region was just grown past the request
+            }
+        }
     }
 
     /// [`free`](Self::free) addressed by allocation name (the most recently
@@ -695,28 +750,6 @@ impl BuddyDevice {
         self.resolve(id).map(|a| a.view)
     }
 
-    fn check_index(view: &AllocView, index: u64) -> Result<(), DeviceError> {
-        if index >= view.entries {
-            Err(DeviceError::BadIndex {
-                index,
-                entries: view.entries,
-            })
-        } else {
-            Ok(())
-        }
-    }
-
-    /// Checks that `[start, start + len)` lies inside the allocation.
-    fn check_range(view: &AllocView, start: u64, len: u64) -> Result<(), DeviceError> {
-        match start.checked_add(len) {
-            Some(end) if end <= view.entries => Ok(()),
-            _ => Err(DeviceError::BadIndex {
-                index: start.saturating_add(len.saturating_sub(1)),
-                entries: view.entries,
-            }),
-        }
-    }
-
     /// Name and target of an allocation (for reports).
     pub fn allocation_info(&self, id: AllocId) -> Result<(&str, TargetRatio, u64), DeviceError> {
         let a = self.resolve(id)?;
@@ -738,14 +771,8 @@ impl BuddyDevice {
         index: u64,
         entry: &Entry,
     ) -> Result<EntryState, DeviceError> {
-        let view = self.view(id)?;
-        Self::check_index(&view, index)?;
-        // Detach the scratch buffer so the store paths can borrow `self`.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let state = self.write_one(&view, index, entry, &mut scratch);
-        self.scratch = scratch;
-        Self::record_write(&mut self.stats, view.target, state);
-        Ok(state)
+        self.shared
+            .write_single(id, index, entry, &mut self.scratch)
     }
 
     /// Writes a contiguous run of entries starting at `start`, reusing one
@@ -787,68 +814,15 @@ impl BuddyDevice {
         start: u64,
         entries: &[Entry],
     ) -> Result<AccessStats, DeviceError> {
-        let view = self.view(id)?;
-        Self::check_range(&view, start, entries.len() as u64)?;
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut stats = AccessStats::default();
-        for (i, entry) in entries.iter().enumerate() {
-            let state = self.write_one(&view, start + i as u64, entry, &mut scratch);
-            Self::record_write(&mut stats, view.target, state);
-        }
-        self.scratch = scratch;
-        self.stats.merge(&stats);
+        let stats = self
+            .shared
+            .write_batch(id, start, entries, &mut self.scratch)?;
         // Entry writes must never move reservations — the design's fixed
         // buddy-offset invariant — so the mirror needs no update, only a
         // revalidation.
         #[cfg(feature = "audit")]
         self.audit_check();
         Ok(stats)
-    }
-
-    /// Compresses and stores one entry; the caller records traffic.
-    fn write_one(
-        &mut self,
-        view: &AllocView,
-        index: u64,
-        entry: &Entry,
-        scratch: &mut CompressedBuf,
-    ) -> EntryState {
-        let state = if entry.iter().all(|&b| b == 0) {
-            EntryState::Zero
-        } else {
-            let compress_span = trace::span(SpanKind::CodecCompress);
-            self.codec.compress_into(entry, scratch);
-            drop(compress_span);
-            match view.target {
-                TargetRatio::ZeroPage16 => {
-                    if scratch.bytes() <= 8 {
-                        self.store_zero_page(view, index, scratch.data());
-                        EntryState::ZeroPageFit
-                    } else {
-                        self.store_zero_page_overflow(view, index, entry);
-                        EntryState::ZeroPageOverflow
-                    }
-                }
-                _ => {
-                    let class = scratch.size_class();
-                    if class == SizeClass::B128 {
-                        // Incompressible: store the raw entry across the
-                        // four sectors.
-                        self.store_sectors(view, index, entry, 4);
-                        EntryState::Compressed { sectors: 4 }
-                    } else {
-                        let sectors = class.sectors().max(1);
-                        let mut padded = [0u8; ENTRY_BYTES];
-                        padded[..scratch.data().len()].copy_from_slice(scratch.data());
-                        self.store_sectors(view, index, &padded, sectors);
-                        EntryState::Compressed { sectors }
-                    }
-                }
-            }
-        };
-
-        self.metadata.set(view.metadata_base + index, state);
-        state
     }
 
     /// Reads one 128 B entry, decompressing from device and (if the entry
@@ -859,11 +833,9 @@ impl BuddyDevice {
     /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
     /// for invalid handles.
     pub fn read_entry(&mut self, id: AllocId, index: u64) -> Result<Entry, DeviceError> {
-        let view = self.view(id)?;
-        Self::check_index(&view, index)?;
         let mut out = [0u8; ENTRY_BYTES];
-        let state = self.read_one(&view, index, &mut out);
-        Self::record_read(&mut self.stats, view.target, state);
+        self.shared
+            .read_batch(id, index, std::slice::from_mut(&mut out))?;
         Ok(out)
     }
 
@@ -898,58 +870,19 @@ impl BuddyDevice {
         start: u64,
         out: &mut [Entry],
     ) -> Result<AccessStats, DeviceError> {
-        let view = self.view(id)?;
-        Self::check_range(&view, start, out.len() as u64)?;
-        let mut stats = AccessStats::default();
-        for (i, slot) in out.iter_mut().enumerate() {
-            let state = self.read_one(&view, start + i as u64, slot);
-            Self::record_read(&mut stats, view.target, state);
-        }
-        self.stats.merge(&stats);
-        Ok(stats)
-    }
-
-    /// Loads and decompresses one entry into `out`; the caller records
-    /// traffic. Uses only stack buffers — reads never touch the heap.
-    fn read_one(&self, view: &AllocView, index: u64, out: &mut Entry) -> EntryState {
-        let state = self.metadata.get(view.metadata_base + index);
-        match state {
-            EntryState::Zero => *out = [0u8; ENTRY_BYTES],
-            EntryState::ZeroPageFit => {
-                let off = view.device_offset(index) as usize;
-                self.decode(&self.device[off..off + 8], out);
-            }
-            EntryState::ZeroPageOverflow => {
-                let off = view.buddy_offset(index) as usize;
-                out.copy_from_slice(&self.buddy[off..off + ENTRY_BYTES]);
-            }
-            EntryState::Compressed { sectors } => {
-                let total = sectors as usize * SECTOR_BYTES;
-                let mut data = [0u8; ENTRY_BYTES];
-                self.load_sectors(view, index, sectors, &mut data[..total]);
-                if sectors == 4 {
-                    // Raw storage.
-                    out.copy_from_slice(&data);
-                } else {
-                    self.decode(&data[..total], out);
-                }
-            }
-        }
-        state
+        self.shared.read_batch(id, start, out)
     }
 
     /// Per-entry state without touching traffic counters (for analysis).
     pub fn entry_state(&self, id: AllocId, index: u64) -> Result<EntryState, DeviceError> {
-        let view = self.view(id)?;
-        Self::check_index(&view, index)?;
-        Ok(self.metadata.get(view.metadata_base + index))
+        self.shared.entry_state(id, index)
     }
 
     /// Raw storage fingerprint of an entry: the device and buddy byte ranges
     /// it owns. Used by tests to prove that writes never move other entries.
     pub fn storage_ranges(&self, id: AllocId, index: u64) -> Result<StorageRanges, DeviceError> {
         let view = self.view(id)?;
-        Self::check_index(&view, index)?;
+        shared::check_index(&view, index)?;
         Ok((
             (view.device_offset(index), view.device_stride()),
             (view.buddy_offset(index), view.buddy_stride()),
@@ -1024,43 +957,73 @@ impl BuddyDevice {
             .checked_mul(new_target.buddy_bytes_per_entry() as u64)
             .ok_or(DeviceError::RequestOverflow)?;
 
-        // 1. Decode the allocation's live contents through the old layout.
-        //    (Functional model: the real design would stream this through
-        //    the compression pipeline sector by sector.) No entry-access
-        //    traffic is recorded — migration cost is `moved_sectors`.
-        //    Nothing is mutated yet: a failed placement below leaves the
-        //    device byte-for-byte as it was.
-        let mut contents = vec![[0u8; ENTRY_BYTES]; entries as usize];
-        for (i, slot) in contents.iter_mut().enumerate() {
-            self.read_one(&view, i as u64, slot);
-        }
+        // The whole migration runs inside the slot's publication window
+        // (`SharedState::republish`): entry writers are parked on the slot
+        // write lock and concurrent snapshot readers spin until the new
+        // epoch is published — required because on a tight device the new
+        // regions may overlap the old bytes, so the old epoch stops being
+        // readable the moment re-encoding starts.
+        let published = Arc::clone(&self.shared);
+        let (moved_sectors, new_view) = published.republish(id.slot, || {
+            // 1. Decode the allocation's live contents through the old
+            //    layout. (Functional model: the real design would stream
+            //    this through the compression pipeline sector by sector.)
+            //    No entry-access traffic is recorded — migration cost is
+            //    `moved_sectors`. Nothing is mutated yet: a failed
+            //    placement below leaves the device byte-for-byte as it was.
+            let mut contents = vec![[0u8; ENTRY_BYTES]; entries as usize];
+            for (i, slot) in contents.iter_mut().enumerate() {
+                if published.read_one(&view, i as u64, slot).is_err() {
+                    unreachable!("own streams decode: entry writers are parked on the write lock");
+                }
+            }
 
-        // 2. Place the new reservations on the allocator.
-        let (device_base, buddy_base) =
-            self.place_retarget_regions(&view, (old_device, old_buddy), (new_device, new_buddy))?;
-        let alloc = self.slots[id.slot as usize]
-            .alloc
-            .as_mut()
-            .expect("validated live slot"); // lint-allow(no-unwrap): slot liveness was validated at the top of retarget
-        alloc.view.target = new_target;
-        alloc.view.device_base = device_base;
-        alloc.view.buddy_base = buddy_base;
-        let new_view = alloc.view;
+            // 2. Place the new reservations on the allocator, plus a fresh
+            //    metadata range — the published metadata base moves with
+            //    the epoch, so a failed placement leaves the old nibbles
+            //    untouched.
+            let (device_base, buddy_base) = self.place_retarget_regions(
+                &view,
+                (old_device, old_buddy),
+                (new_device, new_buddy),
+            )?;
+            let metadata_base = self.alloc_metadata(entries);
+            published.metadata.clear_range(metadata_base, entries);
+            let new_view = AllocView {
+                target: new_target,
+                entries,
+                device_base,
+                buddy_base,
+                metadata_base,
+            };
 
-        // 3. Re-encode every entry under the new target (metadata entries
-        //    are per-entry, so the metadata region is untouched and keeps
-        //    its base).
-        let mut moved_sectors = 0u64;
-        let mut scratch = std::mem::take(&mut self.scratch);
-        for (i, entry) in contents.iter().enumerate() {
-            let state = self.write_one(&new_view, i as u64, entry, &mut scratch);
-            moved_sectors += Self::device_sectors_of(new_target, state)
-                + Self::buddy_sectors_of(new_target, state);
-        }
-        self.scratch = scratch;
+            // 3. Re-encode every entry under the new target.
+            let mut moved_sectors = 0u64;
+            for (i, entry) in contents.iter().enumerate() {
+                let state = published.write_one(&new_view, i as u64, entry, &mut self.scratch);
+                moved_sectors += shared::device_sectors_of(new_target, state)
+                    + shared::buddy_sectors_of(new_target, state);
+            }
 
-        self.stats.retargets += 1;
-        self.stats.moved_sectors += moved_sectors;
+            // 4. Update the mutable half and hand the new epoch back for
+            //    publication.
+            self.metadata_region.free(view.metadata_base, entries);
+            let alloc = self.slots[id.slot as usize]
+                .alloc
+                .as_mut()
+                .expect("validated live slot"); // lint-allow(no-unwrap): slot liveness was validated at the top of retarget
+            alloc.view = new_view;
+            Ok((
+                RawSlot::from_view(id.generation, &new_view),
+                (moved_sectors, new_view),
+            ))
+        })?;
+
+        self.shared.stats.add(&AccessStats {
+            retargets: 1,
+            moved_sectors,
+            ..AccessStats::default()
+        });
         #[cfg(feature = "audit")]
         {
             self.auditor.record_retarget(
@@ -1069,13 +1032,15 @@ impl BuddyDevice {
                     generation: id.generation,
                     target: new_target,
                     entries,
-                    device_base,
-                    buddy_base,
+                    device_base: new_view.device_base,
+                    buddy_base: new_view.buddy_base,
                     metadata_base: new_view.metadata_base,
                 },
             );
             self.audit_check();
         }
+        #[cfg(not(feature = "audit"))]
+        let _ = new_view;
         Ok(RetargetReport {
             old_target,
             new_target,
@@ -1161,12 +1126,7 @@ impl BuddyDevice {
     ///
     /// Returns [`DeviceError::BadAllocation`] for invalid handles.
     pub fn state_window(&self, id: AllocId) -> Result<StateWindow, DeviceError> {
-        let view = self.view(id)?;
-        let mut window = StateWindow::new();
-        for i in 0..view.entries {
-            window.observe(self.metadata.get(view.metadata_base + i));
-        }
-        Ok(window)
+        self.shared.state_window(id)
     }
 
     /// Handles of every live allocation, in creation order (for policy
@@ -1187,99 +1147,146 @@ impl BuddyDevice {
         live.sort_unstable_by_key(|&(seq, _)| seq);
         live.into_iter().map(|(_, id)| id).collect()
     }
+}
 
-    /// Decodes a stored stream through the owning codec. Trailing padding
-    /// from sector alignment is ignored by every decoder.
-    fn decode(&self, data: &[u8], out: &mut Entry) {
-        let _span = trace::span(SpanKind::CodecDecompress);
-        self.codec
-            .decompress_into(data, data.len() * 8, out)
-            .expect("stored streams always decode: write path produced them"); // lint-allow(no-unwrap): the write path produced every stored stream
+impl DeviceHandle {
+    /// The codec the shared device compresses with.
+    pub fn codec(&self) -> CodecKind {
+        self.shared.codec()
     }
 
-    fn store_zero_page(&mut self, view: &AllocView, index: u64, data: &[u8]) {
-        let off = view.device_offset(index) as usize;
-        self.device[off..off + 8].fill(0);
-        self.device[off..off + data.len()].copy_from_slice(data);
+    /// The device's publication epoch: one tick per structural operation
+    /// (`alloc`/`free`/`retarget`) published since the device was created.
+    /// Monotonic; useful for asserting that a batch of reads landed inside
+    /// one epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
     }
 
-    fn store_zero_page_overflow(&mut self, view: &AllocView, index: u64, entry: &Entry) {
-        let _span = trace::span(SpanKind::BuddyIo);
-        let off = view.buddy_offset(index) as usize;
-        self.buddy[off..off + ENTRY_BYTES].copy_from_slice(entry);
+    /// Lock-free [`BuddyDevice::read_entry`]: resolves `id` against the
+    /// current published epoch without taking any device-wide lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// for invalid handles; a handle racing a `free` observes
+    /// [`DeviceError::BadAllocation`] once the tombstone epoch publishes.
+    pub fn read_entry(&self, id: AllocId, index: u64) -> Result<Entry, DeviceError> {
+        let _op = self.shared.enter_op();
+        let mut out = [0u8; ENTRY_BYTES];
+        self.shared
+            .read_batch(id, index, std::slice::from_mut(&mut out))?;
+        Ok(out)
     }
 
-    /// Stores `sectors` sectors of `data`, the first `device_sectors` in
-    /// device memory and the remainder in the entry's buddy slot.
-    fn store_sectors(&mut self, view: &AllocView, index: u64, data: &[u8], sectors: u8) {
-        let _span = trace::span(SpanKind::BuddyIo);
-        let device_sectors = view.target.device_sectors().min(sectors);
-        let split = device_sectors as usize * SECTOR_BYTES;
-        let device_off = view.device_offset(index) as usize;
-        self.device[device_off..device_off + split].copy_from_slice(&data[..split]);
-        if (sectors as usize) * SECTOR_BYTES > split {
-            let buddy_off = view.buddy_offset(index) as usize;
-            let rest = &data[split..sectors as usize * SECTOR_BYTES];
-            self.buddy[buddy_off..buddy_off + rest.len()].copy_from_slice(rest);
-        }
+    /// Lock-free [`BuddyDevice::read_entries`]: the whole batch resolves
+    /// against one consistent epoch (old or new around any racing
+    /// structural operation, never a blend).
+    ///
+    /// # Errors
+    ///
+    /// As [`read_entry`](Self::read_entry); on error `out` may hold
+    /// partially-read bytes from an abandoned attempt, but the call
+    /// reports the failure.
+    pub fn read_entries(
+        &self,
+        id: AllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<(), DeviceError> {
+        self.read_entries_collect(id, start, out).map(|_| ())
     }
 
-    /// Gathers an entry's sectors into `out` (device-resident first, then
-    /// any buddy overflow). `out` must be exactly `sectors × 32` bytes.
-    fn load_sectors(&self, view: &AllocView, index: u64, sectors: u8, out: &mut [u8]) {
-        let _span = trace::span(SpanKind::BuddyIo);
-        let device_sectors = view.target.device_sectors().min(sectors);
-        let split = device_sectors as usize * SECTOR_BYTES;
-        let total = sectors as usize * SECTOR_BYTES;
-        debug_assert_eq!(out.len(), total);
-        let device_off = view.device_offset(index) as usize;
-        out[..split].copy_from_slice(&self.device[device_off..device_off + split]);
-        if total > split {
-            let buddy_off = view.buddy_offset(index) as usize;
-            out[split..total].copy_from_slice(&self.buddy[buddy_off..buddy_off + (total - split)]);
-        }
+    /// [`read_entries`](Self::read_entries), additionally returning the
+    /// traffic this batch generated (also folded into the shared
+    /// [`BuddyDevice::stats`] counters).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`read_entries`](Self::read_entries).
+    pub fn read_entries_collect(
+        &self,
+        id: AllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<AccessStats, DeviceError> {
+        let _op = self.shared.enter_op();
+        self.shared.read_batch(id, start, out)
     }
 
-    fn buddy_sectors_of(target: TargetRatio, state: EntryState) -> u64 {
-        match state {
-            EntryState::Zero | EntryState::ZeroPageFit => 0,
-            EntryState::ZeroPageOverflow => 4,
-            EntryState::Compressed { sectors } => {
-                sectors.saturating_sub(target.device_sectors()) as u64
-            }
-        }
+    /// [`BuddyDevice::write_entry`] through the handle: serializes on the
+    /// allocation's write lock only — writes to other allocations and all
+    /// reads proceed concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// for invalid handles.
+    pub fn write_entry(
+        &self,
+        id: AllocId,
+        index: u64,
+        entry: &Entry,
+    ) -> Result<EntryState, DeviceError> {
+        let _op = self.shared.enter_op();
+        let mut scratch = CompressedBuf::with_capacity(ENTRY_BYTES + ENTRY_BYTES / 4);
+        self.shared.write_single(id, index, entry, &mut scratch)
     }
 
-    fn device_sectors_of(target: TargetRatio, state: EntryState) -> u64 {
-        match state {
-            EntryState::Zero => 0,
-            // The 8 B granule still costs one sector access.
-            EntryState::ZeroPageFit => 1,
-            EntryState::ZeroPageOverflow => 0,
-            EntryState::Compressed { sectors } => sectors.min(target.device_sectors()) as u64,
-        }
+    /// [`BuddyDevice::write_entries`] through the handle (one compression
+    /// buffer per batch; per-allocation write lock, no device-wide lock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// (the latter if the run extends past the allocation); on error no
+    /// entry is written.
+    pub fn write_entries(
+        &self,
+        id: AllocId,
+        start: u64,
+        entries: &[Entry],
+    ) -> Result<(), DeviceError> {
+        self.write_entries_collect(id, start, entries).map(|_| ())
     }
 
-    fn record_read(stats: &mut AccessStats, target: TargetRatio, state: EntryState) {
-        let buddy = Self::buddy_sectors_of(target, state);
-        stats.device_sectors += Self::device_sectors_of(target, state);
-        stats.buddy_sectors += buddy;
-        if buddy > 0 {
-            stats.reads_with_buddy += 1;
-        } else {
-            stats.reads_device_only += 1;
-        }
+    /// [`write_entries`](Self::write_entries), additionally returning the
+    /// traffic this batch generated.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`write_entries`](Self::write_entries).
+    pub fn write_entries_collect(
+        &self,
+        id: AllocId,
+        start: u64,
+        entries: &[Entry],
+    ) -> Result<AccessStats, DeviceError> {
+        let _op = self.shared.enter_op();
+        let mut scratch = CompressedBuf::with_capacity(ENTRY_BYTES + ENTRY_BYTES / 4);
+        self.shared.write_batch(id, start, entries, &mut scratch)
     }
 
-    fn record_write(stats: &mut AccessStats, target: TargetRatio, state: EntryState) {
-        let buddy = Self::buddy_sectors_of(target, state);
-        stats.device_sectors += Self::device_sectors_of(target, state);
-        stats.buddy_sectors += buddy;
-        if buddy > 0 {
-            stats.writes_with_buddy += 1;
-        } else {
-            stats.writes_device_only += 1;
-        }
+    /// Lock-free [`BuddyDevice::entry_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] / [`DeviceError::BadIndex`]
+    /// for invalid handles.
+    pub fn entry_state(&self, id: AllocId, index: u64) -> Result<EntryState, DeviceError> {
+        let _op = self.shared.enter_op();
+        self.shared.entry_state(id, index)
+    }
+
+    /// Lock-free [`BuddyDevice::state_window`]: the scan observes one
+    /// consistent epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadAllocation`] for invalid handles.
+    pub fn state_window(&self, id: AllocId) -> Result<StateWindow, DeviceError> {
+        let _op = self.shared.enter_op();
+        self.shared.state_window(id)
     }
 }
 

@@ -65,11 +65,13 @@ pub mod device;
 pub mod metadata;
 pub mod profile;
 pub mod region;
+mod shared;
 pub mod target;
 
 pub use adapt::{AdaptConfig, RetargetPolicy, StateWindow};
 pub use device::{
-    AccessStats, AllocId, BuddyDevice, DeviceConfig, DeviceError, RetargetReport, StorageRanges,
+    AccessStats, AllocId, BuddyDevice, DeviceConfig, DeviceError, DeviceHandle, RetargetReport,
+    StorageRanges,
 };
 pub use metadata::{EntryState, Gbbr, MetadataStore, ENTRIES_PER_METADATA_LINE};
 pub use profile::{

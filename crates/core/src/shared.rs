@@ -1,0 +1,1146 @@
+//! The epoch-published half of a [`BuddyDevice`](crate::device::BuddyDevice):
+//! storage and per-slot addressing state that concurrent readers resolve
+//! against a consistent snapshot without taking any device-wide lock.
+//!
+//! # Split
+//!
+//! A device's state is split into two halves:
+//!
+//! * The **mutable half** stays inside `BuddyDevice` behind `&mut self`
+//!   (region allocators, free-slot stack, allocation names) — only the
+//!   structural operations `alloc`/`free`/`retarget` touch it, and the
+//!   pool keeps serializing those behind the shard mutex.
+//! * The **published half** lives here, in one [`SharedState`] per device,
+//!   reachable through `Arc` from both the device and any number of
+//!   [`DeviceHandle`](crate::device::DeviceHandle)s: the data arrays as
+//!   atomic words, the per-entry metadata nibbles as atomic bytes, and a
+//!   [`SlotCell`] per allocation slot carrying the addressing facts
+//!   (generation, entry count, target ratio, region bases) behind a
+//!   per-slot **seqlock**.
+//!
+//! # Publication protocol
+//!
+//! Structural mutations publish a new *epoch* for a slot by bumping the
+//! slot's sequence word to odd, storing the new addressing facts, and
+//! bumping it back to even ([`SeqWindow`]). Readers snapshot the sequence
+//! word, copy the addressing facts, read the referenced bytes/nibbles, and
+//! re-validate the sequence word; any overlap with a publication window or
+//! an entry write forces a retry, so a read observes the old epoch in
+//! full, the new epoch in full, or (for a freed slot) a generation
+//! mismatch — never a blend. Storage regions are returned to the free
+//! lists only *after* the publication that unlinks them, so a reader that
+//! raced the reuse of its bytes always fails its final sequence check.
+//!
+//! Entry writes do not change the addressing facts: they serialize on the
+//! slot's `write_lock` (shared with structural publications) and wrap the
+//! byte/nibble stores in the same odd/even sequence window so concurrent
+//! readers of the same allocation retry instead of tearing.
+
+use crate::adapt::StateWindow;
+use crate::device::{AccessStats, AllocId, DeviceError};
+use crate::metadata::EntryState;
+use crate::target::TargetRatio;
+use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
+use buddy_obs::{trace, SpanKind};
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The `Copy`-able addressing facts of one allocation — the per-epoch
+/// snapshot every access resolves against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AllocView {
+    pub(crate) target: TargetRatio,
+    pub(crate) entries: u64,
+    /// Byte offset of this allocation's region in device memory.
+    pub(crate) device_base: u64,
+    /// Byte offset of this allocation's slots in the buddy carve-out.
+    pub(crate) buddy_base: u64,
+    /// Index of this allocation's first entry in the global metadata array.
+    pub(crate) metadata_base: u64,
+}
+
+impl AllocView {
+    pub(crate) fn device_stride(&self) -> u64 {
+        self.target.device_bytes_per_entry() as u64
+    }
+
+    pub(crate) fn buddy_stride(&self) -> u64 {
+        self.target.buddy_bytes_per_entry() as u64
+    }
+
+    pub(crate) fn device_offset(&self, index: u64) -> u64 {
+        self.device_base + index * self.device_stride()
+    }
+
+    pub(crate) fn buddy_offset(&self, index: u64) -> u64 {
+        self.buddy_base + index * self.buddy_stride()
+    }
+}
+
+/// A byte load raced an in-progress mutation and produced an undecodable
+/// or inconsistent value; the caller re-validates the slot sequence and
+/// retries. Under a stable sequence this is unreachable (the write path
+/// produced every stored stream).
+pub(crate) struct TornRead;
+
+/// Byte-range validation shared by every access path.
+pub(crate) fn check_index(view: &AllocView, index: u64) -> Result<(), DeviceError> {
+    if index >= view.entries {
+        Err(DeviceError::BadIndex {
+            index,
+            entries: view.entries,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Checks that `[start, start + len)` lies inside the allocation.
+pub(crate) fn check_range(view: &AllocView, start: u64, len: u64) -> Result<(), DeviceError> {
+    match start.checked_add(len) {
+        Some(end) if end <= view.entries => Ok(()),
+        _ => Err(DeviceError::BadIndex {
+            index: start.saturating_add(len.saturating_sub(1)),
+            entries: view.entries,
+        }),
+    }
+}
+
+pub(crate) fn buddy_sectors_of(target: TargetRatio, state: EntryState) -> u64 {
+    match state {
+        EntryState::Zero | EntryState::ZeroPageFit => 0,
+        EntryState::ZeroPageOverflow => 4,
+        EntryState::Compressed { sectors } => {
+            sectors.saturating_sub(target.device_sectors()) as u64
+        }
+    }
+}
+
+pub(crate) fn device_sectors_of(target: TargetRatio, state: EntryState) -> u64 {
+    match state {
+        EntryState::Zero => 0,
+        // The 8 B granule still costs one sector access.
+        EntryState::ZeroPageFit => 1,
+        EntryState::ZeroPageOverflow => 0,
+        EntryState::Compressed { sectors } => sectors.min(target.device_sectors()) as u64,
+    }
+}
+
+pub(crate) fn record_read(stats: &mut AccessStats, target: TargetRatio, state: EntryState) {
+    let buddy = buddy_sectors_of(target, state);
+    stats.device_sectors += device_sectors_of(target, state);
+    stats.buddy_sectors += buddy;
+    if buddy > 0 {
+        stats.reads_with_buddy += 1;
+    } else {
+        stats.reads_device_only += 1;
+    }
+}
+
+pub(crate) fn record_write(stats: &mut AccessStats, target: TargetRatio, state: EntryState) {
+    let buddy = buddy_sectors_of(target, state);
+    stats.device_sectors += device_sectors_of(target, state);
+    stats.buddy_sectors += buddy;
+    if buddy > 0 {
+        stats.writes_with_buddy += 1;
+    } else {
+        stats.writes_device_only += 1;
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// the protected state stays usable (sequence windows close on unwind via
+/// [`SeqWindow`]'s drop).
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Byte storage as an array of atomic 64-bit words.
+///
+/// Every storage range the device hands out is 8-byte aligned with an
+/// 8-byte-multiple length (strides are 8/32/64/96/128 and sectors are
+/// 32 B), so all access happens in whole words; the single sub-word case —
+/// the ≤ 8 B zero-page granule — composes one padded word in the caller.
+pub(crate) struct AtomicBytes {
+    words: Box<[AtomicU64]>,
+}
+
+impl AtomicBytes {
+    pub(crate) fn new(len_bytes: u64) -> Self {
+        let words = (0..len_bytes.div_ceil(8))
+            .map(|_| AtomicU64::new(0)) // lint-allow(raw-atomic-metric): lock-free byte storage words, not a metric
+            .collect();
+        Self { words }
+    }
+
+    /// Copies `out.len()` bytes starting at `byte_off` out of storage.
+    pub(crate) fn read(&self, byte_off: u64, out: &mut [u8]) {
+        debug_assert_eq!(byte_off % 8, 0);
+        debug_assert_eq!(out.len() % 8, 0);
+        let base = (byte_off / 8) as usize;
+        for (i, chunk) in out.chunks_exact_mut(8).enumerate() {
+            // Relaxed: the seqlock reader re-validates the slot sequence
+            // (with fences) after these loads; torn values force a retry.
+            let w = self.words[base + i].load(Ordering::Relaxed);
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Stores `data` starting at `byte_off`.
+    pub(crate) fn write(&self, byte_off: u64, data: &[u8]) {
+        debug_assert_eq!(byte_off % 8, 0);
+        debug_assert_eq!(data.len() % 8, 0);
+        let base = (byte_off / 8) as usize;
+        for (i, chunk) in data.chunks_exact(8).enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            // Relaxed: bracketed by the writer's odd/even sequence window,
+            // which publishes these stores to re-validating readers.
+            self.words[base + i].store(u64::from_le_bytes(w), Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for AtomicBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicBytes")
+            .field("bytes", &(self.words.len() * 8))
+            .finish()
+    }
+}
+
+/// Number of lazily-published chunk slots in [`AtomicNibbles`] and
+/// [`SlotTable`]. Chunk `k` doubles the covered capacity, so a few dozen
+/// slots cover any physically reachable size.
+const NIBBLE_CHUNKS: usize = 40;
+const SLOT_CHUNKS: usize = 28;
+const SLOT_CHUNK0: u32 = 64;
+
+/// The 4-bit-per-entry metadata array as atomic bytes, grown by publishing
+/// power-of-two chunks — existing chunks are never moved, so concurrent
+/// readers keep their references valid across growth.
+pub(crate) struct AtomicNibbles {
+    /// Bytes covered by chunk 0; chunk `k ≥ 1` covers `base << (k-1)` more.
+    base_bytes: u64,
+    chunks: Box<[OnceLock<Box<[AtomicU8]>>]>,
+}
+
+impl AtomicNibbles {
+    pub(crate) fn new(initial_entries: u64) -> Self {
+        let base_bytes = initial_entries.div_ceil(2).max(64);
+        let chunks: Box<[OnceLock<Box<[AtomicU8]>>]> =
+            (0..NIBBLE_CHUNKS).map(|_| OnceLock::new()).collect();
+        let this = Self { base_bytes, chunks };
+        this.ensure(initial_entries);
+        this
+    }
+
+    fn chunk_len(&self, k: usize) -> u64 {
+        if k == 0 {
+            self.base_bytes
+        } else {
+            self.base_bytes << (k - 1)
+        }
+    }
+
+    /// Maps a byte index to `(chunk, offset-in-chunk)`.
+    fn locate(&self, byte: u64) -> (usize, usize) {
+        if byte < self.base_bytes {
+            (0, byte as usize)
+        } else {
+            let k = (byte / self.base_bytes).ilog2() as usize + 1;
+            let start = self.base_bytes << (k - 1);
+            (k, (byte - start) as usize)
+        }
+    }
+
+    /// Publishes chunks until at least `entries` nibbles are addressable.
+    /// Called only under the device's structural lock (serialized), but
+    /// safe against concurrent readers of already-published chunks.
+    pub(crate) fn ensure(&self, entries: u64) {
+        if entries == 0 {
+            return;
+        }
+        let (last, _) = self.locate(entries.div_ceil(2) - 1);
+        for k in 0..=last {
+            let len = self.chunk_len(k);
+            self.chunks[k].get_or_init(|| (0..len).map(|_| AtomicU8::new(0)).collect());
+        }
+    }
+
+    /// Reads the state nibble of entry `index`. `None` only when the load
+    /// raced a mutation into an unreachable encoding — callers re-validate
+    /// the slot sequence and retry.
+    pub(crate) fn get(&self, index: u64) -> Option<EntryState> {
+        let (k, off) = self.locate(index / 2);
+        let cell = self.chunks[k].get()?.get(off)?;
+        // Relaxed: the seqlock reader re-validates the slot sequence after
+        // this load; a racing write forces a retry.
+        let byte = cell.load(Ordering::Relaxed);
+        let nibble = if index % 2 == 0 {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        };
+        EntryState::decode(nibble)
+    }
+
+    /// Writes the state nibble of entry `index`. The clear-then-set pair
+    /// of atomic RMWs preserves the neighbouring nibble under concurrent
+    /// writers to adjacent entries; the transient intermediate value of
+    /// *this* nibble is `Zero` (a valid state), and same-entry races are
+    /// excluded by the slot `write_lock`.
+    pub(crate) fn set(&self, index: u64, state: EntryState) {
+        let (k, off) = self.locate(index / 2);
+        let cell = &self.chunks[k].get().expect("published metadata chunk")[off]; // lint-allow(no-unwrap): writers only address ranges published by their allocation
+        let nibble = state.encode();
+        if index % 2 == 0 {
+            // Relaxed: bracketed by the writer's odd/even sequence window.
+            cell.fetch_and(0xF0, Ordering::Relaxed);
+            if nibble != 0 {
+                // Relaxed: as above.
+                cell.fetch_or(nibble, Ordering::Relaxed);
+            }
+        } else {
+            // Relaxed: bracketed by the writer's odd/even sequence window.
+            cell.fetch_and(0x0F, Ordering::Relaxed);
+            if nibble != 0 {
+                // Relaxed: as above.
+                cell.fetch_or(nibble << 4, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Resets `[start, start + len)` to [`EntryState::Zero`]. Only called
+    /// for ranges exclusively owned by the calling structural operation.
+    pub(crate) fn clear_range(&self, start: u64, len: u64) {
+        for i in start..start + len {
+            self.set(i, EntryState::Zero);
+        }
+    }
+}
+
+impl fmt::Debug for AtomicNibbles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ready = self.chunks.iter().filter(|c| c.get().is_some()).count();
+        f.debug_struct("AtomicNibbles")
+            .field("base_bytes", &self.base_bytes)
+            .field("chunks_ready", &ready)
+            .finish()
+    }
+}
+
+/// Encodes a [`TargetRatio`] into the slot cell's atomic byte; `0` means
+/// "never published".
+fn encode_target(t: TargetRatio) -> u8 {
+    match t {
+        TargetRatio::R1 => 1,
+        TargetRatio::R1_33 => 2,
+        TargetRatio::R2 => 3,
+        TargetRatio::R4 => 4,
+        TargetRatio::ZeroPage16 => 5,
+    }
+}
+
+fn decode_target(b: u8) -> Option<TargetRatio> {
+    match b {
+        1 => Some(TargetRatio::R1),
+        2 => Some(TargetRatio::R1_33),
+        3 => Some(TargetRatio::R2),
+        4 => Some(TargetRatio::R4),
+        5 => Some(TargetRatio::ZeroPage16),
+        _ => None,
+    }
+}
+
+/// The published addressing facts of one allocation slot behind a seqlock.
+///
+/// `seq` is even when the cell is stable and odd while a mutation is in
+/// flight; `generation`/`entries` encode liveness (a live allocation
+/// always has `entries ≥ 1`, a freed or never-used slot publishes
+/// `entries == 0`).
+pub(crate) struct SlotCell {
+    seq: AtomicU64, // lint-allow(raw-atomic-metric): seqlock sequence word, not a metric
+    generation: AtomicU64, // lint-allow(raw-atomic-metric): published slot generation, not a metric
+    entries: AtomicU64, // lint-allow(raw-atomic-metric): published allocation length, not a metric
+    device_base: AtomicU64, // lint-allow(raw-atomic-metric): published region base, not a metric
+    buddy_base: AtomicU64, // lint-allow(raw-atomic-metric): published region base, not a metric
+    metadata_base: AtomicU64, // lint-allow(raw-atomic-metric): published region base, not a metric
+    target: AtomicU8,
+    /// Serializes entry-write batches and structural publications on this
+    /// slot. Never held while taking any other lock.
+    write_lock: Mutex<()>,
+}
+
+impl SlotCell {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0), // lint-allow(raw-atomic-metric): seqlock sequence word, not a metric
+            generation: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published slot generation, not a metric
+            entries: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published allocation length, not a metric
+            device_base: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published region base, not a metric
+            buddy_base: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published region base, not a metric
+            metadata_base: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published region base, not a metric
+            target: AtomicU8::new(0),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Spins until the cell is outside any mutation window and returns the
+    /// (even) sequence value the caller must re-validate against.
+    fn begin_read(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let s = self.seq.load(Ordering::SeqCst);
+            if s % 2 == 0 {
+                return s;
+            }
+            spins = spins.wrapping_add(1);
+            if spins % 256 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// True when the sequence still matches `seen` — everything loaded
+    /// since `begin_read` returned `seen` is a consistent snapshot.
+    fn still(&self, seen: u64) -> bool {
+        fence(Ordering::SeqCst);
+        self.seq.load(Ordering::SeqCst) == seen
+    }
+
+    /// Copies the published fields (caller brackets with `begin_read` /
+    /// `still`).
+    fn load_raw(&self) -> RawSlot {
+        RawSlot {
+            generation: self.generation.load(Ordering::SeqCst),
+            entries: self.entries.load(Ordering::SeqCst),
+            target: self.target.load(Ordering::SeqCst),
+            device_base: self.device_base.load(Ordering::SeqCst),
+            buddy_base: self.buddy_base.load(Ordering::SeqCst),
+            metadata_base: self.metadata_base.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stores new addressing facts. Caller must hold `write_lock` and an
+    /// open [`SeqWindow`].
+    fn store_raw(&self, raw: &RawSlot) {
+        self.generation.store(raw.generation, Ordering::SeqCst);
+        self.entries.store(raw.entries, Ordering::SeqCst);
+        self.target.store(raw.target, Ordering::SeqCst);
+        self.device_base.store(raw.device_base, Ordering::SeqCst);
+        self.buddy_base.store(raw.buddy_base, Ordering::SeqCst);
+        self.metadata_base
+            .store(raw.metadata_base, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for SlotCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotCell")
+            .field("seq", &self.seq.load(Ordering::SeqCst))
+            .field("generation", &self.generation.load(Ordering::SeqCst))
+            .field("entries", &self.entries.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// A raw copy of a [`SlotCell`]'s published fields.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawSlot {
+    pub(crate) generation: u64,
+    pub(crate) entries: u64,
+    target: u8,
+    pub(crate) device_base: u64,
+    pub(crate) buddy_base: u64,
+    pub(crate) metadata_base: u64,
+}
+
+impl RawSlot {
+    pub(crate) fn from_view(generation: u64, view: &AllocView) -> Self {
+        Self {
+            generation,
+            entries: view.entries,
+            target: encode_target(view.target),
+            device_base: view.device_base,
+            buddy_base: view.buddy_base,
+            metadata_base: view.metadata_base,
+        }
+    }
+
+    /// A published tombstone: the slot is dead at `generation` (freed, or
+    /// never allocated).
+    pub(crate) fn dead(generation: u64) -> Self {
+        Self {
+            generation,
+            entries: 0,
+            target: 0,
+            device_base: 0,
+            buddy_base: 0,
+            metadata_base: 0,
+        }
+    }
+
+    /// Validates a consistent snapshot against a handle: generation must
+    /// match and the slot must be live.
+    fn validate(&self, id: AllocId) -> Result<AllocView, DeviceError> {
+        if self.generation != id.generation || self.entries == 0 {
+            return Err(DeviceError::BadAllocation);
+        }
+        let target = decode_target(self.target).ok_or(DeviceError::BadAllocation)?;
+        Ok(AllocView {
+            target,
+            entries: self.entries,
+            device_base: self.device_base,
+            buddy_base: self.buddy_base,
+            metadata_base: self.metadata_base,
+        })
+    }
+}
+
+/// RAII odd/even sequence window: opening bumps the slot sequence to odd,
+/// dropping bumps it back to even — panic-safe, so an unwinding writer
+/// cannot leave readers spinning forever.
+pub(crate) struct SeqWindow<'a> {
+    seq: &'a AtomicU64,
+}
+
+impl<'a> SeqWindow<'a> {
+    fn open(cell: &'a SlotCell) -> Self {
+        cell.seq.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        Self { seq: &cell.seq }
+    }
+}
+
+impl Drop for SeqWindow<'_> {
+    fn drop(&mut self) {
+        fence(Ordering::SeqCst);
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The allocation slot table: chunked like [`AtomicNibbles`] so published
+/// cells never move while the table grows.
+pub(crate) struct SlotTable {
+    chunks: Box<[OnceLock<Box<[SlotCell]>>]>,
+}
+
+impl SlotTable {
+    fn new() -> Self {
+        Self {
+            chunks: (0..SLOT_CHUNKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn locate(slot: u32) -> (usize, usize) {
+        if slot < SLOT_CHUNK0 {
+            (0, slot as usize)
+        } else {
+            let k = (slot / SLOT_CHUNK0).ilog2() as usize + 1;
+            let start = (SLOT_CHUNK0 as u64) << (k - 1);
+            (k, (slot as u64 - start) as usize)
+        }
+    }
+
+    fn chunk_len(k: usize) -> u64 {
+        if k == 0 {
+            SLOT_CHUNK0 as u64
+        } else {
+            (SLOT_CHUNK0 as u64) << (k - 1)
+        }
+    }
+
+    /// Publishes chunks until `slot` is addressable (structural-lock only).
+    pub(crate) fn ensure(&self, slot: u32) {
+        let (last, _) = Self::locate(slot);
+        for k in 0..=last {
+            let len = Self::chunk_len(k);
+            self.chunks[k].get_or_init(|| (0..len).map(|_| SlotCell::new()).collect());
+        }
+    }
+
+    /// The cell of `slot`, or `None` when the slot was never published —
+    /// which means no allocation ever existed there, so any handle naming
+    /// it is bad.
+    pub(crate) fn cell(&self, slot: u32) -> Option<&SlotCell> {
+        let (k, off) = Self::locate(slot);
+        self.chunks[k].get()?.get(off)
+    }
+}
+
+impl fmt::Debug for SlotTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ready = self.chunks.iter().filter(|c| c.get().is_some()).count();
+        f.debug_struct("SlotTable")
+            .field("chunks_ready", &ready)
+            .finish()
+    }
+}
+
+/// Device-wide traffic counters as atomics, so lock-free accesses fold
+/// their per-batch deltas in without `&mut` access to the device.
+pub(crate) struct SharedStats {
+    counters: [AtomicU64; 8],
+}
+
+impl SharedStats {
+    fn new() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)), // lint-allow(raw-atomic-metric): the device AccessStats mirror behind the lock-free path, reported through the existing stats() API
+        }
+    }
+
+    pub(crate) fn add(&self, delta: &AccessStats) {
+        for (c, v) in self.counters.iter().zip(delta.to_array()) {
+            if v != 0 {
+                // Relaxed: statistical counters; exact totals are read only
+                // at quiescent points (drain / joined threads).
+                c.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> AccessStats {
+        let mut out = [0u64; 8];
+        for (o, c) in out.iter_mut().zip(self.counters.iter()) {
+            // Relaxed: statistical snapshot; exact once writers are
+            // quiescent.
+            *o = c.load(Ordering::Relaxed);
+        }
+        AccessStats::from_array(out)
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in self.counters.iter() {
+            // Relaxed: reset happens at quiescent points only.
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for SharedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SharedStats")
+            .field(&self.snapshot())
+            .finish()
+    }
+}
+
+/// Decrements the in-flight handle-operation counter on drop, so
+/// [`SharedState::wait_quiescent`] observes completion even across panics.
+pub(crate) struct OpGuard<'a> {
+    shared: &'a SharedState,
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.ops_exited.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The published half of one device. See the module docs for the protocol.
+pub(crate) struct SharedState {
+    codec: CodecKind,
+    pub(crate) device: AtomicBytes,
+    pub(crate) buddy: AtomicBytes,
+    pub(crate) metadata: AtomicNibbles,
+    pub(crate) slots: SlotTable,
+    pub(crate) stats: SharedStats,
+    /// Monotonic publication counter: one tick per structural epoch.
+    epoch: AtomicU64, // lint-allow(raw-atomic-metric): epoch publication sequence, not a metric
+    ops_entered: AtomicU64, // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
+    ops_exited: AtomicU64, // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
+}
+
+impl fmt::Debug for SharedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedState")
+            .field("codec", &self.codec)
+            .field("epoch", &self.epoch.load(Ordering::SeqCst))
+            .field("device", &self.device)
+            .field("buddy", &self.buddy)
+            .field("metadata", &self.metadata)
+            .field("slots", &self.slots)
+            .finish()
+    }
+}
+
+impl SharedState {
+    pub(crate) fn new(
+        codec: CodecKind,
+        device_capacity: u64,
+        buddy_capacity: u64,
+        metadata_entries: u64,
+    ) -> Self {
+        let state = Self {
+            codec,
+            device: AtomicBytes::new(device_capacity),
+            buddy: AtomicBytes::new(buddy_capacity),
+            metadata: AtomicNibbles::new(metadata_entries),
+            slots: SlotTable::new(),
+            stats: SharedStats::new(),
+            epoch: AtomicU64::new(0), // lint-allow(raw-atomic-metric): epoch publication sequence, not a metric
+            ops_entered: AtomicU64::new(0), // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
+            ops_exited: AtomicU64::new(0), // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
+        };
+        state.slots.ensure(0);
+        state
+    }
+
+    pub(crate) fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// Current epoch counter (one tick per structural publication).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Marks a lock-free handle operation in flight (released on drop).
+    pub(crate) fn enter_op(&self) -> OpGuard<'_> {
+        self.ops_entered.fetch_add(1, Ordering::SeqCst);
+        OpGuard { shared: self }
+    }
+
+    /// Blocks until every handle operation that was in flight when this
+    /// call started has completed. New operations may start during the
+    /// wait — the barrier covers the snapshot, which is what `drain`
+    /// needs (its callers quiesce their own traffic sources first).
+    /// Monotone completion counters rule out livelock.
+    pub(crate) fn wait_quiescent(&self) {
+        let target = self.ops_entered.load(Ordering::SeqCst);
+        while self.ops_exited.load(Ordering::SeqCst) < target {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Publishes new addressing facts for a slot under its write lock,
+    /// inside an `epoch_publish` span. This is the only way slot contents
+    /// change, so readers see epochs, never blends.
+    pub(crate) fn publish(&self, slot: u32, raw: RawSlot) {
+        let cell = self
+            .slots
+            .cell(slot)
+            .expect("structural ops ensure the slot before publishing"); // lint-allow(no-unwrap): alloc calls SlotTable::ensure before any publish
+        let _guard = lock_recover(&cell.write_lock);
+        let _span = trace::span(SpanKind::EpochPublish);
+        let window = SeqWindow::open(cell);
+        cell.store_raw(&raw);
+        drop(window);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Runs `mutate` while holding the slot's write lock **and** an open
+    /// sequence window, then publishes the returned [`RawSlot`] before
+    /// closing both. `retarget` migrates inside this: its re-encode may
+    /// write into regions that overlap the old reservation (tight-fit
+    /// placement), so concurrent readers of this one allocation must spin
+    /// through the whole migration instead of sampling half-rewritten
+    /// bytes under an unchanged sequence. On error the window closes with
+    /// the cell unchanged (readers retry once and see the old epoch).
+    pub(crate) fn republish<R>(
+        &self,
+        slot: u32,
+        mutate: impl FnOnce() -> Result<(RawSlot, R), DeviceError>,
+    ) -> Result<R, DeviceError> {
+        let cell = self
+            .slots
+            .cell(slot)
+            .expect("structural ops ensure the slot before publishing"); // lint-allow(no-unwrap): alloc calls SlotTable::ensure before any publish
+        let _guard = lock_recover(&cell.write_lock);
+        let _span = trace::span(SpanKind::EpochPublish);
+        let window = SeqWindow::open(cell);
+        let (raw, result) = mutate()?;
+        cell.store_raw(&raw);
+        drop(window);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(result)
+    }
+
+    /// Decodes a stored stream through the owning codec. Trailing padding
+    /// from sector alignment is ignored by every decoder. Fails (for
+    /// retry) when a racing write tore the stream.
+    fn decode(&self, data: &[u8], out: &mut Entry) -> Result<(), TornRead> {
+        let _span = trace::span(SpanKind::CodecDecompress);
+        self.codec
+            .decompress_into(data, data.len() * 8, out)
+            .map_err(|_| TornRead)
+    }
+
+    /// Loads and decompresses one entry into `out` against a consistent
+    /// view; the caller records traffic and re-validates the sequence.
+    pub(crate) fn read_one(
+        &self,
+        view: &AllocView,
+        index: u64,
+        out: &mut Entry,
+    ) -> Result<EntryState, TornRead> {
+        let state = self
+            .metadata
+            .get(view.metadata_base + index)
+            .ok_or(TornRead)?;
+        match state {
+            EntryState::Zero => *out = [0u8; ENTRY_BYTES],
+            EntryState::ZeroPageFit => {
+                let mut granule = [0u8; 8];
+                self.device.read(view.device_offset(index), &mut granule);
+                self.decode(&granule, out)?;
+            }
+            EntryState::ZeroPageOverflow => {
+                self.buddy.read(view.buddy_offset(index), out);
+            }
+            EntryState::Compressed { sectors } => {
+                let total = sectors as usize * SECTOR_BYTES;
+                let mut data = [0u8; ENTRY_BYTES];
+                self.load_sectors(view, index, sectors, &mut data[..total]);
+                if sectors == 4 {
+                    // Raw storage.
+                    out.copy_from_slice(&data);
+                } else {
+                    self.decode(&data[..total], out)?;
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Compresses and stores one entry; the caller records traffic and
+    /// holds the slot's write lock + sequence window.
+    pub(crate) fn write_one(
+        &self,
+        view: &AllocView,
+        index: u64,
+        entry: &Entry,
+        scratch: &mut CompressedBuf,
+    ) -> EntryState {
+        let state = if entry.iter().all(|&b| b == 0) {
+            EntryState::Zero
+        } else {
+            let compress_span = trace::span(SpanKind::CodecCompress);
+            self.codec.compress_into(entry, scratch);
+            drop(compress_span);
+            match view.target {
+                TargetRatio::ZeroPage16 => {
+                    if scratch.bytes() <= 8 {
+                        // Compose the padded 8 B granule as one whole word.
+                        let mut granule = [0u8; 8];
+                        granule[..scratch.data().len()].copy_from_slice(scratch.data());
+                        self.device.write(view.device_offset(index), &granule);
+                        EntryState::ZeroPageFit
+                    } else {
+                        let _span = trace::span(SpanKind::BuddyIo);
+                        self.buddy.write(view.buddy_offset(index), entry);
+                        EntryState::ZeroPageOverflow
+                    }
+                }
+                _ => {
+                    let class = scratch.size_class();
+                    if class == SizeClass::B128 {
+                        // Incompressible: store the raw entry across the
+                        // four sectors.
+                        self.store_sectors(view, index, entry, 4);
+                        EntryState::Compressed { sectors: 4 }
+                    } else {
+                        let sectors = class.sectors().max(1);
+                        let mut padded = [0u8; ENTRY_BYTES];
+                        padded[..scratch.data().len()].copy_from_slice(scratch.data());
+                        self.store_sectors(view, index, &padded, sectors);
+                        EntryState::Compressed { sectors }
+                    }
+                }
+            }
+        };
+        self.metadata.set(view.metadata_base + index, state);
+        state
+    }
+
+    /// Stores `sectors` sectors of `data`, the first `device_sectors` in
+    /// device memory and the remainder in the entry's buddy slot.
+    fn store_sectors(&self, view: &AllocView, index: u64, data: &[u8], sectors: u8) {
+        let _span = trace::span(SpanKind::BuddyIo);
+        let device_sectors = view.target.device_sectors().min(sectors);
+        let split = device_sectors as usize * SECTOR_BYTES;
+        self.device.write(view.device_offset(index), &data[..split]);
+        if (sectors as usize) * SECTOR_BYTES > split {
+            let rest = &data[split..sectors as usize * SECTOR_BYTES];
+            self.buddy.write(view.buddy_offset(index), rest);
+        }
+    }
+
+    /// Gathers an entry's sectors into `out` (device-resident first, then
+    /// any buddy overflow). `out` must be exactly `sectors × 32` bytes.
+    fn load_sectors(&self, view: &AllocView, index: u64, sectors: u8, out: &mut [u8]) {
+        let _span = trace::span(SpanKind::BuddyIo);
+        let device_sectors = view.target.device_sectors().min(sectors);
+        let split = device_sectors as usize * SECTOR_BYTES;
+        let total = sectors as usize * SECTOR_BYTES;
+        debug_assert_eq!(out.len(), total);
+        self.device
+            .read(view.device_offset(index), &mut out[..split]);
+        if total > split {
+            self.buddy
+                .read(view.buddy_offset(index), &mut out[split..total]);
+        }
+    }
+
+    /// Reads a contiguous run of entries against one consistent epoch.
+    /// Lock-free: retries through the slot seqlock until a full batch
+    /// lands inside a stable snapshot.
+    pub(crate) fn read_batch(
+        &self,
+        id: AllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<AccessStats, DeviceError> {
+        let cell = self.slots.cell(id.slot).ok_or(DeviceError::BadAllocation)?;
+        'attempt: loop {
+            let seen = cell.begin_read();
+            let raw = cell.load_raw();
+            if !cell.still(seen) {
+                continue;
+            }
+            // The snapshot is consistent from here on: errors are the
+            // truthful observation of this epoch, not torn state.
+            let view = raw.validate(id)?;
+            check_range(&view, start, out.len() as u64)?;
+            let mut stats = AccessStats::default();
+            for (i, slot_out) in out.iter_mut().enumerate() {
+                match self.read_one(&view, start + i as u64, slot_out) {
+                    Ok(state) => record_read(&mut stats, view.target, state),
+                    Err(TornRead) => {
+                        if cell.still(seen) {
+                            unreachable!("stored stream failed to decode under a stable snapshot");
+                        }
+                        continue 'attempt;
+                    }
+                }
+            }
+            if !cell.still(seen) {
+                continue;
+            }
+            self.stats.add(&stats);
+            return Ok(stats);
+        }
+    }
+
+    /// Writes a contiguous run of entries under the slot's write lock and
+    /// sequence window. Takes no device-wide lock.
+    pub(crate) fn write_batch(
+        &self,
+        id: AllocId,
+        start: u64,
+        entries: &[Entry],
+        scratch: &mut CompressedBuf,
+    ) -> Result<AccessStats, DeviceError> {
+        let cell = self.slots.cell(id.slot).ok_or(DeviceError::BadAllocation)?;
+        let _guard = lock_recover(&cell.write_lock);
+        // Under the write lock the published fields are stable (structural
+        // publications also hold it), so a plain load is a snapshot.
+        let view = cell.load_raw().validate(id)?;
+        check_range(&view, start, entries.len() as u64)?;
+        let mut stats = AccessStats::default();
+        let window = SeqWindow::open(cell);
+        for (i, entry) in entries.iter().enumerate() {
+            let state = self.write_one(&view, start + i as u64, entry, scratch);
+            record_write(&mut stats, view.target, state);
+        }
+        drop(window);
+        self.stats.add(&stats);
+        Ok(stats)
+    }
+
+    /// Writes one entry (see [`write_batch`](Self::write_batch)),
+    /// returning the recorded [`EntryState`].
+    pub(crate) fn write_single(
+        &self,
+        id: AllocId,
+        index: u64,
+        entry: &Entry,
+        scratch: &mut CompressedBuf,
+    ) -> Result<EntryState, DeviceError> {
+        let cell = self.slots.cell(id.slot).ok_or(DeviceError::BadAllocation)?;
+        let _guard = lock_recover(&cell.write_lock);
+        let view = cell.load_raw().validate(id)?;
+        check_index(&view, index)?;
+        let mut stats = AccessStats::default();
+        let window = SeqWindow::open(cell);
+        let state = self.write_one(&view, index, entry, scratch);
+        drop(window);
+        record_write(&mut stats, view.target, state);
+        self.stats.add(&stats);
+        Ok(state)
+    }
+
+    /// Per-entry state against a consistent epoch, without touching the
+    /// traffic counters.
+    pub(crate) fn entry_state(&self, id: AllocId, index: u64) -> Result<EntryState, DeviceError> {
+        let cell = self.slots.cell(id.slot).ok_or(DeviceError::BadAllocation)?;
+        loop {
+            let seen = cell.begin_read();
+            let raw = cell.load_raw();
+            if !cell.still(seen) {
+                continue;
+            }
+            let view = raw.validate(id)?;
+            check_index(&view, index)?;
+            let state = self.metadata.get(view.metadata_base + index);
+            if !cell.still(seen) {
+                continue;
+            }
+            match state {
+                Some(state) => return Ok(state),
+                None => unreachable!("published metadata decodes under a stable snapshot"),
+            }
+        }
+    }
+
+    /// Summarizes the live metadata states of an allocation into a
+    /// [`StateWindow`] against one consistent epoch.
+    pub(crate) fn state_window(&self, id: AllocId) -> Result<StateWindow, DeviceError> {
+        let cell = self.slots.cell(id.slot).ok_or(DeviceError::BadAllocation)?;
+        'attempt: loop {
+            let seen = cell.begin_read();
+            let raw = cell.load_raw();
+            if !cell.still(seen) {
+                continue;
+            }
+            let view = raw.validate(id)?;
+            let mut window = StateWindow::new();
+            for i in 0..view.entries {
+                match self.metadata.get(view.metadata_base + i) {
+                    Some(state) => window.observe(state),
+                    None => {
+                        if cell.still(seen) {
+                            unreachable!("published metadata decodes under a stable snapshot");
+                        }
+                        continue 'attempt;
+                    }
+                }
+            }
+            if !cell.still(seen) {
+                continue;
+            }
+            return Ok(window);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_bytes_round_trip_words() {
+        let bytes = AtomicBytes::new(64);
+        let data: Vec<u8> = (0..32).collect();
+        bytes.write(16, &data);
+        let mut out = vec![0u8; 32];
+        bytes.read(16, &mut out);
+        assert_eq!(out, data);
+        // Neighbouring words untouched.
+        let mut head = vec![0u8; 16];
+        bytes.read(0, &mut head);
+        assert_eq!(head, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn nibble_chunks_cover_growth_without_moving() {
+        let nibbles = AtomicNibbles::new(16);
+        nibbles.set(3, EntryState::Compressed { sectors: 2 });
+        // Grow far past the base chunk; earlier states stay addressable.
+        nibbles.ensure(100_000);
+        nibbles.set(99_999, EntryState::ZeroPageFit);
+        assert_eq!(nibbles.get(3), Some(EntryState::Compressed { sectors: 2 }));
+        assert_eq!(nibbles.get(99_999), Some(EntryState::ZeroPageFit));
+        assert_eq!(nibbles.get(50_000), Some(EntryState::Zero));
+    }
+
+    #[test]
+    fn nibble_locate_is_contiguous_across_chunk_edges() {
+        let nibbles = AtomicNibbles::new(128); // base 64 bytes
+        let mut seen = std::collections::HashSet::new();
+        for byte in 0..1024u64 {
+            let (k, off) = nibbles.locate(byte);
+            assert!(seen.insert((k, off)), "byte {byte} collides at ({k},{off})");
+            assert!(
+                (off as u64) < nibbles.chunk_len(k),
+                "byte {byte} out of chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_locate_is_contiguous() {
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..10_000u32 {
+            let (k, off) = SlotTable::locate(slot);
+            assert!(seen.insert((k, off)), "slot {slot} collides");
+            assert!((off as u64) < SlotTable::chunk_len(k));
+        }
+        // The last chunk still covers u32::MAX.
+        let (k, _) = SlotTable::locate(u32::MAX);
+        assert!(k < SLOT_CHUNKS);
+    }
+
+    #[test]
+    fn dead_cells_reject_every_generation() {
+        let state = SharedState::new(CodecKind::Bpc, 1 << 16, 3 << 16, 1 << 13);
+        let id = AllocId {
+            slot: 0,
+            generation: 0,
+        };
+        let mut out = [[0u8; ENTRY_BYTES]; 1];
+        assert_eq!(
+            state.read_batch(id, 0, &mut out),
+            Err(DeviceError::BadAllocation)
+        );
+        // A slot that was never ensured is equally dead.
+        let forged = AllocId {
+            slot: 9_999,
+            generation: 7,
+        };
+        assert_eq!(
+            state.read_batch(forged, 0, &mut out),
+            Err(DeviceError::BadAllocation)
+        );
+    }
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let state = SharedState::new(CodecKind::Bpc, 1 << 16, 3 << 16, 1 << 13);
+        let view = AllocView {
+            target: TargetRatio::R2,
+            entries: 8,
+            device_base: 0,
+            buddy_base: 0,
+            metadata_base: 0,
+        };
+        state.publish(0, RawSlot::from_view(1, &view));
+        let id = AllocId {
+            slot: 0,
+            generation: 1,
+        };
+        let mut scratch = CompressedBuf::with_capacity(ENTRY_BYTES + ENTRY_BYTES / 4);
+        let entry = [0xA5u8; ENTRY_BYTES];
+        state
+            .write_batch(id, 2, &[entry, entry], &mut scratch)
+            .expect("in range");
+        let mut out = [[0u8; ENTRY_BYTES]; 2];
+        state.read_batch(id, 2, &mut out).expect("in range");
+        assert_eq!(out, [entry, entry]);
+        // Stale generation pins to BadAllocation after a re-publish.
+        state.publish(0, RawSlot::dead(2));
+        assert_eq!(
+            state.read_batch(id, 2, &mut out),
+            Err(DeviceError::BadAllocation)
+        );
+        assert!(state.epoch() >= 2);
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! # Taxonomy
 //!
-//! Spans come from the fixed [`SpanKind`] set — the seven operations the
+//! Spans come from the fixed [`SpanKind`] set — the eight operations the
 //! pool/service hot paths decompose into (lock waits, codec work, buddy
-//! I/O, allocator work, migration, queue waits). A static taxonomy keeps
-//! recording allocation-free and lets totals live in a flat array.
+//! I/O, allocator work, migration, queue waits, epoch publication). A
+//! static taxonomy keeps recording allocation-free and lets totals live
+//! in a flat array.
 //!
 //! # Gating
 //!
@@ -54,11 +55,15 @@ pub enum SpanKind {
     RetargetMigrate,
     /// Time between an operation's scheduled arrival and its dequeue.
     QueueWait,
+    /// A structural mutation's snapshot-publication window: the seqlock
+    /// write-side interval during which concurrent snapshot readers
+    /// retry instead of observing a half-applied table.
+    EpochPublish,
 }
 
 impl SpanKind {
     /// Every kind, in index order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::ShardLockWait,
         SpanKind::CodecCompress,
         SpanKind::CodecDecompress,
@@ -66,6 +71,7 @@ impl SpanKind {
         SpanKind::RegionAlloc,
         SpanKind::RetargetMigrate,
         SpanKind::QueueWait,
+        SpanKind::EpochPublish,
     ];
 
     /// Number of kinds.
@@ -81,6 +87,7 @@ impl SpanKind {
             SpanKind::RegionAlloc => "region_alloc",
             SpanKind::RetargetMigrate => "retarget_migrate",
             SpanKind::QueueWait => "queue_wait",
+            SpanKind::EpochPublish => "epoch_publish",
         }
     }
 
@@ -438,7 +445,7 @@ mod tests {
 
     #[test]
     fn taxonomy_is_stable() {
-        assert_eq!(SpanKind::COUNT, 7);
+        assert_eq!(SpanKind::COUNT, 8);
         for (i, kind) in SpanKind::ALL.iter().enumerate() {
             assert_eq!(kind.index(), i);
             assert_eq!(SpanKind::from_index(i), *kind);
@@ -446,6 +453,10 @@ mod tests {
         }
         assert_eq!(SpanKind::ShardLockWait.name(), "shard_lock_wait");
         assert_eq!(SpanKind::QueueWait.name(), "queue_wait");
+        assert_eq!(SpanKind::EpochPublish.name(), "epoch_publish");
+        // `pack` keeps the kind in the low 3 bits; index 7 is the last
+        // one that fits, so the COUNT == 8 pin above is also the "growing
+        // past 8 kinds needs a wider field" guard.
     }
 
     #[test]

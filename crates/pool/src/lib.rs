@@ -2,36 +2,48 @@
 //!
 //! The paper's performance story (§5) is about *aggregate* traffic: every SM
 //! issues entry reads and writes concurrently, and the compressed data path
-//! must serve many simultaneous access streams. The functional
-//! [`BuddyDevice`] is deliberately `&mut self` single-threaded; this crate
-//! scales it out by sharding — a [`BuddyPool`] owns `N` devices, each behind
-//! its own lock, and routes every allocation (with all of its entries) to
-//! one shard by hashing. Clients on different shards compress and
-//! decompress fully in parallel; clients on the same shard serialize, which
-//! is exactly the per-partition ordering a real memory controller provides.
+//! must serve many simultaneous access streams. This crate scales the
+//! functional [`BuddyDevice`] out by sharding — a [`BuddyPool`] owns `N`
+//! devices and routes every allocation (with all of its entries) to one
+//! shard by hashing — and serves *entry I/O without taking any shard
+//! lock*: every read and write resolves a handle against the shard's
+//! epoch-published allocation snapshot.
 //!
-//! # Concurrency model: a lock per shard, not worker threads
+//! # Concurrency model: epoch-published snapshots, locks only for structure
 //!
-//! Two designs were on the table (see DESIGN.md §7):
+//! Each shard's state is split in two (see DESIGN.md §7):
 //!
-//! 1. **`Mutex<BuddyDevice>` per shard** (chosen). The batched entry I/O
-//!    paths borrow caller buffers directly (`&[Entry]` in, `&mut [Entry]`
-//!    out), so forwarding them under a short critical section preserves the
-//!    zero-allocation data path end to end. The device itself is untouched:
-//!    the lock simply *is* the `&mut self` exclusivity, made dynamic.
-//! 2. **A worker thread per shard fed by mpsc channels.** Rejected: every
-//!    batch would be copied into a message (and every read result copied
-//!    back), reintroducing per-batch heap traffic; and the workers would
-//!    either tie the pool's lifetime to a `std::thread::scope` (infecting
-//!    the public API) or require `'static` messages and shutdown plumbing.
+//! 1. **The published half** — compressed bytes, per-entry metadata
+//!    nibbles, and a per-allocation seqlock-protected descriptor table
+//!    (target, entry count, region bases, generation). [`read_entry`],
+//!    [`read_entries`], [`read_entries_collect`], [`entry_state`] and
+//!    [`state_window`] resolve against one consistent published epoch and
+//!    never touch a shard mutex: a read racing a `free` or `retarget`
+//!    observes the old epoch in full, the new epoch in full, or
+//!    [`DeviceError::BadAllocation`] — never a blend. Entry writes also
+//!    bypass the shard mutex, serializing only on the target allocation's
+//!    write lock.
+//! 2. **The mutable half** — region allocators, the name table, and slot
+//!    bookkeeping — stays behind the shard's `Mutex<BuddyDevice>`. Only
+//!    the structural operations ([`alloc`](BuddyPool::alloc),
+//!    [`free`](BuddyPool::free), [`retarget`](BuddyPool::retarget)) and
+//!    the occupancy/info accessors take it; each structural change
+//!    publishes a new epoch before its storage can be reused.
 //!
-//! Contention is bounded by sharding: allocations hash across shards, so
-//! independent clients rarely collide, and the critical sections are pure
-//! CPU work (compress + two `memcpy`s) with no blocking inside.
+//! Contention on the structural path is bounded by sharding (allocations
+//! hash across shards); the entry data path has no pool-level contention
+//! at all — `shard_lock_wait` spans no longer fire on reads, and the
+//! `read-path-lock` xtask lint pins the read path lock-free.
 //!
 //! A pool with **one shard is observably identical to a bare
 //! [`BuddyDevice`]**: same bytes on every read, same traffic counters —
 //! property-tested in `tests/pool_equivalence.rs`.
+//!
+//! [`read_entry`]: BuddyPool::read_entry
+//! [`read_entries`]: BuddyPool::read_entries
+//! [`read_entries_collect`]: BuddyPool::read_entries_collect
+//! [`entry_state`]: BuddyPool::entry_state
+//! [`state_window`]: BuddyPool::state_window
 //!
 //! # Example
 //!
@@ -56,12 +68,12 @@ pub mod loadgen;
 
 pub use bpc::{CodecKind, Entry, ENTRY_BYTES};
 pub use buddy_core::{
-    AccessStats, AdaptConfig, BuddyDevice, DeviceConfig, DeviceError, EntryState, RetargetPolicy,
-    RetargetReport, StateWindow, TargetRatio,
+    AccessStats, AdaptConfig, BuddyDevice, DeviceConfig, DeviceError, DeviceHandle, EntryState,
+    RetargetPolicy, RetargetReport, StateWindow, TargetRatio,
 };
 
 use buddy_core::AllocId;
-use buddy_obs::{trace, SpanKind};
+use buddy_obs::{trace, Counter, SpanKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -138,11 +150,18 @@ pub struct ShardOccupancy {
 #[derive(Debug)]
 pub struct BuddyPool {
     shards: Vec<Mutex<BuddyDevice>>,
+    /// One lock-free [`DeviceHandle`] per shard, in shard order; the entry
+    /// data path resolves against these and never locks `shards`.
+    handles: Vec<DeviceHandle>,
     config: PoolConfig,
     /// Monotonic allocation sequence number, folded into the shard hash so
     /// repeated allocations under one name still spread across shards.
     // lint-allow(raw-atomic-metric): allocation sequence for shard routing, not a metric
     alloc_seq: AtomicU64,
+    /// Shard locks acquired by [`alloc`](Self::alloc) (home attempt + ring
+    /// probes). Pins the probe discipline: a non-capacity home error must
+    /// not walk the ring.
+    alloc_shard_probes: Counter,
 }
 
 // The whole point of the pool: it must be shareable across client threads.
@@ -166,13 +185,19 @@ impl BuddyPool {
             u32::try_from(config.shards).is_ok(),
             "shard count must fit a u32 handle index"
         );
-        let shards = (0..config.shards)
-            .map(|_| Mutex::new(BuddyDevice::with_codec(config.shard_config, config.codec)))
-            .collect();
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let device = BuddyDevice::with_codec(config.shard_config, config.codec);
+            handles.push(device.handle());
+            shards.push(Mutex::new(device));
+        }
         Self {
             shards,
+            handles,
             config,
             alloc_seq: AtomicU64::new(0), // lint-allow(raw-atomic-metric): shard-routing sequence, not a metric
+            alloc_shard_probes: Counter::default(),
         }
     }
 
@@ -209,7 +234,8 @@ impl BuddyPool {
     }
 
     /// Resolves a handle to its shard, rejecting handles from a differently
-    /// sized pool.
+    /// sized pool. Structural operations only — the entry data path goes
+    /// through [`handle_of`](Self::handle_of) and never locks a shard.
     fn guard_of(&self, id: PoolAllocId) -> Result<MutexGuard<'_, BuddyDevice>, DeviceError> {
         if id.shard() >= self.shards.len() {
             return Err(DeviceError::BadAllocation);
@@ -217,13 +243,24 @@ impl BuddyPool {
         Ok(self.shard(id.shard()))
     }
 
+    /// Resolves a handle to its shard's lock-free [`DeviceHandle`],
+    /// rejecting handles from a differently sized pool.
+    fn handle_of(&self, id: PoolAllocId) -> Result<&DeviceHandle, DeviceError> {
+        self.handles
+            .get(id.shard())
+            .ok_or(DeviceError::BadAllocation)
+    }
+
     /// Allocates `entries` 128 B memory-entries with the given target ratio
     /// on the shard the allocation hashes to.
     ///
     /// The home shard is `hash(name, sequence) % shards`; if it lacks
-    /// capacity the remaining shards are probed in ring order, so the pool
-    /// only reports out-of-memory when *no* shard can host the allocation
-    /// (the error reported is the home shard's). With one shard this
+    /// *capacity* the remaining shards are probed in ring order, so the
+    /// pool only reports out-of-memory when *no* shard can host the
+    /// allocation (the error reported is the home shard's). Non-capacity
+    /// errors — a [`DeviceError::RequestOverflow`], for instance — are the
+    /// request's fault, not the shard's: they surface immediately without
+    /// touching (or locking) any other shard. With one shard this
     /// degenerates to exactly [`BuddyDevice::alloc`].
     ///
     /// # Errors
@@ -245,6 +282,7 @@ impl BuddyPool {
         let home = (shard_hash(name, seq) % self.shards.len() as u64) as usize;
         // The home shard is probed first and is the one whose error the
         // pool reports when every shard is exhausted.
+        self.alloc_shard_probes.incr();
         let home_error = match self.shard(home).alloc(name, entries, target) {
             Ok(inner) => {
                 return Ok(PoolAllocId {
@@ -254,16 +292,29 @@ impl BuddyPool {
             }
             Err(e) => e,
         };
-        for probe in 1..self.shards.len() {
-            let index = (home + probe) % self.shards.len();
-            if let Ok(inner) = self.shard(index).alloc(name, entries, target) {
-                return Ok(PoolAllocId {
-                    shard: index as u32, // lint-allow(lossy-cast): shard count is validated to fit u32 in BuddyPool::new
-                    inner,
-                });
+        // Ring-probe only on capacity exhaustion: a malformed request
+        // fails identically everywhere, and walking the ring for it would
+        // take every shard lock for nothing.
+        if home_error.is_capacity() {
+            for probe in 1..self.shards.len() {
+                let index = (home + probe) % self.shards.len();
+                self.alloc_shard_probes.incr();
+                if let Ok(inner) = self.shard(index).alloc(name, entries, target) {
+                    return Ok(PoolAllocId {
+                        shard: index as u32, // lint-allow(lossy-cast): shard count is validated to fit u32 in BuddyPool::new
+                        inner,
+                    });
+                }
             }
         }
         Err(home_error)
+    }
+
+    /// Total shard locks acquired by [`alloc`](Self::alloc) so far (home
+    /// attempts plus capacity ring probes). A successful or failed alloc on
+    /// a healthy home shard costs exactly one.
+    pub fn alloc_shard_probes(&self) -> u64 {
+        self.alloc_shard_probes.get()
     }
 
     /// Releases an allocation ([`BuddyDevice::free`] semantics), returning
@@ -280,7 +331,10 @@ impl BuddyPool {
         self.guard_of(id)?.free(id.inner)
     }
 
-    /// Writes one entry ([`BuddyDevice::write_entry`] semantics).
+    /// Writes one entry ([`DeviceHandle::write_entry`] semantics): the
+    /// write serializes on the target allocation's write lock only — no
+    /// shard lock is taken, so writes to other allocations of the same
+    /// shard and all reads proceed concurrently.
     ///
     /// # Errors
     ///
@@ -291,12 +345,13 @@ impl BuddyPool {
         index: u64,
         entry: &Entry,
     ) -> Result<EntryState, DeviceError> {
-        self.guard_of(id)?.write_entry(id.inner, index, entry)
+        self.handle_of(id)?.write_entry(id.inner, index, entry)
     }
 
-    /// Writes a contiguous run of entries ([`BuddyDevice::write_entries`]
-    /// semantics; the whole batch executes under one shard lock, so a batch
-    /// is atomic with respect to other clients of the same shard).
+    /// Writes a contiguous run of entries ([`DeviceHandle::write_entries`]
+    /// semantics; the whole batch executes under the allocation's write
+    /// lock, so it is atomic with respect to other writers of the same
+    /// allocation — no shard lock is taken).
     ///
     /// # Errors
     ///
@@ -307,15 +362,16 @@ impl BuddyPool {
         start: u64,
         entries: &[Entry],
     ) -> Result<(), DeviceError> {
-        self.guard_of(id)?.write_entries(id.inner, start, entries)
+        self.handle_of(id)?.write_entries(id.inner, start, entries)
     }
 
     /// [`write_entries`](Self::write_entries), additionally returning the
     /// traffic this batch generated
-    /// ([`BuddyDevice::write_entries_collect`] semantics). The delta is
-    /// computed inside the shard's critical section, so it is exact even
-    /// under concurrency — the basis for per-tenant attribution in the
-    /// service layer.
+    /// ([`DeviceHandle::write_entries_collect`] semantics). The delta is
+    /// the batch's own traffic, computed from the batch itself rather than
+    /// sampled from shared counters, so it is exact even under
+    /// concurrency — the basis for per-tenant attribution in the service
+    /// layer.
     ///
     /// # Errors
     ///
@@ -326,21 +382,25 @@ impl BuddyPool {
         start: u64,
         entries: &[Entry],
     ) -> Result<AccessStats, DeviceError> {
-        self.guard_of(id)?
+        self.handle_of(id)?
             .write_entries_collect(id.inner, start, entries)
     }
 
-    /// Reads one entry ([`BuddyDevice::read_entry`] semantics).
+    /// Reads one entry against the shard's current published epoch
+    /// ([`DeviceHandle::read_entry`] semantics) — lock-free: no shard
+    /// mutex is taken and no `shard_lock_wait` span fires.
     ///
     /// # Errors
     ///
     /// As [`BuddyDevice::read_entry`].
     pub fn read_entry(&self, id: PoolAllocId, index: u64) -> Result<Entry, DeviceError> {
-        self.guard_of(id)?.read_entry(id.inner, index)
+        self.handle_of(id)?.read_entry(id.inner, index)
     }
 
-    /// Reads a contiguous run of entries ([`BuddyDevice::read_entries`]
-    /// semantics, batch-atomic per shard).
+    /// Reads a contiguous run of entries against one consistent published
+    /// epoch ([`DeviceHandle::read_entries`] semantics) — lock-free. A
+    /// batch racing a structural operation observes the old or the new
+    /// epoch in full, never a blend.
     ///
     /// # Errors
     ///
@@ -351,12 +411,12 @@ impl BuddyPool {
         start: u64,
         out: &mut [Entry],
     ) -> Result<(), DeviceError> {
-        self.guard_of(id)?.read_entries(id.inner, start, out)
+        self.handle_of(id)?.read_entries(id.inner, start, out)
     }
 
     /// [`read_entries`](Self::read_entries), additionally returning the
     /// traffic this batch generated
-    /// ([`BuddyDevice::read_entries_collect`] semantics); see
+    /// ([`DeviceHandle::read_entries_collect`] semantics); see
     /// [`write_entries_collect`](Self::write_entries_collect).
     ///
     /// # Errors
@@ -368,17 +428,37 @@ impl BuddyPool {
         start: u64,
         out: &mut [Entry],
     ) -> Result<AccessStats, DeviceError> {
+        self.handle_of(id)?
+            .read_entries_collect(id.inner, start, out)
+    }
+
+    /// [`read_entries_collect`](Self::read_entries_collect) forced through
+    /// the shard mutex — the pre-snapshot code path, kept as the
+    /// measurement baseline for the `pool-throughput` harness's
+    /// locked-vs-snapshot comparison. Not part of the data-path API;
+    /// production readers use the lock-free methods above.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyDevice::read_entries`].
+    pub fn read_entries_collect_locked(
+        &self,
+        id: PoolAllocId,
+        start: u64,
+        out: &mut [Entry],
+    ) -> Result<AccessStats, DeviceError> {
         self.guard_of(id)?
             .read_entries_collect(id.inner, start, out)
     }
 
-    /// Per-entry state without touching traffic counters.
+    /// Per-entry state without touching traffic counters — lock-free
+    /// ([`DeviceHandle::entry_state`] semantics).
     ///
     /// # Errors
     ///
     /// As [`BuddyDevice::entry_state`].
     pub fn entry_state(&self, id: PoolAllocId, index: u64) -> Result<EntryState, DeviceError> {
-        self.guard_of(id)?.entry_state(id.inner, index)
+        self.handle_of(id)?.entry_state(id.inner, index)
     }
 
     /// Migrates an allocation to a new target ratio
@@ -399,14 +479,15 @@ impl BuddyPool {
     }
 
     /// Summarizes an allocation's live metadata states for the adaptive
-    /// re-targeting policy ([`BuddyDevice::state_window`] semantics; a
-    /// traffic-free metadata scan under the owning shard's lock).
+    /// re-targeting policy ([`DeviceHandle::state_window`] semantics; a
+    /// traffic-free metadata scan against one consistent published epoch,
+    /// no shard lock).
     ///
     /// # Errors
     ///
     /// As [`BuddyDevice::state_window`].
     pub fn state_window(&self, id: PoolAllocId) -> Result<StateWindow, DeviceError> {
-        self.guard_of(id)?.state_window(id.inner)
+        self.handle_of(id)?.state_window(id.inner)
     }
 
     /// Name, target ratio and entry count of an allocation (name is cloned
@@ -447,12 +528,21 @@ impl BuddyPool {
     /// a *consistent* merged stats snapshot.
     ///
     /// All shard locks are acquired (in index order — the only multi-lock
-    /// path in the crate, so no deadlock) and held simultaneously; any
+    /// path in the crate, so no deadlock) and held simultaneously, which
+    /// fences out structural operations; then each shard waits for the
+    /// lock-free snapshot readers and entry writers that were in flight
+    /// when the locks landed ([`BuddyDevice::quiesce_handles`]). Any
     /// operation that began before `drain` was called has therefore
-    /// finished, and no operation can start until the snapshot is taken.
+    /// finished, and no structural operation can start until the snapshot
+    /// is taken. (Entry I/O arriving *after* the barrier may race the
+    /// snapshot — as with any stats read, totals are exact once clients
+    /// are quiescent.)
     pub fn drain(&self) -> AccessStats {
         let guards: Vec<MutexGuard<'_, BuddyDevice>> =
             (0..self.shards.len()).map(|i| self.shard(i)).collect();
+        for guard in &guards {
+            guard.quiesce_handles();
+        }
         let mut merged = AccessStats::default();
         for guard in &guards {
             merged.merge(&guard.stats());
@@ -892,6 +982,47 @@ mod tests {
         for o in pool.occupancy() {
             assert_eq!(o.allocations, 0, "no shard may host a zero-entry alloc");
         }
+        assert_eq!(
+            pool.alloc_shard_probes(),
+            0,
+            "a zero-entry request is rejected before any shard is locked"
+        );
+    }
+
+    #[test]
+    fn non_capacity_alloc_error_touches_exactly_one_shard() {
+        let pool = small_pool(4);
+        // entries × 128 B overflows u64, so the home shard answers
+        // RequestOverflow — a property of the request, not of any shard.
+        let err = pool
+            .alloc("absurd", u64::MAX / 4, TargetRatio::R1)
+            .unwrap_err();
+        assert_eq!(err, DeviceError::RequestOverflow);
+        assert!(!err.is_capacity());
+        assert_eq!(
+            pool.alloc_shard_probes(),
+            1,
+            "a non-capacity error must surface from the home shard alone, \
+             not walk (and lock) the whole shard ring"
+        );
+        // A capacity failure, by contrast, probes every shard once.
+        let exhausted = BuddyPool::new(PoolConfig {
+            shards: 4,
+            shard_config: DeviceConfig {
+                device_capacity: 64 * 128,
+                carve_out_factor: 3,
+            },
+            codec: CodecKind::Bpc,
+        });
+        assert!(exhausted
+            .alloc("too-big", 128, TargetRatio::R1)
+            .unwrap_err()
+            .is_capacity());
+        assert_eq!(
+            exhausted.alloc_shard_probes(),
+            4,
+            "capacity exhaustion probes the full ring before reporting"
+        );
     }
 
     #[test]

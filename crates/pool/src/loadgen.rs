@@ -98,6 +98,17 @@ pub struct LoadgenConfig {
     /// the shard's free lists, so a churning replay holds the pool at a
     /// steady footprint instead of leaking a new region per cycle.
     pub churn_every: u64,
+    /// Optional read percentage override in `0..=100`. `None` (default)
+    /// takes the read/write decision from the access profile's trace;
+    /// `Some(p)` forces each batch to be a read with probability `p`% from
+    /// a deterministic per-`(seed, client, batch)` stream — how the bench
+    /// harness dials in a 95/5 read-heavy mix independent of the profile.
+    pub read_pct: Option<u8>,
+    /// Route read batches through the shard-mutex baseline
+    /// ([`BuddyPool::read_entries_collect_locked`]) instead of the
+    /// lock-free snapshot path — the "before" side of the
+    /// locked-vs-snapshot scaling comparison. Writes are unaffected.
+    pub locked_reads: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -111,6 +122,8 @@ impl Default for LoadgenConfig {
             seed: 0xB0DD7,
             retarget_every: 0,
             churn_every: 0,
+            read_pct: None,
+            locked_reads: false,
         }
     }
 }
@@ -171,6 +184,13 @@ pub struct LoadReport {
     /// Alloc/free churn cycles the clients performed
     /// ([`LoadgenConfig::churn_every`]; `0` when churn is disabled).
     pub churn_cycles: u64,
+    /// Entry batches that returned a [`DeviceError`] instead of
+    /// completing. Errored batches are excluded from the latency
+    /// histogram and from `entries_processed`, and the count is surfaced
+    /// here so a sweep can *assert* on it — previously such batches were
+    /// silently dropped, letting a replay under-count real traffic
+    /// regressions. Non-churn sweeps must see zero.
+    pub errored_batches: u64,
     /// Traffic this replay added to the pool (delta of the merged
     /// counters, exact — taken after a [`BuddyPool::drain`] barrier).
     pub stats: AccessStats,
@@ -265,9 +285,12 @@ fn write_palette(seed: u64, batch: usize) -> Vec<Entry> {
 ///
 /// # Errors
 ///
-/// Returns the first [`DeviceError`] any client hits — in practice only
-/// allocation failures, when the pool is too small for
-/// `clients × entries_per_client`.
+/// Returns the first *structural* [`DeviceError`] any client hits
+/// (allocation failure when the pool is too small for
+/// `clients × entries_per_client`, or a failed churn/retarget cycle).
+/// Entry-batch errors do **not** abort the replay: they are counted into
+/// [`LoadReport::errored_batches`] and excluded from the latency sample,
+/// so a sweep can assert the count instead of silently losing batches.
 ///
 /// # Panics
 ///
@@ -303,31 +326,35 @@ pub fn replay(
     let before = pool.drain();
     let started = Instant::now();
 
-    let per_client: Vec<Result<HistogramSnapshot, DeviceError>> = std::thread::scope(|scope| {
-        let workers: Vec<_> = handles
-            .iter()
-            .enumerate()
-            .map(|(c, &handle)| {
-                let cfg = *cfg;
-                scope.spawn(move || client_run(pool, handle, profile, &cfg, c as u64))
-            })
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("loadgen client panicked")) // lint-allow(no-unwrap): a client panic must fail the whole harness run
-            .collect()
-    });
+    let per_client: Vec<Result<(HistogramSnapshot, u64), DeviceError>> =
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = handles
+                .iter()
+                .enumerate()
+                .map(|(c, &handle)| {
+                    let cfg = *cfg;
+                    scope.spawn(move || client_run(pool, handle, profile, &cfg, c as u64))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("loadgen client panicked")) // lint-allow(no-unwrap): a client panic must fail the whole harness run
+                .collect()
+        });
 
     let elapsed = started.elapsed();
     let after = pool.drain();
 
     let mut latency_hist = HistogramSnapshot::default();
+    let mut errored_batches = 0u64;
     for result in per_client {
-        latency_hist.merge(&result?);
+        let (hist, errored) = result?;
+        latency_hist.merge(&hist);
+        errored_batches += errored;
     }
 
     let batches = cfg.clients as u64 * cfg.batches_per_client;
-    let entries_processed = batches * cfg.batch_entries as u64;
+    let entries_processed = (batches - errored_batches) * cfg.batch_entries as u64;
     let secs = elapsed.as_secs_f64().max(1e-9);
     // Every cycle either completed or surfaced its error above, so the
     // count is a closed form, not something the clients need to report.
@@ -346,24 +373,28 @@ pub fn replay(
         latency: LatencyPercentiles::from_snapshot(&latency_hist),
         latency_hist,
         churn_cycles,
+        errored_batches,
         stats: stats_delta(&before, &after),
     })
 }
 
 /// One client thread: walks its deterministic trace, issuing one batched
 /// op per access and timing each batch into a thread-local histogram.
+/// Returns the latency snapshot plus the count of batches that errored
+/// (counted, skipped from the sample, never silently dropped).
 fn client_run(
     pool: &BuddyPool,
     mut handle: PoolAllocId,
     profile: AccessProfile,
     cfg: &LoadgenConfig,
     client: u64,
-) -> Result<HistogramSnapshot, DeviceError> {
+) -> Result<(HistogramSnapshot, u64), DeviceError> {
     let palette = write_palette(cfg.seed.wrapping_add(client), cfg.batch_entries);
     let ring = palette.len() - cfg.batch_entries;
     let mut trace = TraceGenerator::per_client(profile, cfg.entries_per_client, cfg.seed, client);
     let mut read_buf = vec![[0u8; ENTRY_BYTES]; cfg.batch_entries];
     let latencies = Histogram::new();
+    let mut errored_batches = 0u64;
     let max_start = cfg.entries_per_client - cfg.batch_entries as u64;
     let policy = RetargetPolicy::new(AdaptConfig::default());
     let mut current_target = cfg.target;
@@ -372,15 +403,36 @@ fn client_run(
     for op in 0..cfg.batches_per_client {
         let access = trace.next().expect("trace generators are infinite"); // lint-allow(no-unwrap): trace generators are infinite
         let start = access.entry.min(max_start);
+        // The profile decides read-vs-write unless `read_pct` pins the mix
+        // (deterministic per (seed, client, batch), like everything else).
+        let is_write = match cfg.read_pct {
+            Some(pct) => {
+                let roll = splitmix64(cfg.seed ^ (client << 32).wrapping_add(op)) % 100;
+                roll >= u64::from(pct.min(100))
+            }
+            None => access.write,
+        };
         let timer = Instant::now();
-        if access.write {
+        let outcome = if is_write {
             let window = &palette[(op as usize) % ring..][..cfg.batch_entries];
-            pool.write_entries(handle, start, window)?;
+            pool.write_entries(handle, start, window)
+        } else if cfg.locked_reads {
+            pool.read_entries_collect_locked(handle, start, &mut read_buf)
+                .map(|_| ())
         } else {
-            pool.read_entries(handle, start, &mut read_buf)?;
-            std::hint::black_box(&read_buf);
+            pool.read_entries(handle, start, &mut read_buf)
+        };
+        match outcome {
+            Ok(()) => {
+                std::hint::black_box(&read_buf);
+                latencies.record_duration(timer.elapsed());
+            }
+            // An errored batch is counted and excluded from the latency
+            // sample — not propagated (that would abort the whole replay
+            // on a transient race) and not dropped (that silently
+            // under-counted real regressions).
+            Err(_) => errored_batches += 1,
         }
-        latencies.record_duration(timer.elapsed());
 
         // Between batches: the optional re-targeting sweep. Outside the
         // latency sample (migration is a background maintenance cost, not
@@ -411,7 +463,7 @@ fn client_run(
             current_target = cfg.target;
         }
     }
-    Ok(latencies.snapshot())
+    Ok((latencies.snapshot(), errored_batches))
 }
 
 /// Field-wise difference of two monotonically increasing counter sets.
@@ -462,6 +514,10 @@ mod tests {
         assert_eq!(report.shards, 2);
         assert_eq!(report.batches, 3 * 32);
         assert_eq!(report.entries_processed, 3 * 32 * 16);
+        assert_eq!(
+            report.errored_batches, 0,
+            "a non-churn sweep must complete every batch"
+        );
         // One traffic-counter access per entry moved.
         assert_eq!(report.stats.total_accesses(), report.entries_processed);
         assert!(report.entries_per_sec > 0.0);
@@ -616,6 +672,9 @@ mod tests {
         };
         let report = replay(&pool, AccessProfile::streaming_dl(), &cfg).unwrap();
         assert_eq!(report.churn_cycles, 3 * (64 / 8));
+        // A client only churns its *own* allocation between its own
+        // batches, so even under churn no batch hits a dead handle.
+        assert_eq!(report.errored_batches, 0);
         assert_eq!(report.entries_processed, 3 * 64 * 16);
         // Every client ends with exactly one live allocation: all churned
         // regions were freed, so the pool's footprint is the steady-state
@@ -641,6 +700,53 @@ mod tests {
         assert_eq!(a.churn_cycles, b.churn_cycles);
         let off = replay(&pool(4), AccessProfile::stencil(), &quick_cfg(4)).unwrap();
         assert_eq!(off.churn_cycles, 0, "no churn without opting in");
+    }
+
+    #[test]
+    fn read_pct_overrides_the_profile_mix() {
+        // 100% reads: no write traffic at all, whatever the profile says.
+        let all_reads = LoadgenConfig {
+            read_pct: Some(100),
+            ..quick_cfg(2)
+        };
+        let report = replay(&pool(2), AccessProfile::streaming_dl(), &all_reads).unwrap();
+        assert_eq!(report.errored_batches, 0);
+        assert_eq!(report.stats.writes_device_only, 0);
+        assert_eq!(report.stats.writes_with_buddy, 0);
+        assert_eq!(report.stats.total_accesses(), report.entries_processed);
+        // A 95/5 mix produces *some* writes but stays read-dominated.
+        let read_heavy = LoadgenConfig {
+            read_pct: Some(95),
+            batches_per_client: 128,
+            ..quick_cfg(2)
+        };
+        let report = replay(&pool(2), AccessProfile::streaming_dl(), &read_heavy).unwrap();
+        let writes = report.stats.writes_device_only + report.stats.writes_with_buddy;
+        let reads = report.stats.reads_device_only + report.stats.reads_with_buddy;
+        assert!(writes > 0, "a 95/5 mix still writes");
+        assert!(
+            reads > writes * 8,
+            "the mix must be read-dominated: {reads} reads vs {writes} writes"
+        );
+    }
+
+    #[test]
+    fn locked_reads_baseline_does_the_same_work() {
+        // The mutex-baseline read path must complete the identical replay
+        // with identical traffic — it is the same semantics, only slower
+        // under contention.
+        let snapshot_cfg = LoadgenConfig {
+            read_pct: Some(95),
+            ..quick_cfg(3)
+        };
+        let locked_cfg = LoadgenConfig {
+            locked_reads: true,
+            ..snapshot_cfg
+        };
+        let snapshot = replay(&pool(2), AccessProfile::streaming_dl(), &snapshot_cfg).unwrap();
+        let locked = replay(&pool(2), AccessProfile::streaming_dl(), &locked_cfg).unwrap();
+        assert_eq!(snapshot.stats, locked.stats);
+        assert_eq!(locked.errored_batches, 0);
     }
 
     #[test]

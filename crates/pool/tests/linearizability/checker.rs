@@ -94,17 +94,39 @@ pub struct Operation {
 }
 
 /// The sequential specification: a bare device plus the name → handle map.
-#[derive(Debug, Clone)]
+///
+/// [`BuddyDevice`] is not `Clone` (its storage is shared with lock-free
+/// handles), so the oracle records every call it has applied and `clone`
+/// replays them onto a fresh device — the model is deterministic, so the
+/// replay reconstructs the exact state, and histories are small enough
+/// that the extra work never matters.
+#[derive(Debug)]
 struct Oracle {
+    config: DeviceConfig,
+    codec: CodecKind,
     device: BuddyDevice,
     handles: Vec<Option<AllocId>>,
+    applied: Vec<Call>,
+}
+
+impl Clone for Oracle {
+    fn clone(&self) -> Self {
+        let mut fresh = Oracle::new(self.config, self.codec, self.handles.len());
+        for &call in &self.applied {
+            fresh.apply(call);
+        }
+        fresh
+    }
 }
 
 impl Oracle {
     fn new(config: DeviceConfig, codec: CodecKind, names: usize) -> Self {
         Self {
+            config,
+            codec,
             device: BuddyDevice::with_codec(config, codec),
             handles: vec![None; names],
+            applied: Vec::new(),
         }
     }
 
@@ -113,6 +135,7 @@ impl Oracle {
     /// (`BadAllocation`), matching what the concurrent run observes once
     /// the allocation is freed.
     fn apply(&mut self, call: Call) -> Outcome {
+        self.applied.push(call);
         let stale = Outcome::Failed(ErrorKind::of(&DeviceError::BadAllocation));
         match call {
             Call::Alloc {

@@ -5,8 +5,8 @@
 //! may only ever *distribute* the device semantics, never change them.
 
 use buddy_pool::{
-    AccessStats, BuddyDevice, BuddyPool, CodecKind, DeviceConfig, Entry, PoolAllocId, PoolConfig,
-    TargetRatio, ENTRY_BYTES,
+    AccessStats, BuddyDevice, BuddyPool, CodecKind, DeviceConfig, DeviceError, Entry, PoolAllocId,
+    PoolConfig, TargetRatio, ENTRY_BYTES,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -287,6 +287,127 @@ fn concurrent_retargets_never_tear_client_reads() {
         (CLIENTS as u64) * (ROUNDS as u64) * (BATCH as u64) * 2,
         "migrations must not perturb entry-access accounting"
     );
+}
+
+/// The reader-storm harness behind the proptest below: `readers` threads
+/// hammer `read_entries` with no lock while one mutator thread loops
+/// full-image writes, retargets, and free+realloc cycles on the same
+/// allocation. Every phase `k` writes the uniform image `[k; 128]` in one
+/// batch (batches publish atomically), every retarget preserves bytes, and
+/// every realloc starts zeroed — so *any* legal read is uniform: all
+/// entries identical, every byte of every entry identical, and the value
+/// is either 0 (a fresh allocation) or a phase fill that was actually
+/// written. A read that blends two epochs — half the batch from before a
+/// migration, half after, or an entry decoded from a stale metadata
+/// nibble against migrated bytes — breaks uniformity and fails the run.
+/// A read racing the free/realloc window may instead observe
+/// `BadAllocation`; any other error is a failure.
+fn reader_storm(shards: usize, readers: usize, seed: u64) {
+    const ENTRIES: u64 = 128;
+    const BATCH: usize = 32;
+    const PHASES: u8 = 12;
+
+    let pool = BuddyPool::new(PoolConfig {
+        shards,
+        shard_config: SHARD_CONFIG,
+        codec: CodecKind::Bpc,
+    });
+    let current = std::sync::Mutex::new(pool.alloc("storm", ENTRIES, TargetRatio::R2).unwrap());
+    let stop = std::sync::atomic::AtomicBool::new(false);
+
+    let reader_failures: Vec<String> = std::thread::scope(|scope| {
+        let checkers: Vec<_> = (0..readers)
+            .map(|r| {
+                let pool = &pool;
+                let current = &current;
+                let stop = &stop;
+                scope.spawn(move || -> Result<(), String> {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64) << 17);
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let handle = *current.lock().unwrap();
+                        let start = rng.gen_range(0..=ENTRIES - BATCH as u64);
+                        let mut out = vec![[0xAAu8; ENTRY_BYTES]; BATCH];
+                        match pool.read_entries(handle, start, &mut out) {
+                            Ok(()) => {
+                                let value = out[0][0];
+                                if value > PHASES {
+                                    return Err(format!(
+                                        "reader {r}: byte {value} was never written"
+                                    ));
+                                }
+                                for (i, entry) in out.iter().enumerate() {
+                                    if entry != &[value; ENTRY_BYTES] {
+                                        return Err(format!(
+                                            "reader {r}: entry {i} of batch at {start} blends \
+                                             epochs (batch leads with {value}, entry is {:?}…)",
+                                            &entry[..4]
+                                        ));
+                                    }
+                                }
+                            }
+                            // The handle died under a free+realloc cycle —
+                            // the one legal non-success.
+                            Err(DeviceError::BadAllocation) => {}
+                            Err(other) => {
+                                return Err(format!("reader {r}: unexpected error {other:?}"))
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+
+        // The mutator runs on this thread: full-image write, two byte-
+        // preserving migrations, then a free+realloc cycle per phase.
+        for phase in 1..=PHASES {
+            let handle = *current.lock().unwrap();
+            let image = vec![[phase; ENTRY_BYTES]; ENTRIES as usize];
+            pool.write_entries(handle, 0, &image).unwrap();
+            for target in [TargetRatio::R4, TargetRatio::R1_33] {
+                pool.retarget(handle, target).unwrap();
+            }
+            pool.free(handle).unwrap();
+            let fresh = pool
+                .alloc(&format!("storm-{phase}"), ENTRIES, TargetRatio::R2)
+                .unwrap();
+            *current.lock().unwrap() = fresh;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+
+        checkers
+            .into_iter()
+            .filter_map(|c| c.join().expect("reader panicked").err())
+            .collect()
+    });
+
+    assert!(
+        reader_failures.is_empty(),
+        "torn reads under the storm: {reader_failures:?}"
+    );
+    // The barrier drains lock-free readers too; afterwards the last
+    // allocation must hold a complete, uniform image.
+    let _ = pool.drain();
+    let survivor = *current.lock().unwrap();
+    let mut final_image = vec![[0u8; ENTRY_BYTES]; ENTRIES as usize];
+    pool.read_entries(survivor, 0, &mut final_image).unwrap();
+    assert!(final_image.iter().all(|e| e == &[0u8; ENTRY_BYTES]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Reader storm: concurrent lock-free reads racing writes, retargets
+    /// and free+realloc cycles must observe a complete pre-image, a
+    /// complete post-image, or `BadAllocation` — never a blend of epochs.
+    #[test]
+    fn reader_storm_observes_whole_epochs_or_bad_allocation(
+        shards in 1usize..3,
+        readers in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        reader_storm(shards, readers, seed);
+    }
 }
 
 /// Merging per-shard stats is lossless: a multi-shard pool serving disjoint

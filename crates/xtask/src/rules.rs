@@ -76,6 +76,14 @@ pub fn registry() -> Vec<Rule> {
             check: check_nested_lock,
         },
         Rule {
+            id: "read-path-lock",
+            severity: Severity::Deny,
+            summary: "pool read-path functions must not acquire a shard lock — reads resolve \
+                      against epoch-published snapshots",
+            applies: |p| p.starts_with("crates/pool/src/"),
+            check: check_read_path_lock,
+        },
+        Rule {
             id: "relaxed-ordering",
             severity: Severity::Deny,
             summary: "every Ordering::Relaxed needs an adjacent `Relaxed: ...` justification comment",
@@ -235,6 +243,82 @@ fn check_nested_lock(file: &SourceFile, out: &mut Vec<RawFinding>) {
                     depth -= 1;
                     while held.last().is_some_and(|&d| d > depth) {
                         held.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Signatures of the pool's lock-free read path. The trailing `(` is part
+/// of the needle, so `fn read_entries_collect(` does *not* match the
+/// explicitly-locked baseline `fn read_entries_collect_locked(`.
+const READ_PATH_FNS: [&str; 5] = [
+    "fn read_entry(",
+    "fn read_entries(",
+    "fn read_entries_collect(",
+    "fn entry_state(",
+    "fn state_window(",
+];
+
+/// Tokens whose presence inside a read-path body means a shard lock was
+/// taken: the probe helpers that return a guard, and a guard type spelled
+/// out in a binding.
+const READ_PATH_LOCK_TOKENS: [&str; 3] = ["self.shard(", "self.guard_of(", "MutexGuard"];
+
+fn check_read_path_lock(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    // The lock-free invariant from the epoch-snapshot redesign: the read
+    // path (`read_entry` / `read_entries` / `read_entries_collect` /
+    // `entry_state` / `state_window`) resolves against published snapshots
+    // via `handle_of`, never through the shard mutex. A future refactor
+    // that quietly reintroduces a guard would still pass every functional
+    // test — only the scaling collapses — so the invariant is pinned here.
+    // The explicitly-locked baseline keeps its own `_locked` name and is
+    // out of scope by construction.
+    let mut depth: i64 = 0;
+    // Some((floor, opened)): inside a read-path fn; the body is every line
+    // until depth returns to `floor` after having exceeded it.
+    let mut body: Option<(i64, bool)> = None;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if body.is_none() && READ_PATH_FNS.iter().any(|sig| code.contains(sig)) {
+            body = Some((depth, false));
+        }
+        if body.is_some() {
+            for token in READ_PATH_LOCK_TOKENS {
+                if code.contains(token) {
+                    out.push(RawFinding {
+                        line: idx + 1,
+                        message: format!(
+                            "`{token}` on the pool read path — reads must resolve through the \
+                             epoch-published snapshot (`handle_of`), never a shard guard; use \
+                             an explicitly `_locked`-suffixed baseline or waive with why this \
+                             lock cannot serialize readers"
+                        ),
+                    });
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some((floor, opened)) = &mut body {
+                        if depth > *floor {
+                            *opened = true;
+                        }
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((floor, opened)) = body {
+                        if opened && depth <= floor {
+                            body = None;
+                        }
                     }
                 }
                 _ => {}
@@ -455,6 +539,50 @@ mod tests {
         let guard_via_try =
             "fn f(&self) {\n    let g = self.guard_of(id)?;\n    self.shard(0).stats();\n}";
         assert_eq!(run("nested-lock", guard_via_try).len(), 1);
+    }
+
+    #[test]
+    fn read_path_lock_flags_guards_only_inside_read_fns() {
+        let shard_guard =
+            "impl P {\n    fn read_entry(&self) -> u64 {\n        let g = self.shard(0);\n        g.read()\n    }\n}";
+        assert_eq!(run("read-path-lock", shard_guard).len(), 1);
+        let guard_of = "fn read_entries(&self) -> u64 {\n    self.guard_of(id)?.read()\n}";
+        assert_eq!(run("read-path-lock", guard_of).len(), 1);
+        let spelled_guard =
+            "fn entry_state(&self) {\n    let g: MutexGuard<'_, D> = self.inner.lock();\n}";
+        assert_eq!(run("read-path-lock", spelled_guard).len(), 1);
+        // The snapshot path is the required shape and is clean.
+        let snapshot = "fn read_entries(&self) -> u64 {\n    self.handle_of(id)?.read()\n}";
+        assert!(run("read-path-lock", snapshot).is_empty());
+        // The explicitly-locked baseline keeps its `_locked` name and is
+        // out of scope: the trailing `(` in the needle refuses the match.
+        let locked_baseline =
+            "fn read_entries_collect_locked(&self) -> u64 {\n    self.guard_of(id)?.read()\n}";
+        assert!(run("read-path-lock", locked_baseline).is_empty());
+        // Structural operations may lock all they like.
+        let structural = "fn alloc(&self) -> u64 {\n    let g = self.shard(0);\n    g.alloc()\n}";
+        assert!(run("read-path-lock", structural).is_empty());
+        // A multi-line signature still anchors the body scan.
+        let multiline = "pub fn read_entries(\n    &self,\n    id: AllocId,\n) -> u64 {\n    self.shard(0).read()\n}";
+        assert_eq!(run("read-path-lock", multiline).len(), 1);
+        // The body ends at its closing brace: a lock in the *next* fn is fine.
+        let after_body = "impl P {\n    fn read_entry(&self) -> u64 {\n        self.handle_of(id)?.read()\n    }\n    fn free(&self) {\n        let g = self.shard(0);\n    }\n}";
+        assert!(run("read-path-lock", after_body).is_empty());
+    }
+
+    #[test]
+    fn read_path_lock_scope_is_the_pool_crate() {
+        let rules = registry();
+        let rule = rules
+            .iter()
+            .find(|r| r.id == "read-path-lock")
+            .expect("rule registered");
+        assert!((rule.applies)("crates/pool/src/lib.rs"));
+        assert!((rule.applies)("crates/pool/src/loadgen.rs"));
+        // Core and service define their own read fns against different
+        // locking disciplines; the invariant is the *pool's*.
+        assert!(!(rule.applies)("crates/core/src/device.rs"));
+        assert!(!(rule.applies)("crates/service/src/lib.rs"));
     }
 
     #[test]
