@@ -1,0 +1,296 @@
+//! Protocol models: the `core::shared` seqlock/epoch protocol distilled
+//! to its synchronization skeleton, one model per invariant.
+//!
+//! Each model is a closure for [`crate::explore`] that builds its state,
+//! runs two model threads against each other, and asserts the protocol
+//! invariant whenever the reader's validation accepts a snapshot. Each
+//! model also takes a *mutation*: a seeded protocol bug (dropped
+//! tombstone, skipped odd-seq bump, downgraded `Release`, removed fence)
+//! that the checker must turn into a counterexample schedule — the
+//! integration suite (`tests/protocol.rs`) fails if any mutation goes
+//! undetected, which is how the checker itself is kept honest.
+//!
+//! The orderings in the unmutated models are exactly the ones
+//! `core::sync`'s `seq_open`/`seq_release`/`seq_acquire`/`acquire_fence`
+//! helpers implement; `shared.rs` cites these models as evidence for its
+//! fence choices.
+
+use crate::shim::{fence, spawn, AtomicU64};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::Arc;
+
+/// Reader retry budget: enough to ride out the writer's two epochs; on
+/// exhaustion the reader gives up without asserting (a valid outcome —
+/// liveness is out of scope, see DESIGN.md §13).
+const READER_RETRIES: usize = 3;
+
+/// Seeded bugs for [`seqlock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqlockMutation {
+    /// The correct protocol.
+    None,
+    /// Writer does not bump `seq` to odd before writing — readers cannot
+    /// tell a write is in flight.
+    SkipOddBump,
+    /// Writer's closing `seq` bump is `Relaxed` instead of `Release` —
+    /// a reader that validates against the closed `seq` no longer
+    /// inherits the data written inside the window.
+    CloseRelaxed,
+    /// Reader omits the acquire fence between its data loads and its
+    /// validating `seq` re-load — stale data can slip past validation.
+    NoReaderFence,
+    /// Writer omits the release fence after the odd bump — the data
+    /// stores no longer carry the open window, so a reader can observe
+    /// them and still validate against the old even sequence.
+    NoWriterFence,
+}
+
+/// Seqlock read vs. batched write (`SlotCell::begin_read`/`still` vs.
+/// `SeqWindow`): a validated snapshot must never span two write epochs.
+///
+/// The writer publishes two epochs; each stores the epoch number to both
+/// data words inside a seq window. A reader whose `s1 == s2` (both even)
+/// validation passes must see `a == b`.
+pub fn seqlock(mutation: SeqlockMutation) -> impl Fn() + Send + Sync + Clone + 'static {
+    move || {
+        let seq = Arc::new(AtomicU64::labelled("seq", 0));
+        let a = Arc::new(AtomicU64::labelled("a", 0));
+        let b = Arc::new(AtomicU64::labelled("b", 0));
+
+        let (wseq, wa, wb) = (Arc::clone(&seq), Arc::clone(&a), Arc::clone(&b));
+        let writer = spawn(move || {
+            for epoch in 1..=2u64 {
+                if mutation != SeqlockMutation::SkipOddBump {
+                    wseq.fetch_add(1, Relaxed);
+                }
+                if mutation != SeqlockMutation::NoWriterFence {
+                    fence(Release);
+                }
+                wa.store(epoch, Relaxed);
+                wb.store(epoch, Relaxed);
+                let close = if mutation == SeqlockMutation::CloseRelaxed {
+                    Relaxed
+                } else {
+                    Release
+                };
+                wseq.fetch_add(1, close);
+            }
+        });
+
+        for _ in 0..READER_RETRIES {
+            let s1 = seq.load(Acquire);
+            if s1 % 2 == 1 {
+                continue;
+            }
+            let va = a.load(Relaxed);
+            let vb = b.load(Relaxed);
+            if mutation != SeqlockMutation::NoReaderFence {
+                fence(Acquire);
+            }
+            let s2 = seq.load(Relaxed);
+            if s1 == s2 {
+                assert_eq!(va, vb, "torn descriptor: a={va} b={vb} under seq {s1}");
+                break;
+            }
+        }
+        writer.join();
+    }
+}
+
+/// Seeded bugs for [`tombstone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TombstoneMutation {
+    /// The correct protocol.
+    None,
+    /// Free recycles the bytes without first publishing the dead
+    /// generation — a stale handle can read recycled bytes while the
+    /// generation still looks live.
+    DropTombstone,
+}
+
+/// Free-tombstone vs. stale reader (`SlotTable` generation protocol): a
+/// validated read that sees a live generation must never see recycled
+/// bytes.
+pub fn tombstone(mutation: TombstoneMutation) -> impl Fn() + Send + Sync + Clone + 'static {
+    const LIVE: u64 = 2;
+    const DEAD: u64 = 1;
+    const PAYLOAD: u64 = 7;
+    const RECYCLED: u64 = 99;
+    move || {
+        let seq = Arc::new(AtomicU64::labelled("seq", 0));
+        let gen = Arc::new(AtomicU64::labelled("gen", LIVE));
+        let data = Arc::new(AtomicU64::labelled("data", PAYLOAD));
+
+        let (fseq, fgen, fdata) = (Arc::clone(&seq), Arc::clone(&gen), Arc::clone(&data));
+        let freer = spawn(move || {
+            fseq.fetch_add(1, Relaxed);
+            fence(Release);
+            if mutation != TombstoneMutation::DropTombstone {
+                fgen.store(DEAD, Relaxed);
+            }
+            fdata.store(RECYCLED, Relaxed);
+            fseq.fetch_add(1, Release);
+        });
+
+        // Reader holding a handle minted while the slot was live.
+        for _ in 0..READER_RETRIES {
+            let s1 = seq.load(Acquire);
+            if s1 % 2 == 1 {
+                continue;
+            }
+            let g = gen.load(Relaxed);
+            let v = data.load(Relaxed);
+            fence(Acquire);
+            let s2 = seq.load(Relaxed);
+            if s1 == s2 {
+                if g == LIVE {
+                    assert_eq!(v, PAYLOAD, "recycled bytes ({v}) under live generation");
+                }
+                break;
+            }
+        }
+        freer.join();
+    }
+}
+
+/// Seeded bugs for [`retarget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetargetMutation {
+    /// The correct protocol.
+    None,
+    /// Republish closes the seq window right after the target switch and
+    /// rewrites the bases outside it — readers can observe the new target
+    /// with the old bases.
+    EarlyClose,
+}
+
+/// Retarget republish vs. concurrent read (`SharedState::republish`): a
+/// validated read sees the old tier triple or the new one, never a blend
+/// of target and bases.
+pub fn retarget(mutation: RetargetMutation) -> impl Fn() + Send + Sync + Clone + 'static {
+    const OLD: (u64, u64, u64) = (0, 10, 20);
+    const NEW: (u64, u64, u64) = (1, 11, 21);
+    move || {
+        let seq = Arc::new(AtomicU64::labelled("seq", 0));
+        let target = Arc::new(AtomicU64::labelled("target", OLD.0));
+        let base_a = Arc::new(AtomicU64::labelled("base_a", OLD.1));
+        let base_b = Arc::new(AtomicU64::labelled("base_b", OLD.2));
+
+        let (wseq, wt, wa, wb) = (
+            Arc::clone(&seq),
+            Arc::clone(&target),
+            Arc::clone(&base_a),
+            Arc::clone(&base_b),
+        );
+        let writer = spawn(move || {
+            wseq.fetch_add(1, Relaxed);
+            fence(Release);
+            wt.store(NEW.0, Relaxed);
+            if mutation == RetargetMutation::EarlyClose {
+                wseq.fetch_add(1, Release);
+                wa.store(NEW.1, Relaxed);
+                wb.store(NEW.2, Relaxed);
+            } else {
+                wa.store(NEW.1, Relaxed);
+                wb.store(NEW.2, Relaxed);
+                wseq.fetch_add(1, Release);
+            }
+        });
+
+        for _ in 0..READER_RETRIES {
+            let s1 = seq.load(Acquire);
+            if s1 % 2 == 1 {
+                continue;
+            }
+            let snap = (
+                target.load(Relaxed),
+                base_a.load(Relaxed),
+                base_b.load(Relaxed),
+            );
+            fence(Acquire);
+            let s2 = seq.load(Relaxed);
+            if s1 == s2 {
+                assert!(
+                    snap == OLD || snap == NEW,
+                    "blended republish: observed {snap:?}, expected {OLD:?} or {NEW:?}"
+                );
+                break;
+            }
+        }
+        writer.join();
+    }
+}
+
+/// Seeded bugs for [`drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMutation {
+    /// The correct protocol.
+    None,
+    /// Drain reads the stats without waiting for the in-flight counter
+    /// balance.
+    SkipWait,
+    /// The op's exit counter bump is `Relaxed` instead of `SeqCst` — the
+    /// barrier count balances but the op's stats writes are not yet
+    /// ordered before the drain's reads.
+    ExitRelaxed,
+}
+
+/// Drain barrier vs. in-flight op (`SharedState::enter_op` /
+/// `wait_quiescent`, the `quiesce_handles` sweep): every op in flight at
+/// the barrier's entered-counter snapshot must have **all** of its stats
+/// pieces visible once the exited counter catches up — no half-merged
+/// snapshot.
+///
+/// Mirrors the real contract precisely: an op that enters *after* the
+/// snapshot (the reader slipping in between the lock sweep and the
+/// barrier wait) is outside the barrier, so the drain asserts nothing
+/// about it — `drain`'s callers quiesce their own traffic sources first.
+pub fn drain(mutation: DrainMutation) -> impl Fn() + Send + Sync + Clone + 'static {
+    move || {
+        let entered = Arc::new(AtomicU64::labelled("ops_entered", 0));
+        let exited = Arc::new(AtomicU64::labelled("ops_exited", 0));
+        let stat_hi = Arc::new(AtomicU64::labelled("stat_hi", 0));
+        let stat_lo = Arc::new(AtomicU64::labelled("stat_lo", 0));
+
+        let (oe, ox, oh, ol) = (
+            Arc::clone(&entered),
+            Arc::clone(&exited),
+            Arc::clone(&stat_hi),
+            Arc::clone(&stat_lo),
+        );
+        let op = spawn(move || {
+            oe.fetch_add(1, SeqCst);
+            oh.fetch_add(1, Relaxed);
+            ol.fetch_add(1, Relaxed);
+            let exit = if mutation == DrainMutation::ExitRelaxed {
+                Relaxed
+            } else {
+                SeqCst
+            };
+            ox.fetch_add(1, exit);
+        });
+
+        // wait_quiescent: snapshot the entered counter, then wait for the
+        // exited counter to catch up to that snapshot.
+        let target = entered.load(SeqCst);
+        let mut quiescent = mutation == DrainMutation::SkipWait;
+        if !quiescent {
+            for _ in 0..READER_RETRIES + 1 {
+                if exited.load(SeqCst) >= target {
+                    quiescent = true;
+                    break;
+                }
+            }
+        }
+        // Only ops inside the snapshot are covered by the barrier.
+        if quiescent && target == 1 {
+            let hi = stat_hi.load(Relaxed);
+            let lo = stat_lo.load(Relaxed);
+            assert!(
+                hi == 1 && lo == 1,
+                "half-merged stats snapshot behind the barrier: hi={hi} lo={lo}"
+            );
+        }
+        op.join();
+    }
+}

@@ -66,6 +66,7 @@ pub mod metadata;
 pub mod profile;
 pub mod region;
 mod shared;
+pub mod sync;
 pub mod target;
 
 pub use adapt::{AdaptConfig, RetargetPolicy, StateWindow};

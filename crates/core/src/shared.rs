@@ -35,16 +35,33 @@
 //! slot's `write_lock` (shared with structural publications) and wrap the
 //! byte/nibble stores in the same odd/even sequence window so concurrent
 //! readers of the same allocation retry instead of tearing.
+//!
+//! # Ordering evidence
+//!
+//! Every ordering below is either the canonical seqlock set (via the
+//! [`crate::sync`] `seq_*` helpers — each justified by a model-checker
+//! mutation in `crates/check`) or carries a `Relaxed:`/`SeqCst:` comment
+//! naming the edge that makes it safe. The distilled protocol models and
+//! their counterexample-producing mutations live in
+//! `crates/check/src/models.rs`; DESIGN.md §13 maps each model back to
+//! the code here.
+
+// lint-allow-file(raw-atomic-metric): every atomic in this module is
+// protocol state (seqlock words, generations, published bases, byte and
+// nibble storage, drain-barrier counters) or the device stats mirror
+// reported through the existing stats() API — none is an ad-hoc metric.
 
 use crate::adapt::StateWindow;
 use crate::device::{AccessStats, AllocId, DeviceError};
 use crate::metadata::EntryState;
+use crate::sync::{
+    seq_acquire, seq_open, seq_release, seq_revalidate, AtomicU64, AtomicU8, Mutex, MutexGuard,
+    OnceLock, Ordering,
+};
 use crate::target::TargetRatio;
 use bpc::{Codec, CodecKind, CompressedBuf, Entry, SizeClass, ENTRY_BYTES, SECTOR_BYTES};
 use buddy_obs::{trace, SpanKind};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// The `Copy`-able addressing facts of one allocation — the per-epoch
 /// snapshot every access resolves against.
@@ -172,7 +189,7 @@ pub(crate) struct AtomicBytes {
 impl AtomicBytes {
     pub(crate) fn new(len_bytes: u64) -> Self {
         let words = (0..len_bytes.div_ceil(8))
-            .map(|_| AtomicU64::new(0)) // lint-allow(raw-atomic-metric): lock-free byte storage words, not a metric
+            .map(|_| AtomicU64::new(0))
             .collect();
         Self { words }
     }
@@ -364,12 +381,12 @@ fn decode_target(b: u8) -> Option<TargetRatio> {
 /// always has `entries ≥ 1`, a freed or never-used slot publishes
 /// `entries == 0`).
 pub(crate) struct SlotCell {
-    seq: AtomicU64, // lint-allow(raw-atomic-metric): seqlock sequence word, not a metric
-    generation: AtomicU64, // lint-allow(raw-atomic-metric): published slot generation, not a metric
-    entries: AtomicU64, // lint-allow(raw-atomic-metric): published allocation length, not a metric
-    device_base: AtomicU64, // lint-allow(raw-atomic-metric): published region base, not a metric
-    buddy_base: AtomicU64, // lint-allow(raw-atomic-metric): published region base, not a metric
-    metadata_base: AtomicU64, // lint-allow(raw-atomic-metric): published region base, not a metric
+    seq: AtomicU64,
+    generation: AtomicU64,
+    entries: AtomicU64,
+    device_base: AtomicU64,
+    buddy_base: AtomicU64,
+    metadata_base: AtomicU64,
     target: AtomicU8,
     /// Serializes entry-write batches and structural publications on this
     /// slot. Never held while taking any other lock.
@@ -379,12 +396,12 @@ pub(crate) struct SlotCell {
 impl SlotCell {
     fn new() -> Self {
         Self {
-            seq: AtomicU64::new(0), // lint-allow(raw-atomic-metric): seqlock sequence word, not a metric
-            generation: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published slot generation, not a metric
-            entries: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published allocation length, not a metric
-            device_base: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published region base, not a metric
-            buddy_base: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published region base, not a metric
-            metadata_base: AtomicU64::new(0), // lint-allow(raw-atomic-metric): published region base, not a metric
+            seq: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            device_base: AtomicU64::new(0),
+            buddy_base: AtomicU64::new(0),
+            metadata_base: AtomicU64::new(0),
             target: AtomicU8::new(0),
             write_lock: Mutex::new(()),
         }
@@ -395,7 +412,13 @@ impl SlotCell {
     fn begin_read(&self) -> u64 {
         let mut spins = 0u32;
         loop {
-            let s = self.seq.load(Ordering::SeqCst);
+            // Acquire (was SeqCst): pairs with `seq_release`'s closing
+            // bump — observing an even sequence inherits every store of
+            // that window, so the Relaxed field loads that follow cannot
+            // be older than this epoch. Model: `seqlock` passes
+            // exhaustively with Acquire; `CloseRelaxed` (breaking the
+            // pairing) has a counterexample.
+            let s = seq_acquire(&self.seq);
             if s % 2 == 0 {
                 return s;
             }
@@ -410,43 +433,67 @@ impl SlotCell {
 
     /// True when the sequence still matches `seen` — everything loaded
     /// since `begin_read` returned `seen` is a consistent snapshot.
+    ///
+    /// Acquire fence + Relaxed re-load (was `SeqCst` fence + `SeqCst`
+    /// load): the fence upgrades the Relaxed data loads since
+    /// `begin_read`, so any value written inside a later window drags
+    /// that window's odd sequence into view and the re-load must see it
+    /// — the happens-before edge is data-store → (writer release fence)
+    /// → (this acquire fence) → sequence re-load. Model: removing the
+    /// fence (`NoReaderFence`) lets a torn snapshot validate; the
+    /// Acquire version passes exhaustively, so SeqCst bought nothing.
     fn still(&self, seen: u64) -> bool {
-        fence(Ordering::SeqCst);
-        self.seq.load(Ordering::SeqCst) == seen
+        seq_revalidate(&self.seq) == seen
     }
 
     /// Copies the published fields (caller brackets with `begin_read` /
     /// `still`).
     fn load_raw(&self) -> RawSlot {
+        // Relaxed (was SeqCst): these loads sit between `begin_read`'s
+        // acquire of the sequence and `still`'s re-validation — a stale
+        // value here either predates the acquired epoch (impossible, the
+        // close-bump published it) or belongs to a later window, whose
+        // odd sequence then fails `still`. Model: the `seqlock` and
+        // `retarget` models run their field loads Relaxed and pass
+        // exhaustively.
+        let ld = |field: &AtomicU64| field.load(Ordering::Relaxed);
         RawSlot {
-            generation: self.generation.load(Ordering::SeqCst),
-            entries: self.entries.load(Ordering::SeqCst),
-            target: self.target.load(Ordering::SeqCst),
-            device_base: self.device_base.load(Ordering::SeqCst),
-            buddy_base: self.buddy_base.load(Ordering::SeqCst),
-            metadata_base: self.metadata_base.load(Ordering::SeqCst),
+            generation: ld(&self.generation),
+            entries: ld(&self.entries),
+            target: self.target.load(Ordering::Relaxed), // Relaxed: same
+            device_base: ld(&self.device_base),
+            buddy_base: ld(&self.buddy_base),
+            metadata_base: ld(&self.metadata_base),
         }
     }
 
     /// Stores new addressing facts. Caller must hold `write_lock` and an
     /// open [`SeqWindow`].
     fn store_raw(&self, raw: &RawSlot) {
-        self.generation.store(raw.generation, Ordering::SeqCst);
-        self.entries.store(raw.entries, Ordering::SeqCst);
-        self.target.store(raw.target, Ordering::SeqCst);
-        self.device_base.store(raw.device_base, Ordering::SeqCst);
-        self.buddy_base.store(raw.buddy_base, Ordering::SeqCst);
-        self.metadata_base
-            .store(raw.metadata_base, Ordering::SeqCst);
+        // Relaxed (was SeqCst): bracketed by the open window — `seq_open`'s
+        // release fence attaches the odd sequence to each of these stores
+        // (readers that see one re-validate and retry) and `seq_release`
+        // publishes them wholesale to readers of the closed sequence.
+        // Model: `NoWriterFence` / `CloseRelaxed` are the mutations that
+        // would make Relaxed here unsound, and both have counterexamples.
+        let st = |field: &AtomicU64, value: u64| field.store(value, Ordering::Relaxed);
+        st(&self.generation, raw.generation);
+        st(&self.entries, raw.entries);
+        self.target.store(raw.target, Ordering::Relaxed); // Relaxed: same
+        st(&self.device_base, raw.device_base);
+        st(&self.buddy_base, raw.buddy_base);
+        st(&self.metadata_base, raw.metadata_base);
     }
 }
 
 impl fmt::Debug for SlotCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SlotCell")
-            .field("seq", &self.seq.load(Ordering::SeqCst))
-            .field("generation", &self.generation.load(Ordering::SeqCst))
-            .field("entries", &self.entries.load(Ordering::SeqCst))
+            .field("seq", &seq_acquire(&self.seq))
+            // Relaxed: diagnostic snapshot only; torn values are acceptable
+            // in debug output and nothing is synchronized through it.
+            .field("generation", &self.generation.load(Ordering::Relaxed))
+            .field("entries", &self.entries.load(Ordering::Relaxed)) // Relaxed: same
             .finish()
     }
 }
@@ -513,16 +560,27 @@ pub(crate) struct SeqWindow<'a> {
 
 impl<'a> SeqWindow<'a> {
     fn open(cell: &'a SlotCell) -> Self {
-        cell.seq.fetch_add(1, Ordering::SeqCst);
-        fence(Ordering::SeqCst);
+        // Relaxed bump + Release fence (was SeqCst bump + SeqCst fence):
+        // the fence orders the odd bump before every store inside the
+        // window, so a reader that observes any of them cannot
+        // re-validate against the old even sequence. The bump itself
+        // needs no ordering — `write_lock` serializes writers. Model:
+        // `SkipOddBump` (no odd marker) and `NoWriterFence` (no fence)
+        // each have a counterexample; this pair passes exhaustively.
+        seq_open(&cell.seq);
         Self { seq: &cell.seq }
     }
 }
 
 impl Drop for SeqWindow<'_> {
     fn drop(&mut self) {
-        fence(Ordering::SeqCst);
-        self.seq.fetch_add(1, Ordering::SeqCst);
+        // Release bump, no fence (was SeqCst fence + SeqCst bump): a
+        // single Release RMW already orders every store inside the window
+        // before the closing bump, which is the edge `begin_read`'s
+        // Acquire pairs with — the old leading fence duplicated exactly
+        // that. Model: downgrading this to Relaxed (`CloseRelaxed`) has a
+        // counterexample; Release alone passes exhaustively.
+        seq_release(self.seq);
     }
 }
 
@@ -593,7 +651,7 @@ pub(crate) struct SharedStats {
 impl SharedStats {
     fn new() -> Self {
         Self {
-            counters: std::array::from_fn(|_| AtomicU64::new(0)), // lint-allow(raw-atomic-metric): the device AccessStats mirror behind the lock-free path, reported through the existing stats() API
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -654,9 +712,9 @@ pub(crate) struct SharedState {
     pub(crate) slots: SlotTable,
     pub(crate) stats: SharedStats,
     /// Monotonic publication counter: one tick per structural epoch.
-    epoch: AtomicU64, // lint-allow(raw-atomic-metric): epoch publication sequence, not a metric
-    ops_entered: AtomicU64, // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
-    ops_exited: AtomicU64, // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
+    epoch: AtomicU64,
+    ops_entered: AtomicU64,
+    ops_exited: AtomicU64,
 }
 
 impl fmt::Debug for SharedState {
@@ -686,9 +744,9 @@ impl SharedState {
             metadata: AtomicNibbles::new(metadata_entries),
             slots: SlotTable::new(),
             stats: SharedStats::new(),
-            epoch: AtomicU64::new(0), // lint-allow(raw-atomic-metric): epoch publication sequence, not a metric
-            ops_entered: AtomicU64::new(0), // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
-            ops_exited: AtomicU64::new(0), // lint-allow(raw-atomic-metric): drain-barrier in-flight accounting, not a metric
+            epoch: AtomicU64::new(0),
+            ops_entered: AtomicU64::new(0),
+            ops_exited: AtomicU64::new(0),
         };
         state.slots.ensure(0);
         state

@@ -1,0 +1,103 @@
+//! The synchronization facade: every atomic, fence, and mutex in library
+//! code goes through this module instead of `std::sync` directly (the
+//! xtask `sync-facade` lint enforces it).
+//!
+//! In default builds the re-exports below are the `std::sync` types
+//! themselves — zero cost, no wrappers. With `--features model-sync`
+//! they swap to `buddy_check::shim`'s model-aware types, which behave
+//! exactly like `std` outside a checker run and route every operation
+//! through `buddy-check`'s controlled scheduler inside one. That switch
+//! is how the `core::shared` seqlock/epoch protocol is model-checked
+//! against the real import graph rather than a hand-copied model: the
+//! only behavioral difference between the two builds is the import path.
+//!
+//! # Seqlock helpers
+//!
+//! The `seq_*` helpers below name the four ordering roles of the seqlock
+//! protocol (`shared.rs` must use them for every access to a `seq` word —
+//! the `seqlock-discipline` lint denies raw orderings there). The
+//! orderings are the canonical seqlock set (Boehm, *Can seqlocks get
+//! along with programming language memory models?*, MSPC '12), and each
+//! is backed by model-checker evidence in `crates/check/tests/protocol.rs`:
+//! the unmutated `seqlock` model passes exhaustively, and downgrading or
+//! removing any one helper's ordering is a seeded mutation with a
+//! counterexample schedule. See DESIGN.md §13.
+
+#[cfg(feature = "model-sync")]
+pub use buddy_check::shim::{fence, AtomicU64, AtomicU8, Mutex, MutexGuard, OnceLock};
+#[cfg(not(feature = "model-sync"))]
+pub use std::sync::atomic::{fence, AtomicU64, AtomicU8};
+#[cfg(not(feature = "model-sync"))]
+pub use std::sync::{Mutex, MutexGuard, OnceLock};
+
+pub use std::sync::atomic::Ordering;
+
+/// Reader entry: loads the sequence word with `Acquire`.
+///
+/// Pairs with [`seq_release`]: a reader that observes a closed (even)
+/// sequence inherits every store made inside that window, so the
+/// `Relaxed` field loads that follow cannot see values older than the
+/// observed epoch. Model evidence: `SeqlockMutation::CloseRelaxed`
+/// (breaking the pairing) yields a counterexample.
+#[inline]
+pub fn seq_acquire(seq: &AtomicU64) -> u64 {
+    seq.load(Ordering::Acquire)
+}
+
+/// Reader re-validation: an `Acquire` fence, then a `Relaxed` re-load of
+/// the sequence word.
+///
+/// The fence upgrades the `Relaxed` data loads made since
+/// [`seq_acquire`]: any data value written inside a later window drags
+/// the writer's odd sequence into view, so the re-load cannot confirm
+/// the old sequence and the reader retries. Model evidence:
+/// `SeqlockMutation::NoReaderFence` (dropping the fence) lets stale data
+/// slip past validation.
+#[inline]
+pub fn seq_revalidate(seq: &AtomicU64) -> u64 {
+    fence(Ordering::Acquire);
+    // Relaxed: the fence above supplies the ordering; see the doc comment.
+    seq.load(Ordering::Relaxed)
+}
+
+/// Writer open: bumps the sequence to odd (`Relaxed`), then a `Release`
+/// fence.
+///
+/// The fence attaches the odd sequence to every store made inside the
+/// window, which is what forces a concurrent reader's re-validation to
+/// fail if it saw any of them. Model evidence:
+/// `SeqlockMutation::SkipOddBump` and `SeqlockMutation::NoWriterFence`
+/// each yield a counterexample.
+#[inline]
+pub fn seq_open(seq: &AtomicU64) {
+    // Relaxed: `write_lock` serializes writers, so the bump itself needs no
+    // ordering; the fence below is what publishes the odd value's meaning.
+    seq.fetch_add(1, Ordering::Relaxed);
+    fence(Ordering::Release);
+}
+
+/// Writer close: bumps the sequence back to even with `Release`.
+///
+/// Publishes everything stored inside the window to the next
+/// [`seq_acquire`] that observes the new even value. Model evidence:
+/// `SeqlockMutation::CloseRelaxed` yields a counterexample.
+#[inline]
+pub fn seq_release(seq: &AtomicU64) {
+    seq.fetch_add(1, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_helpers_implement_the_odd_even_discipline() {
+        let seq = AtomicU64::new(0);
+        assert_eq!(seq_acquire(&seq), 0);
+        seq_open(&seq);
+        assert_eq!(seq_revalidate(&seq), 1, "open window is odd");
+        seq_release(&seq);
+        assert_eq!(seq_acquire(&seq), 2, "closed window is even again");
+        assert_eq!(seq_revalidate(&seq), 2);
+    }
+}

@@ -72,10 +72,9 @@ pub use buddy_core::{
     RetargetPolicy, RetargetReport, StateWindow, TargetRatio,
 };
 
+use buddy_core::sync::{AtomicU64, Mutex, MutexGuard, Ordering};
 use buddy_core::AllocId;
 use buddy_obs::{trace, Counter, SpanKind};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
 
 /// Configuration of a [`BuddyPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

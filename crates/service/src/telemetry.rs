@@ -20,8 +20,9 @@
 
 pub use buddy_obs::{Counter, Gauge};
 
+use buddy_core::sync::{Mutex, MutexGuard};
 use buddy_core::AccessStats;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The full metric surface of one tenant. All fields are updated lock-free
 /// by the service hot paths and read by [`TelemetryRegistry::snapshot`].
@@ -154,7 +155,7 @@ impl TelemetryRegistry {
 
     /// Locks the tenant list, recovering from poisoning (telemetry is
     /// plain data; a panicked registrant leaves it structurally valid).
-    fn list(&self) -> std::sync::MutexGuard<'_, Vec<(String, Arc<TenantTelemetry>)>> {
+    fn list(&self) -> MutexGuard<'_, Vec<(String, Arc<TenantTelemetry>)>> {
         match self.tenants.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),

@@ -4,7 +4,7 @@
 //! bookkeeping must not.
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::atomic::{AtomicU64, AtomicUsize}; // expect(sync-facade)
 
 struct AdHocMetrics {
     hits: AtomicU64, // expect(raw-atomic-metric)
@@ -20,7 +20,7 @@ impl AdHocMetrics {
     }
 
     fn observe(counter: &AtomicU64) -> u64 {
-        counter.load(std::sync::atomic::Ordering::Acquire)
+        counter.load(std::sync::atomic::Ordering::Acquire) // expect(sync-facade)
     }
 }
 

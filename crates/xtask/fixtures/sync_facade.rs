@@ -1,0 +1,50 @@
+//! Known-bad corpus for the `sync-facade` rule: naming `std::sync::atomic`
+//! or the std mutex pair directly in library code must be flagged — those
+//! primitives come from the `core::sync` facade so that `model-sync`
+//! builds can swap in the checker shims. `Arc`, `mpsc` and `OnceLock`
+//! stay allowed (the checker does not intercept them), as does anything
+//! in a test module.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering}; // expect(sync-facade)
+use std::sync::{Arc, Mutex}; // expect(sync-facade)
+use std::sync::MutexGuard; // expect(sync-facade)
+
+fn qualified_paths_are_caught() {
+    std::sync::atomic::fence(Ordering::SeqCst); // expect(sync-facade)
+}
+
+fn split_over_lines_is_still_one_path() {
+    let _ = std::sync::
+        atomic::AtomicU8::new(0); // expect(sync-facade)
+}
+
+struct AllowedNames {
+    shared: Arc<u64>,
+    cell: std::sync::OnceLock<u64>,
+}
+
+fn allowed_imports_do_not_fire(tx: std::sync::mpsc::Sender<u64>) {
+    drop(tx);
+}
+
+fn waived(v: u64) -> u64 {
+    // lint-allow(sync-facade): fixture demonstrates that a reasoned waiver suppresses
+    let gate = std::sync::Mutex::new(v);
+    gate.into_inner().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may reach for std directly; the model checker never runs
+    // the test harness itself.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn bookkeeping() {
+        let n = AtomicU64::new(0);
+        let _ = n.load(Ordering::Acquire);
+        let _ = Mutex::new(0u64);
+    }
+}

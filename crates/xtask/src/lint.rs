@@ -14,7 +14,7 @@
 //!   `lint-allow` in the corpus must suppress its finding — a mutation
 //!   test for the driver itself.
 
-use crate::rules::{registry, Rule, Severity};
+use crate::rules::{pseudo_summary, registry, Rule, Severity};
 use crate::source::SourceFile;
 use std::collections::BTreeSet;
 use std::fs;
@@ -33,7 +33,11 @@ pub struct Finding {
     pub line: usize,
     /// Explanation.
     pub message: String,
-    /// Set when a `lint-allow` covers this finding; carries the reason.
+    /// The rule's one-line summary — what invariant this rule guards,
+    /// independent of the specific finding.
+    pub description: String,
+    /// Set when a `lint-allow` / `lint-allow-file` covers this finding;
+    /// carries the reason.
     pub waived: Option<String>,
 }
 
@@ -121,6 +125,7 @@ pub fn run(root: &Path, files: &[PathBuf], rules: &[Rule], scoped: bool) -> Resu
         let rel_path = rel(root, path);
         let file = SourceFile::parse(&text);
         let waivers = file.waivers();
+        let file_waivers = file.file_waivers();
         report.files += 1;
 
         // A waiver naming an unregistered rule is itself a defect.
@@ -132,9 +137,51 @@ pub fn run(root: &Path, files: &[PathBuf], rules: &[Rule], scoped: bool) -> Resu
                     path: rel_path.clone(),
                     line: w.comment_line,
                     message: format!("waiver names unknown rule `{}`", w.rule),
+                    description: pseudo_summary("unknown-waiver").into(),
                     waived: None,
                 });
             }
+        }
+
+        // File waivers are validated once per file: a misplaced one never
+        // suppresses (and is the only finding it produces — its rule name
+        // and reason are moot until it moves); a well-placed one must name
+        // a known rule and carry a reason to suppress anything.
+        for fw in &file_waivers {
+            let (rule, message) = if fw.misplaced {
+                (
+                    "misplaced-file-waiver",
+                    format!(
+                        "file waiver for `{}` appears after code starts — move it into the \
+                         leading comment block so reviewers see the file-wide exemption",
+                        fw.rule
+                    ),
+                )
+            } else if !rules.iter().any(|r| r.id == fw.rule) {
+                (
+                    "unknown-waiver",
+                    format!("file waiver names unknown rule `{}`", fw.rule),
+                )
+            } else if fw.reason.is_empty() {
+                (
+                    "waiver-without-reason",
+                    format!(
+                        "file waiver for `{}` gives no reason — `lint-allow-file({}): <why>`",
+                        fw.rule, fw.rule
+                    ),
+                )
+            } else {
+                continue;
+            };
+            report.findings.push(Finding {
+                rule: rule.into(),
+                severity: Severity::Deny,
+                path: rel_path.clone(),
+                line: fw.comment_line,
+                message,
+                description: pseudo_summary(rule).into(),
+                waived: None,
+            });
         }
 
         for rule in rules {
@@ -158,12 +205,18 @@ pub fn run(root: &Path, files: &[PathBuf], rules: &[Rule], scoped: bool) -> Resu
                                 "waiver for `{}` gives no reason — `lint-allow({}): <why>`",
                                 rule.id, rule.id
                             ),
+                            description: pseudo_summary("waiver-without-reason").into(),
                             waived: None,
                         });
                         None // a reasonless waiver does not suppress
                     }
                     Some(w) => Some(w.reason.clone()),
-                    None => None,
+                    // No line waiver: a well-formed file waiver for this
+                    // rule covers every finding in the file.
+                    None => file_waivers
+                        .iter()
+                        .find(|fw| fw.rule == rule.id && !fw.misplaced && !fw.reason.is_empty())
+                        .map(|fw| fw.reason.clone()),
                 };
                 report.findings.push(Finding {
                     rule: rule.id.to_string(),
@@ -171,14 +224,17 @@ pub fn run(root: &Path, files: &[PathBuf], rules: &[Rule], scoped: bool) -> Resu
                     path: rel_path.clone(),
                     line: finding.line,
                     message: finding.message,
+                    description: rule.summary.into(),
                     waived,
                 });
             }
         }
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    // (path, line, rule) is the contract consumers may rely on; message
+    // breaks the rare tie so the byte stream is fully deterministic.
+    report.findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
     Ok(report)
 }
 
@@ -236,9 +292,10 @@ pub fn render_json(report: &Report) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"waived\":{}}}",
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"description\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"waived\":{}}}",
             json_escape(&f.rule),
             f.severity,
+            json_escape(&f.description),
             json_escape(&f.path),
             f.line,
             json_escape(&f.message),
@@ -269,6 +326,8 @@ struct Expectations {
     in_file: BTreeSet<(String, String)>,
     /// (path, line) covered by a lint-allow waiver, with the waived rule.
     waived: BTreeSet<(String, usize, String)>,
+    /// (path, rule) covered by a well-formed `lint-allow-file` waiver.
+    waived_file: BTreeSet<(String, String)>,
 }
 
 fn parse_annotations(
@@ -318,6 +377,14 @@ fn parse_annotations(
             }
             exp.waived
                 .insert((rel_path.clone(), w.target_line, w.rule.clone()));
+        }
+        for fw in file.file_waivers() {
+            // Misplaced, reasonless and unknown-rule file waivers are
+            // themselves findings; only well-formed ones must suppress.
+            if fw.misplaced || fw.reason.is_empty() || !rules.iter().any(|r| r.id == fw.rule) {
+                continue;
+            }
+            exp.waived_file.insert((rel_path.clone(), fw.rule.clone()));
         }
     }
     Ok(exp)
@@ -387,6 +454,16 @@ pub fn self_check(root: &Path) -> Result<Vec<String>, String> {
                 "waiver at {}:{} for `{}` suppressed nothing — the waived snippet must \
                  still be a genuine finding",
                 key.0, key.1, key.2
+            ));
+        }
+    }
+    // 4b. Same for file-scoped waivers: each well-formed one must have
+    //     suppressed at least one finding of its rule in its file.
+    for (path, rule) in &expected.waived_file {
+        if !waived_got.iter().any(|(p, _, r)| p == path && r == rule) {
+            problems.push(format!(
+                "file waiver in {path} for `{rule}` suppressed nothing — the file must \
+                 still contain at least one genuine `{rule}` finding"
             ));
         }
     }
@@ -474,13 +551,100 @@ mod tests {
                 path: "a\"b.rs".into(),
                 line: 3,
                 message: "quote \" and backslash \\".into(),
+                description: "no unwrap".into(),
                 waived: Some("because".into()),
             }],
             files: 1,
         };
         let json = render_json(&report);
         assert!(json.contains("\\\"") && json.contains("\\\\"));
+        assert!(json.contains("\"description\":\"no unwrap\""));
         assert!(json.ends_with("}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Pins the machine output contract: findings arrive sorted by
+    /// (path, line, rule), every finding carries the rule's description,
+    /// and the byte stream is identical across runs.
+    #[test]
+    fn json_output_is_deterministic_and_ordered() {
+        let dir = std::env::temp_dir().join("xtask-json-det-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        // `b.rs` written before `a.rs`: path order must come from sorting,
+        // not the filesystem.
+        let b = dir.join("b.rs");
+        let a = dir.join("a.rs");
+        fs::write(&b, "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n").expect("write b");
+        fs::write(
+            &a,
+            "fn g(o: Option<u32>) -> u32 { o.expect(\"x\") }\nfn h() { panic!(\"y\") }\n",
+        )
+        .expect("write a");
+        let rules = registry();
+        let files = vec![b.clone(), a.clone()];
+        let first = render_json(&run(&dir, &files, &rules, false).expect("run"));
+        let second = render_json(&run(&dir, &files, &rules, false).expect("run"));
+        assert_eq!(first, second, "same inputs must produce identical bytes");
+        let pos_a1 = first.find("\"path\":\"a.rs\",\"line\":1").expect("a.rs:1");
+        let pos_a2 = first.find("\"path\":\"a.rs\",\"line\":2").expect("a.rs:2");
+        let pos_b = first.find("\"path\":\"b.rs\"").expect("b.rs");
+        assert!(
+            pos_a1 < pos_a2 && pos_a2 < pos_b,
+            "findings must sort by (path, line, rule):\n{first}"
+        );
+        let summary = rules
+            .iter()
+            .find(|r| r.id == "no-unwrap")
+            .expect("rule")
+            .summary;
+        assert!(
+            first.contains(&format!("\"description\":\"{summary}\"")),
+            "every finding carries its rule's summary as the description"
+        );
+    }
+
+    /// File-scoped waivers suppress every finding of their rule, but only
+    /// when well-placed and reasoned; the failure modes each produce their
+    /// own deny finding.
+    #[test]
+    fn file_waivers_suppress_and_misfires_are_findings() {
+        let dir = std::env::temp_dir().join("xtask-file-waiver-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let good = dir.join("good.rs");
+        fs::write(
+            &good,
+            "//! Docs.\n// lint-allow-file(no-unwrap): demo reason\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\nfn g(o: Option<u32>) -> u32 { o.expect(\"x\") }\n",
+        )
+        .expect("write good");
+        let bad = dir.join("bad.rs");
+        fs::write(
+            &bad,
+            "// lint-allow-file(no-such-rule): bogus target\n// lint-allow-file(lossy-cast)\nfn f() {}\n// lint-allow-file(no-unwrap): too late\nfn g(o: Option<u32>) -> u32 { o.unwrap() }\n",
+        )
+        .expect("write bad");
+        let rules = registry();
+        let report = run(&dir, &[good, bad], &rules, false).expect("run");
+        let by_rule = |rule: &str| -> Vec<&Finding> {
+            report.findings.iter().filter(|f| f.rule == rule).collect()
+        };
+        // good.rs: both no-unwrap findings exist but are waived.
+        let good_unwraps: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.path == "good.rs" && f.rule == "no-unwrap")
+            .collect();
+        assert_eq!(good_unwraps.len(), 2);
+        assert!(good_unwraps
+            .iter()
+            .all(|f| f.waived.as_deref() == Some("demo reason")));
+        // bad.rs: each malformed waiver is its own deny, and the misplaced
+        // one did NOT suppress the unwrap below it.
+        assert_eq!(by_rule("unknown-waiver").len(), 1);
+        assert_eq!(by_rule("waiver-without-reason").len(), 1);
+        assert_eq!(by_rule("misplaced-file-waiver").len(), 1);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.path == "bad.rs" && f.rule == "no-unwrap" && f.waived.is_none()));
     }
 }

@@ -7,7 +7,8 @@
 //! invariants no off-the-shelf tool knows about, distilled from the bugs
 //! the equivalence suites in PRs 3–5 were built to catch.
 
-use crate::source::SourceFile;
+use crate::source::{SourceFile, Token, TokenKind};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// How a finding affects the exit status.
@@ -112,7 +113,53 @@ pub fn registry() -> Vec<Rule> {
             applies: |p| is_library_source(p) && !p.starts_with("crates/obs/src/"),
             check: check_raw_atomic_metric,
         },
+        Rule {
+            id: "sync-facade",
+            severity: Severity::Deny,
+            summary: "no direct std::sync atomics or Mutex in library code — import them from \
+                      the core::sync facade so model-checked builds can swap the primitives",
+            applies: |p| {
+                is_library_source(p)
+                    && p != "crates/core/src/sync.rs"
+                    && !p.starts_with("crates/obs/src/")
+                    && !p.starts_with("crates/check/src/")
+            },
+            check: check_sync_facade,
+        },
+        Rule {
+            id: "seqlock-discipline",
+            severity: Severity::Deny,
+            summary: "seqlock sequence words are touched only through the named core::sync \
+                      helpers (seq_acquire/seq_revalidate/seq_open/seq_release)",
+            applies: |p| p == "crates/core/src/shared.rs",
+            check: check_seqlock_discipline,
+        },
     ]
+}
+
+/// Summaries for the driver's own waiver-hygiene findings, which have no
+/// registered [`Rule`]. Feeds the JSON `description` field.
+pub fn pseudo_summary(id: &str) -> &'static str {
+    match id {
+        "unknown-waiver" => "a waiver names a rule the registry does not know",
+        "waiver-without-reason" => "every waiver must carry a reason after the colon",
+        "misplaced-file-waiver" => {
+            "file-scoped waivers must sit in the leading comment block, before any code"
+        }
+        _ => "",
+    }
+}
+
+/// True when the token texts starting at `toks[i]` equal `pat` exactly.
+fn tokens_match(toks: &[Token], i: usize, pat: &[&str]) -> bool {
+    pat.iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+/// The non-test token stream of a file — what the token-level rules scan.
+fn library_tokens(file: &SourceFile) -> Vec<Token> {
+    file.tokens().into_iter().filter(|t| !t.in_test).collect()
 }
 
 /// Library sources: crate `src/` trees (never `tests/`, `benches/` or
@@ -129,30 +176,39 @@ fn is_crate_root(path: &str) -> bool {
 }
 
 fn check_no_unwrap(file: &SourceFile, out: &mut Vec<RawFinding>) {
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test {
-            continue;
-        }
-        for (token, advice) in [
-            (".unwrap()", "return a Result or use a checked alternative"),
+    // Token matching (not substring): `.unwrap()` is the sequence
+    // `. unwrap ( )`, so `unwrap_or(..)` and prose in strings never match,
+    // and a call split across lines still does.
+    let toks = library_tokens(file);
+    let mut seen = BTreeSet::new();
+    for i in 0..toks.len() {
+        let (name, at, advice) = if tokens_match(&toks, i, &[".", "unwrap", "(", ")"]) {
             (
-                ".expect(",
+                "unwrap()",
+                i + 1,
+                "return a Result or use a checked alternative",
+            )
+        } else if tokens_match(&toks, i, &[".", "expect", "("]) {
+            (
+                "expect",
+                i + 1,
                 "return a Result, or waive with the invariant that makes it unreachable",
-            ),
+            )
+        } else if tokens_match(&toks, i, &["panic", "!", "("]) {
             (
-                "panic!(",
+                "panic!",
+                i,
                 "return an error; panics in library code abort whole shard threads",
-            ),
-        ] {
-            if line.code.contains(token) {
-                out.push(RawFinding {
-                    line: idx + 1,
-                    message: format!(
-                        "`{}` in non-test library code — {advice}",
-                        token.trim_start_matches('.').trim_end_matches('(')
-                    ),
-                });
-            }
+            )
+        } else {
+            continue;
+        };
+        let line = toks[at].line;
+        if seen.insert((line, name)) {
+            out.push(RawFinding {
+                line,
+                message: format!("`{name}` in non-test library code — {advice}"),
+            });
         }
     }
 }
@@ -345,46 +401,133 @@ fn check_relaxed_ordering(file: &SourceFile, out: &mut Vec<RawFinding>) {
 }
 
 fn check_wallclock(file: &SourceFile, out: &mut Vec<RawFinding>) {
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test {
+    // An identifier token IS a word boundary match — `instants` and
+    // `Instantly` are different tokens, not near-misses to special-case.
+    let mut seen = BTreeSet::new();
+    for t in library_tokens(file) {
+        if t.kind != TokenKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
             continue;
         }
-        for token in ["Instant", "SystemTime"] {
-            if contains_word(&line.code, token) {
-                out.push(RawFinding {
-                    line: idx + 1,
-                    message: format!(
-                        "`{token}` in deterministic trace/replay code — replay must be \
-                         reproducible from seeds alone; thread timing through the caller \
-                         or waive with why this cannot perturb a trace"
-                    ),
-                });
-            }
+        if seen.insert((t.line, t.text.clone())) {
+            out.push(RawFinding {
+                line: t.line,
+                message: format!(
+                    "`{}` in deterministic trace/replay code — replay must be \
+                     reproducible from seeds alone; thread timing through the caller \
+                     or waive with why this cannot perturb a trace",
+                    t.text
+                ),
+            });
         }
     }
 }
 
-/// Word-boundary containment check (identifier characters delimit words).
-fn contains_word(code: &str, word: &str) -> bool {
-    let mut search = 0usize;
-    while let Some(pos) = code[search..].find(word) {
-        let at = search + pos;
-        let before_ok = at == 0
-            || !code[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
-        let after = at + word.len();
-        let after_ok = !code[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
+/// The `std::sync` names library code must take from the facade instead:
+/// the whole `atomic` module, and the mutex pair. `Arc`, `mpsc`, `RwLock`
+/// and `OnceLock` stay allowed — the model checker does not intercept
+/// them, so routing them through the facade would only add indirection.
+const FACADE_ONLY: [&str; 3] = ["atomic", "Mutex", "MutexGuard"];
+
+fn check_sync_facade(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    // Why a facade: `cargo test --features model-sync` reruns the suite
+    // with every atomic/fence/mutex op turned into a model-checker
+    // scheduling point. That only works if library code never names the
+    // std primitives directly. Token matching catches imports
+    // (`use std::sync::atomic::..`, `use std::sync::{Arc, Mutex}`) and
+    // qualified paths (`std::sync::atomic::fence(..)`) in one pass,
+    // however they are spaced or line-broken.
+    let toks = library_tokens(file);
+    let mut seen = BTreeSet::new();
+    let mut flag = |t: &Token, out: &mut Vec<RawFinding>| {
+        if t.kind == TokenKind::Ident
+            && FACADE_ONLY.contains(&t.text.as_str())
+            && seen.insert((t.line, t.text.clone()))
+        {
+            out.push(RawFinding {
+                line: t.line,
+                message: format!(
+                    "`std::sync::{}` named directly in library code — import it from the \
+                     `core::sync` facade (`buddy_core::sync` outside core) so model-checked \
+                     builds can swap in the checker shims",
+                    if t.text == "atomic" {
+                        "atomic::*".to_string()
+                    } else {
+                        t.text.clone()
+                    }
+                ),
+            });
         }
-        search = after;
+    };
+    for i in 0..toks.len() {
+        if !tokens_match(&toks, i, &["std", "::", "sync", "::"]) {
+            continue;
+        }
+        match toks.get(i + 4) {
+            Some(t) if t.text == "{" => {
+                // Scan the use-tree group (nesting included) for the
+                // forbidden names.
+                let mut depth = 1usize;
+                let mut j = i + 5;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => flag(&toks[j], out),
+                    }
+                    j += 1;
+                }
+            }
+            Some(t) => flag(t, out),
+            None => {}
+        }
     }
-    false
+}
+
+/// Atomic method names whose receiver must not be a bare `seq` word.
+const SEQ_METHODS: [&str; 9] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+];
+
+fn check_seqlock_discipline(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    // The seqlock's correctness is concentrated in four ordering choices
+    // (open, close, first read, re-validation), each proven by a mutation
+    // in `buddy-check` (SkipOddBump, CloseRelaxed, NoReaderFence,
+    // NoWriterFence). Those proofs only cover code that goes through the
+    // named helpers — a raw `seq.load(..)` re-opens the whole argument, so
+    // the sequence word may only be touched via
+    // `seq_acquire`/`seq_revalidate`/`seq_open`/`seq_release`.
+    let toks = library_tokens(file);
+    let mut seen = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && toks[i].text == "seq") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.text == ".") {
+            continue;
+        }
+        let Some(method) = toks.get(i + 2) else {
+            continue;
+        };
+        if SEQ_METHODS.contains(&method.text.as_str()) && seen.insert(method.line) {
+            out.push(RawFinding {
+                line: method.line,
+                message: format!(
+                    "raw `seq.{}(..)` on a seqlock sequence word — use the `crate::sync` \
+                     helpers (`seq_acquire`/`seq_revalidate` to read, `seq_open`/\
+                     `seq_release` to write) whose orderings carry model-checker evidence",
+                    method.text
+                ),
+            });
+        }
+    }
 }
 
 /// Atomic integer types whose ad-hoc declaration in service/pool library
@@ -660,6 +803,129 @@ mod tests {
         assert!(!(rule.applies)("crates/obs/src/hist.rs"));
         assert!(!(rule.applies)("crates/obs/src/metrics.rs"));
         assert!(!(rule.applies)("crates/obs/src/trace.rs"));
+    }
+
+    #[test]
+    fn sync_facade_flags_imports_and_qualified_paths() {
+        assert_eq!(
+            run(
+                "sync-facade",
+                "use std::sync::atomic::{AtomicU64, Ordering};"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(run("sync-facade", "use std::sync::{Arc, Mutex};").len(), 1);
+        assert_eq!(run("sync-facade", "use std::sync::MutexGuard;").len(), 1);
+        assert_eq!(
+            run("sync-facade", "std::sync::atomic::fence(Ordering::SeqCst);").len(),
+            1
+        );
+        // Odd spacing and line breaks normalize to the same token stream.
+        assert_eq!(
+            run("sync-facade", "use std :: sync ::\n    atomic::AtomicU8;").len(),
+            1
+        );
+        // Nested use-trees are searched through.
+        assert_eq!(
+            run(
+                "sync-facade",
+                "use std::sync::{atomic::{AtomicU64, Ordering}, Arc};"
+            )
+            .len(),
+            1
+        );
+        // The allowed std::sync names, the facade itself, and prose/tests
+        // are all clean.
+        assert!(run("sync-facade", "use std::sync::Arc;").is_empty());
+        assert!(run("sync-facade", "use std::sync::{Arc, OnceLock};").is_empty());
+        assert!(run("sync-facade", "use std::sync::mpsc::sync_channel;").is_empty());
+        assert!(run(
+            "sync-facade",
+            "use buddy_core::sync::{AtomicU64, Mutex, Ordering};"
+        )
+        .is_empty());
+        assert!(run("sync-facade", "// use std::sync::Mutex in a comment").is_empty());
+        assert!(run(
+            "sync-facade",
+            "#[cfg(test)]\nmod tests { use std::sync::Mutex; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sync_facade_scope_exempts_the_facade_and_the_checker() {
+        let rules = registry();
+        let rule = rules
+            .iter()
+            .find(|r| r.id == "sync-facade")
+            .expect("rule registered");
+        assert!((rule.applies)("crates/core/src/shared.rs"));
+        assert!((rule.applies)("crates/pool/src/lib.rs"));
+        assert!((rule.applies)("crates/service/src/telemetry.rs"));
+        // The three legitimate homes of raw std::sync: the facade itself,
+        // the obs metric primitives, and the checker shims.
+        assert!(!(rule.applies)("crates/core/src/sync.rs"));
+        assert!(!(rule.applies)("crates/obs/src/metrics.rs"));
+        assert!(!(rule.applies)("crates/check/src/shim.rs"));
+    }
+
+    #[test]
+    fn seqlock_discipline_flags_raw_seq_atomics_only() {
+        assert_eq!(
+            run(
+                "seqlock-discipline",
+                "let s = self.seq.load(Ordering::Acquire);"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "seqlock-discipline",
+                "cell.seq.fetch_add(1, Ordering::Release);"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "seqlock-discipline",
+                "self.seq\n    .store(n, Ordering::Release);"
+            )
+            .len(),
+            1
+        );
+        // The helpers themselves, other fields, and longer identifiers are
+        // out of scope.
+        assert!(run("seqlock-discipline", "let s = seq_acquire(&self.seq);").is_empty());
+        assert!(run("seqlock-discipline", "seq_open(&cell.seq);").is_empty());
+        assert!(run(
+            "seqlock-discipline",
+            "self.generation.load(Ordering::Acquire);"
+        )
+        .is_empty());
+        assert!(run("seqlock-discipline", "sequence.load(Ordering::Acquire);").is_empty());
+    }
+
+    #[test]
+    fn seqlock_discipline_scope_is_exactly_the_shared_module() {
+        let rules = registry();
+        let rule = rules
+            .iter()
+            .find(|r| r.id == "seqlock-discipline")
+            .expect("rule registered");
+        assert!((rule.applies)("crates/core/src/shared.rs"));
+        assert!(!(rule.applies)("crates/core/src/sync.rs"));
+        assert!(!(rule.applies)("crates/pool/src/lib.rs"));
+    }
+
+    #[test]
+    fn no_unwrap_matches_across_line_breaks() {
+        // The substring engine this rule replaced could not see a call
+        // split across lines; the token stream can.
+        assert_eq!(run("no-unwrap", "opt\n    .unwrap()").len(), 1);
+        assert!(run("no-unwrap", "opt.unwrap_or_default()").is_empty());
     }
 
     #[test]
